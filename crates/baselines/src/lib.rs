@@ -1,0 +1,85 @@
+//! Baseline file-system models for the Simurgh evaluation.
+//!
+//! The paper compares Simurgh against four real systems — NOVA, PMFS,
+//! EXT4-DAX and SplitFS — and attributes each one's performance curve to a
+//! specific structural mechanism (§2, §5.2):
+//!
+//! * every kernel file system pays a **syscall** per operation and crosses
+//!   the **VFS**: a dentry cache whose updates serialize, a per-directory
+//!   inode mutex that serializes shared-directory writes, and a per-file
+//!   read/write semaphore whose atomic updates bounce between readers;
+//! * **NOVA** appends to per-inode logs and allocates from per-CPU free
+//!   lists (scales in private directories, stuck behind the VFS in shared
+//!   ones);
+//! * **PMFS** searches *unsorted linear directories* and allocates from a
+//!   single serial allocator behind an undo journal;
+//! * **EXT4-DAX** journals through a single jbd2-style handle (batched) and
+//!   allocates sequentially; data ops on large files are cheap;
+//! * **SplitFS** serves data from user space — appends go to 2-MB staging
+//!   regions with no syscall — while every metadata operation falls back to
+//!   the EXT4 path.
+//!
+//! [`KernelFs`] is one generic implementation parameterized by an
+//! [`FsProfile`] selecting those mechanisms; [`nova`], [`pmfs`],
+//! [`ext4dax`] and [`splitfs`] build the four paper configurations over a
+//! shared [`simurgh_pmem::PmemRegion`], so data-path traffic is as real as
+//! Simurgh's and only the control-path structure differs.
+
+pub mod kernelfs;
+pub mod profile;
+pub mod vfs;
+
+use std::sync::Arc;
+
+use simurgh_pmem::PmemRegion;
+
+pub use kernelfs::KernelFs;
+pub use profile::{AllocKind, DirKind, FsProfile, JournalKind};
+
+/// The NOVA model (log-structured NVMM kernel FS).
+pub fn nova(region: Arc<PmemRegion>) -> KernelFs {
+    KernelFs::new(region, FsProfile::nova())
+}
+
+/// The PMFS model (linear directories, serial allocator, undo journal).
+pub fn pmfs(region: Arc<PmemRegion>) -> KernelFs {
+    KernelFs::new(region, FsProfile::pmfs())
+}
+
+/// The EXT4-DAX model (jbd2 journal, sequential allocator).
+pub fn ext4dax(region: Arc<PmemRegion>) -> KernelFs {
+    KernelFs::new(region, FsProfile::ext4dax())
+}
+
+/// The SplitFS model (user-space staged data path over EXT4 metadata).
+pub fn splitfs(region: Arc<PmemRegion>) -> KernelFs {
+    KernelFs::new(region, FsProfile::splitfs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_fsapi::{FileMode, FileSystem, ProcCtx};
+
+    #[test]
+    fn all_profiles_do_basic_io() {
+        for make in [nova, pmfs, ext4dax, splitfs] {
+            let fs = make(Arc::new(PmemRegion::new(16 << 20)));
+            let ctx = ProcCtx::root(1);
+            fs.mkdir(&ctx, "/d", FileMode::dir(0o755)).unwrap();
+            fs.write_file(&ctx, "/d/f", b"hello").unwrap();
+            assert_eq!(fs.read_to_vec(&ctx, "/d/f").unwrap(), b"hello", "{}", fs.name());
+            fs.unlink(&ctx, "/d/f").unwrap();
+            fs.rmdir(&ctx, "/d").unwrap();
+        }
+    }
+
+    #[test]
+    fn profile_names_match_paper_systems() {
+        let r = Arc::new(PmemRegion::new(16 << 20));
+        assert_eq!(nova(r.clone()).name(), "nova");
+        assert_eq!(pmfs(r.clone()).name(), "pmfs");
+        assert_eq!(ext4dax(r.clone()).name(), "ext4-dax");
+        assert_eq!(splitfs(r).name(), "splitfs");
+    }
+}

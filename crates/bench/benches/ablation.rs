@@ -1,0 +1,50 @@
+//! Criterion benches for the design-choice ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_pmem::PmemRegion;
+use simurgh_workloads::fxmark;
+use std::sync::Arc;
+
+const REGION: usize = 256 << 20;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // Allocator segmentation.
+    for (name, segments) in [("segmented", None), ("single_segment", Some(1))] {
+        g.bench_with_input(BenchmarkId::new("alloc", name), &segments, |b, segs| {
+            b.iter_batched(
+                || {
+                    let cfg = SimurghConfig { segments: *segs, ..SimurghConfig::default() };
+                    SimurghFs::format(Arc::new(PmemRegion::new(REGION)), cfg).unwrap()
+                },
+                |fs| fxmark::append_private(&fs, 2, 500),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    // Security cost per call.
+    for kind in [FsKind::SimurghNoSec, FsKind::Simurgh, FsKind::SimurghSyscall] {
+        g.bench_with_input(BenchmarkId::new("security", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            fxmark::resolve_private(fs.as_ref(), 1, 5, 1);
+            b.iter(|| fxmark::resolve_private(fs.as_ref(), 1, 5, 500));
+        });
+    }
+    // Relaxed vs locked shared-file writes.
+    for kind in [FsKind::Simurgh, FsKind::SimurghRelaxed] {
+        g.bench_with_input(BenchmarkId::new("write_lock", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            fxmark::overwrite_shared(fs.as_ref(), 1, 4 << 20, 1);
+            b.iter(|| fxmark::overwrite_shared(fs.as_ref(), 2, 4 << 20, 500));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the tar and git applications (Fig. 11 / Fig. 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::tree::TreeSpec;
+use simurgh_workloads::{git, tar, tree};
+
+const REGION: usize = 512 << 20;
+const SCALE: f64 = 0.005;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in FsKind::COMPARED {
+        g.bench_with_input(BenchmarkId::new("tar_pack", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            let m = tree::generate(fs.as_ref(), "/src", TreeSpec::linux_like(SCALE)).unwrap();
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                tar::pack(fs.as_ref(), &m, &format!("/src{i}.tar")).unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tar_unpack", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            let m = tree::generate(fs.as_ref(), "/src", TreeSpec::linux_like(SCALE)).unwrap();
+            tar::pack(fs.as_ref(), &m, "/src.tar").unwrap();
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                tar::unpack(fs.as_ref(), "/src.tar", &format!("/out{i}")).unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("git_commit", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            let m = tree::generate(fs.as_ref(), "/repo", TreeSpec::linux_like(SCALE)).unwrap();
+            let mut repo = git::GitRepo::init(fs.as_ref(), "/repo").unwrap();
+            repo.add_all(&m).unwrap();
+            b.iter(|| repo.commit("bench").unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

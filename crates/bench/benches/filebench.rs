@@ -1,0 +1,40 @@
+//! Criterion benches for the Filebench personalities (Fig. 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::filebench;
+
+const REGION: usize = 512 << 20;
+
+fn bench_filebench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filebench");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    type Personality = fn(f64) -> filebench::FilebenchConfig;
+    let personalities: [(Personality, &str); 4] = [
+        (filebench::varmail, "varmail"),
+        (filebench::webserver, "webserver"),
+        (filebench::webproxy, "webproxy"),
+        (filebench::fileserver, "fileserver"),
+    ];
+    for (make, name) in personalities {
+        for kind in FsKind::COMPARED {
+            g.bench_with_input(BenchmarkId::new(name, kind.label()), &kind, |b, k| {
+                b.iter_batched(
+                    || k.make(REGION),
+                    |fs| {
+                        let mut cfg = make(0.01);
+                        cfg.threads = 2;
+                        filebench::run(fs.as_ref(), cfg, 3)
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_filebench);
+criterion_main!(benches);

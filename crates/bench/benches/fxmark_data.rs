@@ -1,0 +1,47 @@
+//! Criterion benches for the data-path microbenchmarks (Fig. 7g–7l).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::fxmark;
+
+const REGION: usize = 512 << 20;
+const FILE: usize = 8 << 20;
+
+fn bench_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fxmark_data");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in FsKind::COMPARED {
+        g.bench_with_input(BenchmarkId::new("append", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::append_private(fs.as_ref(), 2, 500),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("fallocate", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::fallocate_private(fs.as_ref(), 2, 4),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("overwrite_shared", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            fxmark::overwrite_shared(fs.as_ref(), 1, FILE, 1);
+            b.iter(|| fxmark::overwrite_shared(fs.as_ref(), 2, FILE, 1000));
+        });
+        g.bench_with_input(BenchmarkId::new("write_private", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::write_private(fs.as_ref(), 2, 1000),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_data);
+criterion_main!(benches);

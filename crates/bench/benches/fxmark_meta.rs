@@ -1,0 +1,49 @@
+//! Criterion benches for the metadata microbenchmarks (Fig. 7a–7d).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::fxmark;
+
+const FILES: usize = 500;
+const REGION: usize = 256 << 20;
+
+fn bench_meta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fxmark_meta");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in FsKind::COMPARED {
+        g.bench_with_input(BenchmarkId::new("create_private", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::create_private(fs.as_ref(), 2, FILES),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("create_shared", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::create_shared(fs.as_ref(), 2, FILES),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("unlink_private", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::unlink_private(fs.as_ref(), 2, FILES),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("rename_shared", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| fxmark::rename_shared(fs.as_ref(), 2, FILES),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_meta);
+criterion_main!(benches);

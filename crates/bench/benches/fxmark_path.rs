@@ -1,0 +1,31 @@
+//! Criterion benches for path resolution (Fig. 7e/7f).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::fxmark;
+
+const REGION: usize = 128 << 20;
+
+fn bench_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fxmark_path");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in FsKind::COMPARED {
+        g.bench_with_input(BenchmarkId::new("resolve_private", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            // Setup once; the timed body re-resolves existing paths.
+            fxmark::resolve_private(fs.as_ref(), 2, 5, 1);
+            b.iter(|| fxmark::resolve_private(fs.as_ref(), 2, 5, 500));
+        });
+        g.bench_with_input(BenchmarkId::new("resolve_shared", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            fxmark::resolve_shared(fs.as_ref(), 2, 5, 1);
+            b.iter(|| fxmark::resolve_shared(fs.as_ref(), 2, 5, 500));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_path);
+criterion_main!(benches);

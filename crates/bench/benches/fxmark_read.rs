@@ -1,0 +1,36 @@
+//! Criterion benches for shared/private reads, original vs adapted FxMark
+//! patterns (Fig. 6, Fig. 7i/7j).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::fxmark::{self, ReadPattern};
+
+const REGION: usize = 512 << 20;
+const FILE: usize = 16 << 20;
+
+fn bench_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fxmark_read");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in FsKind::COMPARED {
+        for (pat, name) in
+            [(ReadPattern::CachedRepeat, "read_shared_original"), (ReadPattern::PseudoRandom, "read_shared_adapted")]
+        {
+            g.bench_with_input(BenchmarkId::new(name, kind.label()), &kind, |b, k| {
+                let fs = k.make(REGION);
+                fxmark::read_shared(fs.as_ref(), 1, FILE, 1, pat);
+                b.iter(|| fxmark::read_shared(fs.as_ref(), 2, FILE, 2000, pat));
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("read_private", kind.label()), &kind, |b, k| {
+            let fs = k.make(REGION);
+            fxmark::read_private(fs.as_ref(), 2, FILE, 1, ReadPattern::PseudoRandom);
+            b.iter(|| fxmark::read_private(fs.as_ref(), 2, FILE, 2000, ReadPattern::PseudoRandom));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the §3.3 protected-function mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simurgh_protfn::{ProtectedDomain, SecurityMode, CostModel};
+use simurgh_pmem::SpinClock;
+use std::sync::Arc;
+
+fn bench_protfn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protfn_cycles");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let domain = Arc::new(ProtectedDomain::new(4));
+    let (_, ep) = domain.load_protected("bench", 64).unwrap();
+    g.bench_function("jmpp_pret", |b| {
+        b.iter(|| domain.enter(ep, || std::hint::black_box(1u64)).unwrap())
+    });
+    let model = CostModel::default();
+    let clock = SpinClock::global();
+    g.bench_function("charged_jmpp_cost", |b| {
+        b.iter(|| SecurityMode::Jmpp.charge(&model, clock))
+    });
+    g.bench_function("charged_syscall_cost", |b| {
+        b.iter(|| SecurityMode::SyscallHost.charge(&model, clock))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protfn);
+criterion_main!(benches);

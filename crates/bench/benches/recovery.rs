@@ -1,0 +1,29 @@
+//! Criterion bench for §5.5 full-system recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_pmem::PmemRegion;
+use simurgh_workloads::tree::{self, TreeSpec};
+use std::sync::Arc;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("mount_after_crash", |b| {
+        // Populate once; every iteration re-runs the full recovery path on
+        // the same dirty image.
+        let region = Arc::new(PmemRegion::new(256 << 20));
+        let fs = SimurghFs::format(region.clone(), SimurghConfig::default()).unwrap();
+        for t in 0..2 {
+            tree::generate(&fs, &format!("/linux-{t}"), TreeSpec::linux_like(0.01)).unwrap();
+        }
+        drop(fs); // no clean unmount
+        b.iter(|| SimurghFs::mount(region.clone(), SimurghConfig::default()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

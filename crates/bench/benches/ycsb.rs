@@ -1,0 +1,40 @@
+//! Criterion benches for YCSB over MiniKV (Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simurgh_bench::FsKind;
+use simurgh_workloads::minikv::{KvOptions, MiniKv};
+use simurgh_workloads::ycsb::{self, Workload, YcsbConfig};
+
+const REGION: usize = 512 << 20;
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ycsb");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let cfg = YcsbConfig { records: 500, ops: 500, threads: 1, value_size: 512 };
+    for kind in FsKind::COMPARED {
+        g.bench_with_input(BenchmarkId::new("loadA", kind.label()), &kind, |b, k| {
+            b.iter_batched(
+                || k.make(REGION),
+                |fs| {
+                    let kv = MiniKv::open(fs.as_ref(), "/db", KvOptions::default()).unwrap();
+                    ycsb::load(&kv, cfg).unwrap()
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        for wl in [Workload::A, Workload::C, Workload::F] {
+            g.bench_with_input(BenchmarkId::new(wl.label(), kind.label()), &kind, |b, k| {
+                let fs = k.make(REGION);
+                let kv = MiniKv::open(fs.as_ref(), "/db", KvOptions::default()).unwrap();
+                ycsb::load(&kv, cfg).unwrap();
+                b.iter(|| ycsb::run(&kv, wl, cfg));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ycsb);
+criterion_main!(benches);

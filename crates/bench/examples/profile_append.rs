@@ -1,0 +1,27 @@
+use simurgh_bench::FsKind;
+use simurgh_fsapi::{ProcCtx, OpenFlags, FileMode};
+use std::time::Instant;
+
+fn main() {
+    let ctx = ProcCtx::root(1);
+    for kind in [FsKind::Simurgh, FsKind::SplitFs, FsKind::Nova] {
+        let fs = kind.make(256 << 20);
+        let fd = fs.open(&ctx, "/wal", OpenFlags::APPEND, FileMode::default()).unwrap();
+        let rec = vec![7u8; 1060]; // YCSB-ish record
+        let n = 50_000;
+        let start = Instant::now();
+        for _ in 0..n {
+            fs.write(&ctx, fd, &rec).unwrap();
+        }
+        let el = start.elapsed();
+        println!("{:<10} append 1KB: {:>6.0} ns/op", kind.label(), el.as_nanos() as f64 / n as f64);
+        // open/close cost
+        fs.write_file(&ctx, "/probe", b"x").unwrap();
+        let start = Instant::now();
+        for _ in 0..20_000 {
+            let fd = fs.open(&ctx, "/probe", OpenFlags::RDONLY, FileMode::default()).unwrap();
+            fs.close(&ctx, fd).unwrap();
+        }
+        println!("{:<10} open+close: {:>6.0} ns/op", kind.label(), start.elapsed().as_nanos() as f64 / 20_000.0);
+    }
+}

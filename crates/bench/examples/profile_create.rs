@@ -1,0 +1,27 @@
+use std::sync::Arc;
+use std::time::Instant;
+use simurgh_core::{SimurghFs, SimurghConfig};
+use simurgh_fsapi::{FileSystem, ProcCtx, FileMode};
+
+fn main() {
+    let region = Arc::new(simurgh_pmem::PmemRegion::new(512 << 20));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).unwrap();
+    let ctx = ProcCtx::root(1);
+    fs.mkdir(&ctx, "/d", FileMode::dir(0o777)).unwrap();
+    let n = 100_000;
+    let start = Instant::now();
+    for i in 0..n {
+        let fd = fs.create(&ctx, &format!("/d/f{i}"), FileMode::default()).unwrap();
+        fs.close(&ctx, fd).unwrap();
+    }
+    let el = start.elapsed();
+    println!("create+close: {:.0} ns/op, {:.0} kops/s", el.as_nanos() as f64 / n as f64, n as f64 / el.as_secs_f64() / 1e3);
+
+    // stat cost
+    let start = Instant::now();
+    for i in 0..n {
+        fs.stat(&ctx, &format!("/d/f{i}")).unwrap();
+    }
+    let el = start.elapsed();
+    println!("stat: {:.0} ns/op", el.as_nanos() as f64 / n as f64);
+}

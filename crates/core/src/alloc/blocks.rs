@@ -1,0 +1,380 @@
+//! The segmented data-block allocator (§4.2 "Block allocation").
+//!
+//! The data area is divided into segments — the paper uses twice the number
+//! of CPU cores, after Hoard — each owning a contiguous block range with its
+//! own first-fit free list guarded by a [`TsLock`]. Threads pick a segment
+//! by hashing the owning inode's persistent pointer (placing blocks of the
+//! same file near each other and spreading files across segments) and
+//! simply move to the next segment when theirs is busy.
+//!
+//! The free lists are **volatile** shared state: they are rebuilt at mount
+//! by the mark-and-sweep scan, so block allocation itself never needs
+//! journaling.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use simurgh_pmem::layout::Extent;
+use simurgh_pmem::PPtr;
+
+use super::tslock::{Acquired, TsLock};
+use crate::BLOCK_SIZE;
+
+/// Default maximum lock-hold duration before a waiter presumes a crash.
+pub const DEFAULT_MAX_HOLD: Duration = Duration::from_millis(500);
+
+struct Segment {
+    lock: TsLock,
+    /// Sorted, coalesced `(first_block, count)` runs. Only accessed while
+    /// holding `lock` — the shared-DRAM discipline of the paper.
+    free: UnsafeCell<Vec<(u64, u64)>>,
+    free_blocks: AtomicU64,
+}
+
+// SAFETY: `free` is only touched under `lock`; see module docs.
+unsafe impl Sync for Segment {}
+
+/// The segmented block allocator over a data extent.
+pub struct BlockAlloc {
+    data_start: u64,
+    nblocks: u64,
+    blocks_per_seg: u64,
+    segments: Box<[Segment]>,
+    max_hold: Duration,
+}
+
+impl BlockAlloc {
+    /// An allocator over `data` with `nsegs` segments; all blocks free.
+    pub fn new(data: Extent, nsegs: usize) -> Self {
+        Self::rebuild(data, nsegs, |_| false)
+    }
+
+    /// Rebuilds free lists, skipping blocks for which `used` returns true —
+    /// the mount-time path fed by the mark phase of recovery.
+    pub fn rebuild(data: Extent, nsegs: usize, used: impl Fn(u64) -> bool) -> Self {
+        let nsegs = nsegs.max(1);
+        let data_start = data.start.align_up(BLOCK_SIZE as u64).off();
+        let nblocks = (data.start.off() + data.len - data_start) / BLOCK_SIZE as u64;
+        let blocks_per_seg = nblocks.div_ceil(nsegs as u64).max(1);
+        let mut segments = Vec::with_capacity(nsegs);
+        for s in 0..nsegs as u64 {
+            let first = s * blocks_per_seg;
+            let last = ((s + 1) * blocks_per_seg).min(nblocks);
+            let mut free = Vec::new();
+            let mut total = 0u64;
+            let mut run_start = None;
+            for b in first..last {
+                if used(b) {
+                    if let Some(rs) = run_start.take() {
+                        free.push((rs, b - rs));
+                        total += b - rs;
+                    }
+                } else if run_start.is_none() {
+                    run_start = Some(b);
+                }
+            }
+            if let Some(rs) = run_start {
+                free.push((rs, last - rs));
+                total += last - rs;
+            }
+            segments.push(Segment {
+                lock: TsLock::new(),
+                free: UnsafeCell::new(free),
+                free_blocks: AtomicU64::new(total),
+            });
+        }
+        BlockAlloc {
+            data_start,
+            nblocks,
+            blocks_per_seg,
+            segments: segments.into_boxed_slice(),
+            max_hold: DEFAULT_MAX_HOLD,
+        }
+    }
+
+    /// Total blocks managed.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.nblocks
+    }
+
+    /// Currently free blocks (racy snapshot).
+    pub fn free_blocks(&self) -> u64 {
+        self.segments.iter().map(|s| s.free_blocks.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of segments (diagnostics / ablation harness).
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Byte offset of block index `b`.
+    #[inline]
+    pub fn block_ptr(&self, b: u64) -> PPtr {
+        PPtr::new(self.data_start + b * BLOCK_SIZE as u64)
+    }
+
+    /// Block index of a byte offset inside the data area.
+    #[inline]
+    pub fn ptr_block(&self, p: PPtr) -> u64 {
+        debug_assert!(p.off() >= self.data_start);
+        (p.off() - self.data_start) / BLOCK_SIZE as u64
+    }
+
+    /// Whether `p` lies inside the managed data area (recovery validation).
+    pub fn contains(&self, p: PPtr) -> bool {
+        p.off() >= self.data_start && p.off() < self.data_start + self.nblocks * BLOCK_SIZE as u64
+    }
+
+    fn seg_of_block(&self, b: u64) -> usize {
+        ((b / self.blocks_per_seg) as usize).min(self.segments.len() - 1)
+    }
+
+    /// Allocates `count` contiguous blocks. `hint` selects the starting
+    /// segment (the file-system passes the inode pointer); busy segments
+    /// are skipped, as in the paper.
+    pub fn alloc(&self, hint: u64, count: u64) -> Option<PPtr> {
+        debug_assert!(count > 0);
+        let n = self.segments.len();
+        let start = (hint as usize) % n;
+        // Pass 1: opportunistic, skip busy segments.
+        for i in 0..n {
+            let seg = &self.segments[(start + i) % n];
+            if let Some(guard) = seg.lock.try_acquire() {
+                let got = self.take_first_fit(seg, count);
+                drop(guard);
+                if got.is_some() {
+                    return got.map(|b| self.block_ptr(b));
+                }
+            }
+        }
+        // Pass 2: blocking, so allocation only fails when space is truly out.
+        for i in 0..n {
+            let seg = &self.segments[(start + i) % n];
+            let (guard, how) = seg.lock.acquire(self.max_hold);
+            if how == Acquired::Stolen {
+                self.repair(seg);
+            }
+            let got = self.take_first_fit(seg, count);
+            drop(guard);
+            if got.is_some() {
+                return got.map(|b| self.block_ptr(b));
+            }
+        }
+        None
+    }
+
+    /// Frees `count` blocks starting at `p` back to their owning segment,
+    /// coalescing with neighbours.
+    pub fn free(&self, p: PPtr, count: u64) {
+        debug_assert!(count > 0);
+        let b = self.ptr_block(p);
+        let seg = &self.segments[self.seg_of_block(b)];
+        let (guard, how) = seg.lock.acquire(self.max_hold);
+        if how == Acquired::Stolen {
+            self.repair(seg);
+        }
+        // SAFETY: lock held.
+        let free = unsafe { &mut *seg.free.get() };
+        let idx = free.partition_point(|&(s, _)| s < b);
+        // Coalesce with predecessor and/or successor.
+        let merged_prev = idx > 0 && free[idx - 1].0 + free[idx - 1].1 == b;
+        let merged_next = idx < free.len() && b + count == free[idx].0;
+        match (merged_prev, merged_next) {
+            (true, true) => {
+                free[idx - 1].1 += count + free[idx].1;
+                free.remove(idx);
+            }
+            (true, false) => free[idx - 1].1 += count,
+            (false, true) => {
+                free[idx].0 = b;
+                free[idx].1 += count;
+            }
+            (false, false) => free.insert(idx, (b, count)),
+        }
+        seg.free_blocks.fetch_add(count, Ordering::Relaxed);
+        drop(guard);
+    }
+
+    fn take_first_fit(&self, seg: &Segment, count: u64) -> Option<u64> {
+        // SAFETY: caller holds seg.lock.
+        let free = unsafe { &mut *seg.free.get() };
+        let idx = free.iter().position(|&(_, len)| len >= count)?;
+        let (start, len) = free[idx];
+        if len == count {
+            free.remove(idx);
+        } else {
+            free[idx] = (start + count, len - count);
+        }
+        seg.free_blocks.fetch_sub(count, Ordering::Relaxed);
+        Some(start)
+    }
+
+    /// Repairs a segment free list after a stolen lock: re-sorts and merges
+    /// overlapping runs so a half-completed update cannot double-allocate.
+    fn repair(&self, seg: &Segment) {
+        // SAFETY: caller holds seg.lock.
+        let free = unsafe { &mut *seg.free.get() };
+        free.sort_unstable();
+        let mut repaired: Vec<(u64, u64)> = Vec::with_capacity(free.len());
+        for &(s, l) in free.iter() {
+            if let Some(last) = repaired.last_mut() {
+                if s <= last.0 + last.1 {
+                    let end = (s + l).max(last.0 + last.1);
+                    last.1 = end - last.0;
+                    continue;
+                }
+            }
+            repaired.push((s, l));
+        }
+        let total: u64 = repaired.iter().map(|&(_, l)| l).sum();
+        *free = repaired;
+        seg.free_blocks.store(total, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent(bytes: u64) -> Extent {
+        Extent { start: PPtr::new(1 << 16), len: bytes }
+    }
+
+    fn alloc_with(bytes: u64, nsegs: usize) -> BlockAlloc {
+        BlockAlloc::new(extent(bytes), nsegs)
+    }
+
+    #[test]
+    fn capacity_accounts_alignment() {
+        let a = alloc_with(40 * 4096, 4);
+        assert_eq!(a.capacity_blocks(), 40);
+        assert_eq!(a.free_blocks(), 40);
+        assert_eq!(a.segments(), 4);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let a = alloc_with(64 * 4096, 2);
+        let p = a.alloc(0, 4).unwrap();
+        assert!(p.is_aligned(4096));
+        assert!(a.contains(p));
+        assert_eq!(a.free_blocks(), 60);
+        a.free(p, 4);
+        assert_eq!(a.free_blocks(), 64);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let a = alloc_with(8 * 4096, 2);
+        let mut got = Vec::new();
+        while let Some(p) = a.alloc(0, 1) {
+            got.push(p);
+        }
+        assert_eq!(got.len(), 8);
+        assert_eq!(a.free_blocks(), 0);
+        assert!(a.alloc(0, 1).is_none());
+        for p in got {
+            a.free(p, 1);
+        }
+        assert_eq!(a.free_blocks(), 8);
+    }
+
+    #[test]
+    fn contiguous_requests_respect_fragmentation() {
+        // One segment so we control the layout precisely.
+        let a = alloc_with(8 * 4096, 1);
+        let p0 = a.alloc(0, 3).unwrap();
+        let _p1 = a.alloc(0, 3).unwrap();
+        a.free(p0, 3);
+        // 3 free at the front, 2 free at the back: a 4-block request must fail.
+        assert_eq!(a.free_blocks(), 5);
+        assert!(a.alloc(0, 4).is_none());
+        assert!(a.alloc(0, 3).is_some());
+    }
+
+    #[test]
+    fn coalescing_merges_all_neighbours() {
+        let a = alloc_with(6 * 4096, 1);
+        let p = a.alloc(0, 6).unwrap();
+        let b = a.ptr_block(p);
+        // Free middle, then left, then right: ends fully merged.
+        a.free(a.block_ptr(b + 2), 2);
+        a.free(a.block_ptr(b), 2);
+        a.free(a.block_ptr(b + 4), 2);
+        assert_eq!(a.free_blocks(), 6);
+        assert!(a.alloc(0, 6).is_some(), "coalesced back to one run");
+    }
+
+    #[test]
+    fn rebuild_skips_used_blocks() {
+        let a = BlockAlloc::rebuild(extent(16 * 4096), 2, |b| b % 2 == 0);
+        assert_eq!(a.free_blocks(), 8);
+        // Only single blocks available (every other block used).
+        assert!(a.alloc(0, 2).is_none());
+        assert!(a.alloc(0, 1).is_some());
+    }
+
+    #[test]
+    fn hint_spreads_across_segments() {
+        let a = alloc_with(400 * 4096, 4);
+        let p0 = a.alloc(0, 1).unwrap();
+        let p1 = a.alloc(1, 1).unwrap();
+        let p2 = a.alloc(2, 1).unwrap();
+        let s0 = a.seg_of_block(a.ptr_block(p0));
+        let s1 = a.seg_of_block(a.ptr_block(p1));
+        let s2 = a.seg_of_block(a.ptr_block(p2));
+        assert!(s0 != s1 || s1 != s2, "different hints land in different segments");
+    }
+
+    #[test]
+    fn concurrent_alloc_free_is_consistent() {
+        let a = std::sync::Arc::new(alloc_with(512 * 4096, 4));
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let a = &a;
+                s.spawn(move |_| {
+                    let mut held = Vec::new();
+                    for i in 0..200 {
+                        if let Some(p) = a.alloc(t * 7 + i, 1) {
+                            held.push(p);
+                        }
+                        if i % 3 == 0 {
+                            if let Some(p) = held.pop() {
+                                a.free(p, 1);
+                            }
+                        }
+                    }
+                    for p in held {
+                        a.free(p, 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(a.free_blocks(), 512);
+        // All blocks coalesce back: one full-range allocation succeeds.
+        assert!(a.alloc(0, 128).is_some());
+    }
+
+    #[test]
+    fn no_double_allocation_under_contention() {
+        let a = std::sync::Arc::new(alloc_with(256 * 4096, 4));
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let a = &a;
+                let seen = &seen;
+                s.spawn(move |_| {
+                    for i in 0..60 {
+                        if let Some(p) = a.alloc(t + i, 1) {
+                            assert!(seen.lock().insert(p.off()), "double allocation at {p}");
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(seen.lock().len(), 240);
+    }
+}

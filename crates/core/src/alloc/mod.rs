@@ -1,0 +1,12 @@
+//! Simurgh's two allocators (§4.2): the segmented data-**block** allocator
+//! and the slab-style **metadata-object** allocator, plus the
+//! timestamp-stamped busy-wait lock they share for crash-detectable mutual
+//! exclusion.
+
+pub mod blocks;
+pub mod meta;
+pub mod tslock;
+
+pub use blocks::BlockAlloc;
+pub use meta::MetaAllocator;
+pub use tslock::{Acquired, TsGuard, TsLock};

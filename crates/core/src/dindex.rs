@@ -1,0 +1,234 @@
+//! The shared-DRAM directory index.
+//!
+//! Simurgh's memory layout (paper Fig. 3) pairs the persistent NVMM region
+//! with a *shared DRAM* area holding volatile metadata — the allocator
+//! free lists and friends — that every process maps and that is rebuilt at
+//! mount ("the recovery [is] split into two parts: scanning and repairing
+//! the persistent data, and rebuilding the shared memory data structures",
+//! artifact appendix). This module is that shared-DRAM structure for
+//! directories: a hash index from `(directory, name-hash)` to the file
+//! entry's persistent pointer, plus per-line insertion hints.
+//!
+//! The persistent hash-block chains remain the ground truth — the index is
+//! never required for correctness. Lookups verify every hit against the
+//! persistent entry (valid bit + name compare) and fall back to the chain
+//! walk whenever a directory is not marked fully indexed (e.g. right after
+//! a decentralized line repair). What the index buys is O(1) lookup and
+//! insertion independent of directory size, where the raw chain costs one
+//! probe per chained block.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::RwLock;
+use simurgh_pmem::PPtr;
+
+const SHARDS: usize = 32;
+
+/// `(dir, fnv64(name))` → `(file-entry pointer, containing block)`.
+type EntryShard = RwLock<HashMap<(u64, u64), (u64, u64)>>;
+
+/// Volatile per-mount directory index. Directories are keyed by the
+/// persistent pointer of their first hash block.
+pub struct DirIndex {
+    entries: Vec<EntryShard>,
+    /// `(dir, line)` → a block known to have a free slot at `line`
+    /// (set by deletes, consumed by the next insert on that line).
+    free_hints: Vec<RwLock<HashMap<(u64, u32), u64>>>,
+    /// Directories whose index is complete: a miss is authoritative.
+    complete: RwLock<HashSet<u64>>,
+    /// Per-directory chain tail (avoids walking the chain to extend it).
+    tails: RwLock<HashMap<u64, u64>>,
+}
+
+impl Default for DirIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of an index lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexHit {
+    /// The name maps to this candidate `(entry, block)` (caller verifies).
+    Found(PPtr, PPtr),
+    /// The directory is fully indexed and the name is not present.
+    AbsentForSure,
+    /// The index cannot answer; walk the persistent chain.
+    Unknown,
+}
+
+impl DirIndex {
+    pub fn new() -> Self {
+        DirIndex {
+            entries: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            free_hints: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            complete: RwLock::new(HashSet::new()),
+            tails: RwLock::new(HashMap::new()),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, h: u64) -> usize {
+        (h as usize ^ (h >> 32) as usize) % SHARDS
+    }
+
+    /// Looks up `(dir, name-hash)`.
+    pub fn lookup(&self, dir: PPtr, nhash: u64) -> IndexHit {
+        let shard = &self.entries[self.shard(nhash)];
+        if let Some(&(fe, blk)) = shard.read().get(&(dir.off(), nhash)) {
+            return IndexHit::Found(PPtr::new(fe), PPtr::new(blk));
+        }
+        if self.complete.read().contains(&dir.off()) {
+            IndexHit::AbsentForSure
+        } else {
+            IndexHit::Unknown
+        }
+    }
+
+    /// Records a published entry and the block whose line slot holds it.
+    pub fn insert(&self, dir: PPtr, nhash: u64, fe: PPtr, block: PPtr) {
+        self.entries[self.shard(nhash)]
+            .write()
+            .insert((dir.off(), nhash), (fe.off(), block.off()));
+    }
+
+    /// Removes an entry.
+    pub fn remove(&self, dir: PPtr, nhash: u64) {
+        self.entries[self.shard(nhash)].write().remove(&(dir.off(), nhash));
+    }
+
+    /// Marks a directory as fully indexed (fresh mkdir, or after a rebuild
+    /// scan); misses become authoritative.
+    pub fn mark_complete(&self, dir: PPtr) {
+        self.complete.write().insert(dir.off());
+    }
+
+    /// Drops a directory's completeness (decentralized repair touched it);
+    /// its entries stay as verified-on-read hints.
+    pub fn mark_incomplete(&self, dir: PPtr) {
+        self.complete.write().remove(&dir.off());
+    }
+
+    /// Whether misses on this directory are authoritative.
+    pub fn is_complete(&self, dir: PPtr) -> bool {
+        self.complete.read().contains(&dir.off())
+    }
+
+    /// Forgets everything about a directory (rmdir).
+    pub fn forget_dir(&self, dir: PPtr) {
+        self.mark_incomplete(dir);
+        self.tails.write().remove(&dir.off());
+        for shard in &self.entries {
+            shard.write().retain(|(d, _), _| *d != dir.off());
+        }
+        for shard in &self.free_hints {
+            shard.write().retain(|(d, _), _| *d != dir.off());
+        }
+    }
+
+    /// A block known to have a free slot at `(dir, line)`, if any.
+    pub fn take_free_hint(&self, dir: PPtr, line: usize) -> Option<PPtr> {
+        self.free_hints[self.shard(line as u64)]
+            .write()
+            .remove(&(dir.off(), line as u32))
+            .map(PPtr::new)
+    }
+
+    /// Remembers that `block` has a free slot at `(dir, line)`.
+    pub fn put_free_hint(&self, dir: PPtr, line: usize, block: PPtr) {
+        self.free_hints[self.shard(line as u64)]
+            .write()
+            .insert((dir.off(), line as u32), block.off());
+    }
+
+    /// Forgets references to one reclaimed chain block: resets the tail to
+    /// the first block and drops free hints pointing at it. Entries never
+    /// reference an empty block, so they are untouched.
+    pub fn forget_block(&self, dir: PPtr, block: PPtr, first: PPtr) {
+        {
+            let mut tails = self.tails.write();
+            if tails.get(&dir.off()) == Some(&block.off()) {
+                tails.insert(dir.off(), first.off());
+            }
+        }
+        for shard in &self.free_hints {
+            shard.write().retain(|(d, _), b| *d != dir.off() || *b != block.off());
+        }
+    }
+
+    /// The chain tail of `dir`, if known.
+    pub fn tail(&self, dir: PPtr) -> Option<PPtr> {
+        self.tails.read().get(&dir.off()).copied().map(PPtr::new)
+    }
+
+    /// Updates the chain tail of `dir`.
+    pub fn set_tail(&self, dir: PPtr, tail: PPtr) {
+        self.tails.write().insert(dir.off(), tail.off());
+    }
+
+    /// Number of indexed entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_states() {
+        let ix = DirIndex::new();
+        let dir = PPtr::new(4096);
+        assert_eq!(ix.lookup(dir, 7), IndexHit::Unknown);
+        ix.mark_complete(dir);
+        assert_eq!(ix.lookup(dir, 7), IndexHit::AbsentForSure);
+        ix.insert(dir, 7, PPtr::new(8192), PPtr::new(12288));
+        assert_eq!(ix.lookup(dir, 7), IndexHit::Found(PPtr::new(8192), PPtr::new(12288)));
+        ix.remove(dir, 7);
+        assert_eq!(ix.lookup(dir, 7), IndexHit::AbsentForSure);
+        ix.mark_incomplete(dir);
+        assert_eq!(ix.lookup(dir, 7), IndexHit::Unknown);
+    }
+
+    #[test]
+    fn forget_dir_clears_everything() {
+        let ix = DirIndex::new();
+        let a = PPtr::new(4096);
+        let b = PPtr::new(8192);
+        ix.mark_complete(a);
+        ix.mark_complete(b);
+        ix.insert(a, 1, PPtr::new(100), PPtr::new(1));
+        ix.insert(b, 1, PPtr::new(200), PPtr::new(2));
+        ix.put_free_hint(a, 3, PPtr::new(300));
+        ix.set_tail(a, PPtr::new(400));
+        ix.forget_dir(a);
+        assert_eq!(ix.lookup(a, 1), IndexHit::Unknown);
+        assert_eq!(ix.lookup(b, 1), IndexHit::Found(PPtr::new(200), PPtr::new(2)));
+        assert_eq!(ix.take_free_hint(a, 3), None);
+        assert_eq!(ix.tail(a), None);
+    }
+
+    #[test]
+    fn free_hints_are_consumed_once() {
+        let ix = DirIndex::new();
+        let dir = PPtr::new(4096);
+        ix.put_free_hint(dir, 9, PPtr::new(555));
+        assert_eq!(ix.take_free_hint(dir, 9), Some(PPtr::new(555)));
+        assert_eq!(ix.take_free_hint(dir, 9), None);
+    }
+
+    #[test]
+    fn tails_update() {
+        let ix = DirIndex::new();
+        let dir = PPtr::new(4096);
+        assert_eq!(ix.tail(dir), None);
+        ix.set_tail(dir, PPtr::new(1));
+        ix.set_tail(dir, PPtr::new(2));
+        assert_eq!(ix.tail(dir), Some(PPtr::new(2)));
+    }
+}

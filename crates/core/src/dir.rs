@@ -1,0 +1,965 @@
+//! Directory operations over chained hash blocks (§4.3, Fig. 5).
+//!
+//! A directory is a chain of [`DirBlock`]s; a name hashes to a *line*, and
+//! each block contributes one slot per line. Writers serialize per line via
+//! the busy flags in the first block; readers are lock-free and rely on the
+//! valid/dirty object headers to skip entries whose operation is in flight.
+//!
+//! Every mutating protocol follows the exact persist-step order of Fig. 5,
+//! and every intermediate state maps to a unique repair action implemented
+//! in [`repair_line`] — which is invoked both by mount-time recovery and,
+//! decentralized as in the paper, by any process that times out waiting on
+//! a busy flag (the previous holder is presumed crashed).
+
+use std::time::{Duration, Instant};
+
+use simurgh_fsapi::types::FileType;
+use simurgh_fsapi::{FsError, FsResult};
+use simurgh_pmem::{PPtr, PmemRegion};
+
+use crate::alloc::MetaAllocator;
+use crate::dindex::{DirIndex, IndexHit};
+use crate::hash::{dir_line, fnv1a};
+use crate::obj::dirblock::{logop, DirBlock, RenameLog, DF_RENAME, NLINES};
+use crate::obj::fentry::FileEntry;
+use crate::obj::{self, Tag};
+use crate::super_block::PoolKind;
+
+/// Default busy-flag wait before a waiter presumes the holder crashed and
+/// repairs the line itself.
+pub const DEFAULT_LINE_MAX_HOLD: Duration = Duration::from_millis(200);
+
+/// Shared context for directory operations.
+#[derive(Clone, Copy)]
+pub struct DirEnv<'a> {
+    pub region: &'a PmemRegion,
+    pub meta: &'a MetaAllocator,
+    /// Busy-flag hold limit for crash detection.
+    pub max_hold: Duration,
+    /// Optional shared-DRAM directory index (see [`crate::dindex`]).
+    pub index: Option<&'a DirIndex>,
+}
+
+impl<'a> DirEnv<'a> {
+    pub fn new(region: &'a PmemRegion, meta: &'a MetaAllocator) -> Self {
+        DirEnv { region, meta, max_hold: DEFAULT_LINE_MAX_HOLD, index: None }
+    }
+
+    /// Attaches the shared-DRAM index.
+    pub fn with_index(mut self, index: &'a DirIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+}
+
+/// RAII guard over one busy line of a directory.
+pub struct LineGuard<'a> {
+    region: &'a PmemRegion,
+    first: DirBlock,
+    line: usize,
+}
+
+impl Drop for LineGuard<'_> {
+    fn drop(&mut self) {
+        self.first.release_busy(self.region, self.line);
+    }
+}
+
+/// Acquires the busy flag of `line`, running crash recovery on timeout.
+pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuard<'a> {
+    let start = Instant::now();
+    let mut spins = 0u32;
+    loop {
+        if first.try_busy(env.region, line) {
+            return LineGuard { region: env.region, first, line };
+        }
+        if start.elapsed() > env.max_hold {
+            // Presumed-crashed holder: repair the line, then force-release
+            // the flag so everyone can progress (paper §4.3 crash recovery).
+            repair_line(env, first, line);
+            first.release_busy(env.region, line);
+        }
+        std::hint::spin_loop();
+        spins += 1;
+        if spins % 64 == 0 {
+            // The paper's busy-wait assumes a core per process; on
+            // oversubscribed hosts, give the holder a chance to run.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Orders two line locks to avoid deadlock between multi-line operations.
+fn lock_two<'a>(
+    env: &DirEnv<'a>,
+    a: (DirBlock, usize),
+    b: (DirBlock, usize),
+) -> (LineGuard<'a>, Option<LineGuard<'a>>) {
+    if a.0 == b.0 && a.1 == b.1 {
+        return (lock_line(env, a.0, a.1), None);
+    }
+    let key = |(d, l): (DirBlock, usize)| (d.ptr().off(), l);
+    if key(a) <= key(b) {
+        let ga = lock_line(env, a.0, a.1);
+        let gb = lock_line(env, b.0, b.1);
+        (ga, Some(gb))
+    } else {
+        let gb = lock_line(env, b.0, b.1);
+        let ga = lock_line(env, a.0, a.1);
+        (ga, Some(gb))
+    }
+}
+
+/// Iterates the block chain of a directory.
+pub fn chain(region: &PmemRegion, first: DirBlock) -> impl Iterator<Item = DirBlock> + '_ {
+    let mut cur = Some(first);
+    std::iter::from_fn(move || {
+        let blk = cur?;
+        let next = blk.next(region);
+        cur = if next.is_null() { None } else { Some(DirBlock(next)) };
+        Some(blk)
+    })
+}
+
+/// Whether a published slot holds a *live* entry with this name.
+fn live_match(region: &PmemRegion, slot: PPtr, name: &str) -> bool {
+    let h = obj::header(region, slot);
+    obj::is_valid(h)
+        && Tag::from_header(h) == Some(Tag::FileEntry)
+        && FileEntry(slot).name_eq(region, name)
+}
+
+/// Lock-free lookup of `name`. Entries being deleted (valid bit clear) are
+/// skipped; entries being created (dirty but valid) are visible, matching
+/// the paper's "published once the hash-line pointer is persisted" point.
+pub fn lookup(env: &DirEnv<'_>, first: DirBlock, name: &str) -> Option<FileEntry> {
+    find_entry(env, first, dir_line(name, NLINES), name).map(|(_, fe)| fe)
+}
+
+/// Finds the `(block, entry)` holding a live `name` at `line`.
+fn find_entry(
+    env: &DirEnv<'_>,
+    first: DirBlock,
+    line: usize,
+    name: &str,
+) -> Option<(DirBlock, FileEntry)> {
+    if let Some(ix) = env.index {
+        match ix.lookup(first.ptr(), fnv1a(name.as_bytes())) {
+            IndexHit::Found(fe, blk) => {
+                // Verify against the persistent truth (the index is a hint).
+                if env.region.in_bounds(blk.add(8), 8)
+                    && DirBlock(blk).line(env.region, line) == fe
+                    && live_match(env.region, fe, name)
+                {
+                    return Some((DirBlock(blk), FileEntry(fe)));
+                }
+                // Stale hint: fall through to the chain walk.
+            }
+            IndexHit::AbsentForSure => return None,
+            IndexHit::Unknown => {}
+        }
+    }
+    for blk in chain(env.region, first) {
+        let slot = blk.line(env.region, line);
+        if !slot.is_null() && live_match(env.region, slot, name) {
+            if let Some(ix) = env.index {
+                ix.insert(first.ptr(), fnv1a(name.as_bytes()), slot, blk.ptr());
+            }
+            return Some((blk, FileEntry(slot)));
+        }
+    }
+    None
+}
+
+/// Finds a block with a free slot at `line`, extending the chain with a new
+/// hash block if necessary (Fig. 5a steps 3–4). Returns the block and
+/// whether it was newly allocated (its dirty bit is still set).
+fn find_or_extend_slot(
+    env: &DirEnv<'_>,
+    first: DirBlock,
+    line: usize,
+) -> FsResult<(DirBlock, bool)> {
+    // A delete may have recorded a free slot for this line.
+    if let Some(ix) = env.index {
+        if let Some(hint) = ix.take_free_hint(first.ptr(), line) {
+            if env.region.in_bounds(hint.add(8), 8) {
+                let blk = DirBlock(hint);
+                if blk.line(env.region, line).is_null() {
+                    return Ok((blk, false));
+                }
+            }
+        }
+    }
+    // Start from the known chain tail when the index has one; slots before
+    // it at this line are occupied or will be reused via free hints.
+    let start = env
+        .index
+        .and_then(|ix| ix.tail(first.ptr()))
+        .filter(|t| env.region.in_bounds(t.add(8), 8))
+        .map(DirBlock)
+        .unwrap_or(first);
+    let mut last = start;
+    for blk in chain(env.region, start) {
+        if blk.line(env.region, line).is_null() {
+            return Ok((blk, false));
+        }
+        last = blk;
+    }
+    let nb = env.meta.alloc(PoolKind::DirBlock)?;
+    let nblk = DirBlock(nb);
+    nblk.init(env.region, false);
+    last.set_next(env.region, nb);
+    if let Some(ix) = env.index {
+        ix.set_tail(first.ptr(), nb);
+    }
+    Ok((nblk, true))
+}
+
+/// Creates a directory entry: Fig. 5a steps 2–6 (step 1, inode creation, is
+/// the caller's; the inode arrives persisted but still dirty and this
+/// function clears its dirty bit last).
+pub fn insert(
+    env: &DirEnv<'_>,
+    first: DirBlock,
+    name: &str,
+    ftype: FileType,
+    inode: PPtr,
+) -> FsResult<FileEntry> {
+    let line = dir_line(name, NLINES);
+    let _busy = lock_line(env, first, line); // step 3
+    if find_entry(env, first, line, name).is_some() {
+        return Err(FsError::Exists);
+    }
+    // Step 2: create and persist the file entry (allocated valid|dirty).
+    let fe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
+    let fe = FileEntry(fe_ptr);
+    fe.init(env.region, name, ftype, inode);
+    env.region.persist(fe_ptr, crate::obj::fentry::FENTRY_SIZE as usize);
+    // Steps 3–4: find (or chain) a block with a free slot at this line.
+    let (blk, fresh_block) = match find_or_extend_slot(env, first, line) {
+        Ok(v) => v,
+        Err(e) => {
+            env.meta.free(PoolKind::FileEntry, fe_ptr);
+            return Err(e);
+        }
+    };
+    // Step 5: publish & persist the pointer — the commit point.
+    blk.set_line(env.region, line, fe_ptr);
+    if let Some(ix) = env.index {
+        ix.insert(first.ptr(), fnv1a(name.as_bytes()), fe_ptr, blk.ptr());
+    }
+    // Step 6: clear dirty bits (new block, file entry, then inode).
+    if fresh_block {
+        obj::clear_dirty(env.region, blk.ptr());
+    }
+    obj::clear_dirty(env.region, fe_ptr);
+    if !inode.is_null() {
+        obj::clear_dirty(env.region, inode);
+    }
+    Ok(fe)
+}
+
+/// Removes `name`: Fig. 5b. `dispose_inode` runs at step 3 (between the
+/// entry's invalidation and its zeroing) and is where the caller drops the
+/// inode's link count / frees the inode and data.
+pub fn remove(
+    env: &DirEnv<'_>,
+    first: DirBlock,
+    name: &str,
+    dispose_inode: impl FnOnce(FileEntry),
+) -> FsResult<()> {
+    let line = dir_line(name, NLINES);
+    let _busy = lock_line(env, first, line); // step 1
+    let Some((blk, fe)) = find_entry(env, first, line, name) else {
+        return Err(FsError::NotFound);
+    };
+    // Step 2: unset valid, set dirty on the file entry.
+    obj::invalidate(env.region, fe.ptr());
+    // Step 3: dispose of the inode (zeroed via the metadata allocator when
+    // its link count reaches zero).
+    dispose_inode(fe);
+    // Step 4: zero the file entry (persistently; not yet re-allocatable).
+    env.meta.free_no_recycle(PoolKind::FileEntry, fe.ptr());
+    // Step 5: zero the pointer in the hash block.
+    blk.set_line(env.region, line, PPtr::NULL);
+    if let Some(ix) = env.index {
+        ix.remove(first.ptr(), fnv1a(name.as_bytes()));
+        ix.put_free_hint(first.ptr(), line, blk.ptr());
+    }
+    // Only now may other processes re-allocate the entry object.
+    env.meta.recycle(PoolKind::FileEntry, fe.ptr());
+    // Step 6 (optional): free the block if it became empty.
+    maybe_reclaim_block(env, first, blk, line);
+    Ok(())
+}
+
+/// Frees a non-first chain block whose slots are all empty. Safe only if we
+/// can take every line of the directory non-blockingly (other lines may be
+/// mutated by concurrent holders); gives up on any contention — the paper
+/// marks this step optional, and the mount sweep reclaims stragglers.
+fn maybe_reclaim_block(env: &DirEnv<'_>, first: DirBlock, blk: DirBlock, held_line: usize) {
+    if blk == first {
+        return;
+    }
+    for l in 0..NLINES {
+        if !blk.line(env.region, l).is_null() {
+            return;
+        }
+    }
+    // Try to freeze the whole directory.
+    let mut held = Vec::with_capacity(NLINES - 1);
+    for l in 0..NLINES {
+        if l == held_line {
+            continue;
+        }
+        if first.try_busy(env.region, l) {
+            held.push(l);
+        } else {
+            for h in held {
+                first.release_busy(env.region, h);
+            }
+            return;
+        }
+    }
+    // Re-check emptiness now that the directory is frozen, then unlink.
+    let empty = (0..NLINES).all(|l| blk.line(env.region, l).is_null());
+    if empty {
+        if let Some(prev) = chain(env.region, first).find(|b| b.next(env.region) == blk.ptr()) {
+            prev.set_next(env.region, blk.next(env.region));
+            env.meta.free(PoolKind::DirBlock, blk.ptr());
+            if let Some(ix) = env.index {
+                ix.forget_block(first.ptr(), blk.ptr(), first.ptr());
+            }
+        }
+    }
+    for h in held {
+        first.release_busy(env.region, h);
+    }
+}
+
+/// Renames within one directory: Fig. 5c. A replaced target entry is handed
+/// to `dispose_replaced` so the caller can drop its inode.
+pub fn rename_same_dir(
+    env: &DirEnv<'_>,
+    first: DirBlock,
+    old_name: &str,
+    new_name: &str,
+    dispose_replaced: impl FnOnce(FileEntry),
+) -> FsResult<()> {
+    let old_line = dir_line(old_name, NLINES);
+    let new_line = dir_line(new_name, NLINES);
+    let (_g1, _g2) = lock_two(env, (first, old_line), (first, new_line)); // steps 3–4
+    let Some((old_blk, old_fe)) = find_entry(env, first, old_line, old_name) else {
+        return Err(FsError::NotFound);
+    };
+    if old_name == new_name {
+        return Ok(());
+    }
+    let inode = old_fe.inode(env.region);
+    let ftype = old_fe.ftype(env.region);
+    // Replace semantics: a live target is deleted under the same lock.
+    let replaced = find_entry(env, first, new_line, new_name);
+    // Steps 1–2: shadow entry pointing at the same inode.
+    let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
+    let nfe = FileEntry(nfe_ptr);
+    nfe.init(env.region, new_name, ftype, inode);
+    env.region.persist(nfe_ptr, crate::obj::fentry::FENTRY_SIZE as usize);
+    // Step 3: mark the directory as rename-in-progress.
+    first.set_flag(env.region, DF_RENAME);
+    // Step 5: point the old line at the new entry — the hash mismatch is the
+    // recoverable inconsistency the paper exploits.
+    old_blk.set_line(env.region, old_line, nfe_ptr);
+    // Step 6: the old entry object is no longer needed.
+    obj::invalidate(env.region, old_fe.ptr());
+    env.meta.free_no_recycle(PoolKind::FileEntry, old_fe.ptr());
+    // Step 7: publish the entry at its correct line.
+    if let Some((rblk, rfe)) = replaced {
+        obj::invalidate(env.region, rfe.ptr());
+        dispose_replaced(rfe);
+        env.meta.free_no_recycle(PoolKind::FileEntry, rfe.ptr());
+        rblk.set_line(env.region, new_line, nfe_ptr);
+        env.meta.recycle(PoolKind::FileEntry, rfe.ptr());
+        if let Some(ix) = env.index {
+            ix.insert(first.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
+        }
+    } else {
+        let (nblk, fresh) = find_or_extend_slot(env, first, new_line)?;
+        nblk.set_line(env.region, new_line, nfe_ptr);
+        if fresh {
+            obj::clear_dirty(env.region, nblk.ptr());
+        }
+        if let Some(ix) = env.index {
+            ix.insert(first.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, nblk.ptr());
+        }
+    }
+    // Step 8: remove the mismatched pointer from the old line.
+    old_blk.set_line(env.region, old_line, PPtr::NULL);
+    env.meta.recycle(PoolKind::FileEntry, old_fe.ptr());
+    obj::clear_dirty(env.region, nfe_ptr);
+    first.clear_flag(env.region, DF_RENAME);
+    if let Some(ix) = env.index {
+        ix.remove(first.ptr(), fnv1a(old_name.as_bytes()));
+        ix.put_free_hint(first.ptr(), old_line, old_blk.ptr());
+    }
+    Ok(())
+}
+
+/// Cross-directory rename, journaled through the source directory's log
+/// entry (§4.3 "Cross directory renames").
+pub fn rename_cross_dir(
+    env: &DirEnv<'_>,
+    src: DirBlock,
+    old_name: &str,
+    dst: DirBlock,
+    new_name: &str,
+    dispose_replaced: impl FnOnce(FileEntry),
+) -> FsResult<()> {
+    let old_line = dir_line(old_name, NLINES);
+    let new_line = dir_line(new_name, NLINES);
+    // Step 3 (locks) taken up front; ordered by (dir, line) to avoid
+    // deadlock with the reverse rename.
+    let (_g1, _g2) = lock_two(env, (src, old_line), (dst, new_line));
+    let Some((old_blk, old_fe)) = find_entry(env, src, old_line, old_name) else {
+        return Err(FsError::NotFound);
+    };
+    let inode = old_fe.inode(env.region);
+    let ftype = old_fe.ftype(env.region);
+    let replaced = find_entry(env, dst, new_line, new_name);
+    // New entry for the destination directory.
+    let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
+    let nfe = FileEntry(nfe_ptr);
+    nfe.init(env.region, new_name, ftype, inode);
+    env.region.persist(nfe_ptr, crate::obj::fentry::FENTRY_SIZE as usize);
+    // Steps 1–2: arm the log in the source directory and set its dirty flag.
+    src.write_log(
+        env.region,
+        &RenameLog {
+            op: logop::CROSS_RENAME,
+            src_dir: src.ptr().off(),
+            dst_dir: dst.ptr().off(),
+            inode: inode.off(),
+            old_fentry: old_fe.ptr().off(),
+            new_fentry: nfe_ptr.off(),
+            old_line: old_line as u64,
+            new_line: new_line as u64,
+        },
+    );
+    src.set_flag(env.region, DF_RENAME);
+    // Step 4: perform the operation — publish at destination, then retire
+    // the source entry.
+    if let Some((rblk, rfe)) = replaced {
+        obj::invalidate(env.region, rfe.ptr());
+        dispose_replaced(rfe);
+        env.meta.free_no_recycle(PoolKind::FileEntry, rfe.ptr());
+        rblk.set_line(env.region, new_line, nfe_ptr);
+        env.meta.recycle(PoolKind::FileEntry, rfe.ptr());
+        if let Some(ix) = env.index {
+            ix.insert(dst.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
+        }
+    } else {
+        let (nblk, fresh) = find_or_extend_slot(env, dst, new_line)?;
+        nblk.set_line(env.region, new_line, nfe_ptr);
+        if fresh {
+            obj::clear_dirty(env.region, nblk.ptr());
+        }
+        if let Some(ix) = env.index {
+            ix.insert(dst.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, nblk.ptr());
+        }
+    }
+    obj::clear_dirty(env.region, nfe_ptr);
+    obj::invalidate(env.region, old_fe.ptr());
+    env.meta.free_no_recycle(PoolKind::FileEntry, old_fe.ptr());
+    old_blk.set_line(env.region, old_line, PPtr::NULL);
+    env.meta.recycle(PoolKind::FileEntry, old_fe.ptr());
+    if let Some(ix) = env.index {
+        ix.remove(src.ptr(), fnv1a(old_name.as_bytes()));
+        ix.put_free_hint(src.ptr(), old_line, old_blk.ptr());
+    }
+    // Disarm the log.
+    src.clear_log(env.region);
+    src.clear_flag(env.region, DF_RENAME);
+    Ok(())
+}
+
+/// Scans every live entry of a directory.
+pub fn scan(env: &DirEnv<'_>, first: DirBlock) -> Vec<(String, FileType, PPtr)> {
+    let mut out = Vec::new();
+    for blk in chain(env.region, first) {
+        for line in 0..NLINES {
+            let slot = blk.line(env.region, line);
+            if slot.is_null() {
+                continue;
+            }
+            let h = obj::header(env.region, slot);
+            if obj::is_valid(h) && Tag::from_header(h) == Some(Tag::FileEntry) {
+                let fe = FileEntry(slot);
+                out.push((fe.name(env.region), fe.ftype(env.region), fe.inode(env.region)));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the directory has no live entries.
+pub fn is_empty(env: &DirEnv<'_>, first: DirBlock) -> bool {
+    for blk in chain(env.region, first) {
+        for line in 0..NLINES {
+            let slot = blk.line(env.region, line);
+            if !slot.is_null() && obj::is_valid(obj::header(env.region, slot)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Decentralized repair
+// ---------------------------------------------------------------------------
+
+/// Repairs one hash line after a presumed process crash. Every intermediate
+/// state of the Fig. 5 protocols maps to exactly one action here:
+///
+/// * slot → entry with `valid=0` (delete or rename retirement died between
+///   steps 2 and 5): finish zeroing the entry and null the slot;
+/// * slot → entry with `valid=1, dirty=1` whose name hashes to this line
+///   (create died before step 6): the entry is fully published — clear the
+///   dirty bits (roll forward);
+/// * slot → entry whose name hashes to a *different* line while the
+///   directory's rename flag is set (intra-dir rename died between steps 5
+///   and 8): make sure the entry is published at its home line, then null
+///   the mismatched slot;
+/// * armed cross-directory log: [`recover_cross_rename`].
+pub fn repair_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
+    if let Some(ix) = env.index {
+        // The index may hold hints invalidated by the crashed operation;
+        // drop authority for this directory until a rebuild scan.
+        ix.mark_incomplete(first.ptr());
+    }
+    let log = first.read_log(env.region);
+    if log.op == logop::CROSS_RENAME {
+        recover_cross_rename(env, first, &log);
+    }
+    for blk in chain(env.region, first) {
+        let slot = blk.line(env.region, line);
+        if slot.is_null() {
+            continue;
+        }
+        if !env.region.in_bounds(slot, 8) {
+            blk.set_line(env.region, line, PPtr::NULL);
+            continue;
+        }
+        let h = obj::header(env.region, slot);
+        if Tag::from_header(h) != Some(Tag::FileEntry) || !obj::is_valid(h) {
+            // Interrupted delete / retired rename source: finish it.
+            if h != 0 {
+                env.meta.free_no_recycle(PoolKind::FileEntry, slot);
+            }
+            blk.set_line(env.region, line, PPtr::NULL);
+            if h != 0 {
+                env.meta.recycle(PoolKind::FileEntry, slot);
+            }
+            continue;
+        }
+        let fe = FileEntry(slot);
+        let home = dir_line(&fe.name(env.region), NLINES);
+        if home != line {
+            // Mid-rename mismatch: roll the rename forward.
+            let published_home =
+                chain(env.region, first).any(|b| b.line(env.region, home) == slot);
+            if !published_home {
+                if let Ok((nblk, fresh)) = find_or_extend_slot(env, first, home) {
+                    nblk.set_line(env.region, home, slot);
+                    if fresh {
+                        obj::clear_dirty(env.region, nblk.ptr());
+                    }
+                }
+            }
+            blk.set_line(env.region, line, PPtr::NULL);
+            obj::clear_dirty(env.region, slot);
+            first.clear_flag(env.region, DF_RENAME);
+            continue;
+        }
+        if obj::is_dirty(h) {
+            // Interrupted create (after the step-5 commit): roll forward.
+            let inode = fe.inode(env.region);
+            if !inode.is_null() && env.region.in_bounds(inode, 8) {
+                let ih = obj::header(env.region, inode);
+                if obj::is_valid(ih) && obj::is_dirty(ih) {
+                    obj::clear_dirty(env.region, inode);
+                }
+            }
+            obj::clear_dirty(env.region, slot);
+        }
+    }
+}
+
+/// Completes an interrupted cross-directory rename from its log entry. The
+/// decision point: if the new entry has been published in the destination
+/// chain, roll forward (retire the source entry); otherwise roll back
+/// (discard the new entry, keep the source).
+pub fn recover_cross_rename(env: &DirEnv<'_>, src: DirBlock, log: &RenameLog) {
+    if let Some(ix) = env.index {
+        ix.mark_incomplete(src.ptr());
+        ix.mark_incomplete(PPtr::new(log.dst_dir));
+    }
+    let dst = DirBlock(PPtr::new(log.dst_dir));
+    let nfe = PPtr::new(log.new_fentry);
+    let old = PPtr::new(log.old_fentry);
+    let new_line = log.new_line as usize;
+    let old_line = log.old_line as usize;
+
+    let published = new_line < NLINES
+        && env.region.in_bounds(nfe, 8)
+        && env.region.in_bounds(dst.ptr(), 8)
+        && chain(env.region, dst).any(|b| b.line(env.region, new_line) == nfe);
+    if published {
+        // Roll forward: make the new entry consistent, retire the old one.
+        if obj::is_valid(obj::header(env.region, nfe)) {
+            obj::clear_dirty(env.region, nfe);
+        }
+        for blk in chain(env.region, src) {
+            if blk.line(env.region, old_line) == old {
+                let h = obj::header(env.region, old);
+                if h != 0 {
+                    env.meta.free_no_recycle(PoolKind::FileEntry, old);
+                }
+                blk.set_line(env.region, old_line, PPtr::NULL);
+                if h != 0 {
+                    env.meta.recycle(PoolKind::FileEntry, old);
+                }
+            }
+        }
+    } else {
+        // Roll back: the new entry never became reachable; discard it if it
+        // was allocated, and leave the source entry untouched.
+        if env.region.in_bounds(nfe, 8) {
+            let h = obj::header(env.region, nfe);
+            if h != 0 && Tag::from_header(h) == Some(Tag::FileEntry) {
+                env.meta.free(PoolKind::FileEntry, nfe);
+            }
+        }
+        if env.region.in_bounds(old, 8) && obj::is_valid(obj::header(env.region, old)) {
+            obj::clear_dirty(env.region, old);
+        }
+    }
+    src.clear_log(env.region);
+    src.clear_flag(env.region, DF_RENAME);
+}
+
+/// Repairs every line and the log of one directory (mount-time use).
+pub fn repair_dir(env: &DirEnv<'_>, first: DirBlock) {
+    let log = first.read_log(env.region);
+    if log.op == logop::CROSS_RENAME {
+        recover_cross_rename(env, first, &log);
+    }
+    for line in 0..NLINES {
+        repair_line(env, first, line);
+    }
+    first.clear_all_busy(env.region);
+    if env.index.is_some() {
+        reindex_dir(env, first);
+    }
+}
+
+/// Rebuilds the shared-DRAM index entries of one directory from its
+/// persistent chain and restores lookup authority (mount-time "rebuilding
+/// the shared memory data structures", and the tail of a runtime repair).
+pub fn reindex_dir(env: &DirEnv<'_>, first: DirBlock) {
+    let Some(ix) = env.index else {
+        return;
+    };
+    let mut tail = first;
+    for blk in chain(env.region, first) {
+        for line in 0..NLINES {
+            let slot = blk.line(env.region, line);
+            if slot.is_null() {
+                continue;
+            }
+            let h = obj::header(env.region, slot);
+            if obj::is_valid(h) && Tag::from_header(h) == Some(Tag::FileEntry) {
+                let name = FileEntry(slot).name(env.region);
+                ix.insert(first.ptr(), fnv1a(name.as_bytes()), slot, blk.ptr());
+            }
+        }
+        tail = blk;
+    }
+    ix.set_tail(first.ptr(), tail.ptr());
+    ix.mark_complete(first.ptr());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::BlockAlloc;
+    use crate::super_block::Superblock;
+    use simurgh_pmem::layout::Extent;
+    use std::sync::Arc;
+
+    struct Fixture {
+        region: Arc<PmemRegion>,
+        _blocks: Arc<BlockAlloc>,
+        meta: Arc<MetaAllocator>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let region = Arc::new(PmemRegion::new(8 << 20));
+            let data = Extent { start: PPtr::new(4096), len: (8 << 20) - 4096 };
+            Superblock::format(&region, PPtr::NULL, data);
+            let blocks = Arc::new(BlockAlloc::new(data, 2));
+            let meta = Arc::new(MetaAllocator::new(region.clone(), blocks.clone()));
+            Fixture { region, _blocks: blocks, meta }
+        }
+
+        fn env(&self) -> DirEnv<'_> {
+            let mut e = DirEnv::new(&self.region, &self.meta);
+            e.max_hold = Duration::from_millis(20);
+            e
+        }
+
+        fn new_dir(&self) -> DirBlock {
+            let p = self.meta.alloc(PoolKind::DirBlock).unwrap();
+            let d = DirBlock(p);
+            d.init(&self.region, true);
+            obj::clear_dirty(&self.region, p);
+            d
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "alpha", FileType::Regular, PPtr::new(1 << 16)).unwrap();
+        let fe = lookup(&env, dir, "alpha").expect("found");
+        assert_eq!(fe.inode(&fx.region), PPtr::new(1 << 16));
+        assert!(lookup(&env, dir, "beta").is_none());
+        assert_eq!(
+            insert(&env, dir, "alpha", FileType::Regular, PPtr::new(2 << 16)).unwrap_err(),
+            FsError::Exists
+        );
+        let mut disposed = false;
+        remove(&env, dir, "alpha", |_| disposed = true).unwrap();
+        assert!(disposed);
+        assert!(lookup(&env, dir, "alpha").is_none());
+        assert_eq!(remove(&env, dir, "alpha", |_| {}).unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn colliding_names_chain_blocks() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        // Find several names hashing to the same line.
+        let target = dir_line("seed", NLINES);
+        let mut names = vec!["seed".to_owned()];
+        let mut i = 0;
+        while names.len() < 4 {
+            let cand = format!("n{i}");
+            if dir_line(&cand, NLINES) == target {
+                names.push(cand);
+            }
+            i += 1;
+        }
+        for (k, n) in names.iter().enumerate() {
+            insert(&env, dir, n, FileType::Regular, PPtr::new((k as u64 + 1) * 4096)).unwrap();
+        }
+        assert!(chain(&fx.region, dir).count() >= 4, "chain extended per collision");
+        for (k, n) in names.iter().enumerate() {
+            let fe = lookup(&env, dir, n).expect("collided name found");
+            assert_eq!(fe.inode(&fx.region), PPtr::new((k as u64 + 1) * 4096));
+        }
+        // Remove from the middle of the chain and re-check the rest.
+        remove(&env, dir, &names[1], |_| {}).unwrap();
+        assert!(lookup(&env, dir, &names[1]).is_none());
+        for n in [&names[0], &names[2], &names[3]] {
+            assert!(lookup(&env, dir, n).is_some());
+        }
+    }
+
+    #[test]
+    fn scan_and_is_empty() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        assert!(is_empty(&env, dir));
+        for n in ["a", "b", "c"] {
+            insert(&env, dir, n, FileType::Regular, PPtr::new(4096)).unwrap();
+        }
+        let mut names: Vec<_> = scan(&env, dir).into_iter().map(|(n, _, _)| n).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(!is_empty(&env, dir));
+        for n in ["a", "b", "c"] {
+            remove(&env, dir, n, |_| {}).unwrap();
+        }
+        assert!(is_empty(&env, dir));
+    }
+
+    #[test]
+    fn rename_same_dir_moves_entry() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "old", FileType::Regular, PPtr::new(4096)).unwrap();
+        rename_same_dir(&env, dir, "old", "new", |_| {}).unwrap();
+        assert!(lookup(&env, dir, "old").is_none());
+        let fe = lookup(&env, dir, "new").expect("renamed");
+        assert_eq!(fe.inode(&fx.region), PPtr::new(4096));
+        assert_eq!(dir.flags(&fx.region) & DF_RENAME, 0, "flag cleared");
+        assert_eq!(rename_same_dir(&env, dir, "old", "x", |_| {}).unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn rename_same_dir_replaces_target() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "src", FileType::Regular, PPtr::new(4096)).unwrap();
+        insert(&env, dir, "dst", FileType::Regular, PPtr::new(8192)).unwrap();
+        let mut replaced = None;
+        rename_same_dir(&env, dir, "src", "dst", |fe| replaced = Some(fe.inode(&fx.region)))
+            .unwrap();
+        assert_eq!(replaced, Some(PPtr::new(8192)));
+        assert!(lookup(&env, dir, "src").is_none());
+        assert_eq!(lookup(&env, dir, "dst").unwrap().inode(&fx.region), PPtr::new(4096));
+        assert_eq!(scan(&env, dir).len(), 1);
+    }
+
+    #[test]
+    fn rename_to_same_name_is_noop() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "same", FileType::Regular, PPtr::new(4096)).unwrap();
+        rename_same_dir(&env, dir, "same", "same", |_| {}).unwrap();
+        assert!(lookup(&env, dir, "same").is_some());
+    }
+
+    #[test]
+    fn cross_dir_rename_moves_entry() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let a = fx.new_dir();
+        let b = fx.new_dir();
+        insert(&env, a, "file", FileType::Regular, PPtr::new(4096)).unwrap();
+        rename_cross_dir(&env, a, "file", b, "moved", |_| {}).unwrap();
+        assert!(lookup(&env, a, "file").is_none());
+        assert_eq!(lookup(&env, b, "moved").unwrap().inode(&fx.region), PPtr::new(4096));
+        assert_eq!(a.read_log(&fx.region).op, logop::IDLE, "log disarmed");
+        assert!(is_empty(&env, a));
+    }
+
+    #[test]
+    fn cross_dir_rename_replaces_target() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let a = fx.new_dir();
+        let b = fx.new_dir();
+        insert(&env, a, "x", FileType::Regular, PPtr::new(4096)).unwrap();
+        insert(&env, b, "y", FileType::Regular, PPtr::new(8192)).unwrap();
+        let mut replaced = None;
+        rename_cross_dir(&env, a, "x", b, "y", |fe| replaced = Some(fe.inode(&fx.region)))
+            .unwrap();
+        assert_eq!(replaced, Some(PPtr::new(8192)));
+        assert_eq!(lookup(&env, b, "y").unwrap().inode(&fx.region), PPtr::new(4096));
+    }
+
+    #[test]
+    fn crashed_holder_line_is_repaired_by_waiter() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "victim", FileType::Regular, PPtr::new(4096)).unwrap();
+        // Simulate a process that died holding the busy flag mid-delete:
+        // the entry is invalidated but the slot still points at it.
+        let line = dir_line("victim", NLINES);
+        assert!(dir.try_busy(&fx.region, line));
+        let fe = lookup(&env, dir, "victim").unwrap();
+        obj::invalidate(&fx.region, fe.ptr());
+        // A second process now inserts a same-line name: it must time out,
+        // repair, and succeed.
+        let mut collide = None;
+        for i in 0.. {
+            let cand = format!("c{i}");
+            if dir_line(&cand, NLINES) == line {
+                collide = Some(cand);
+                break;
+            }
+        }
+        let name = collide.unwrap();
+        insert(&env, dir, &name, FileType::Regular, PPtr::new(8192)).unwrap();
+        assert!(lookup(&env, dir, &name).is_some());
+        assert!(lookup(&env, dir, "victim").is_none(), "interrupted delete completed");
+    }
+
+    #[test]
+    fn concurrent_inserts_same_directory() {
+        let fx = Fixture::new();
+        let dir = fx.new_dir();
+        let region = &fx.region;
+        let meta = &fx.meta;
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u32 {
+                s.spawn(move |_| {
+                    let env = DirEnv::new(region, meta);
+                    for i in 0..100 {
+                        insert(&env, dir, &format!("t{t}-f{i}"), FileType::Regular, PPtr::new(4096))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let env = fx.env();
+        assert_eq!(scan(&env, dir).len(), 400);
+        for t in 0..4 {
+            for i in 0..100 {
+                assert!(lookup(&env, dir, &format!("t{t}-f{i}")).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_create_delete_churn() {
+        let fx = Fixture::new();
+        let dir = fx.new_dir();
+        let region = &fx.region;
+        let meta = &fx.meta;
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u32 {
+                s.spawn(move |_| {
+                    let env = DirEnv::new(region, meta);
+                    for i in 0..60 {
+                        let name = format!("churn-{t}-{i}");
+                        insert(&env, dir, &name, FileType::Regular, PPtr::new(4096)).unwrap();
+                        if i % 2 == 0 {
+                            remove(&env, dir, &name, |_| {}).unwrap();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let env = fx.env();
+        assert_eq!(scan(&env, dir).len(), 4 * 30);
+    }
+
+    #[test]
+    fn repair_dir_clears_stale_busy_flags() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let dir = fx.new_dir();
+        insert(&env, dir, "keep", FileType::Regular, PPtr::new(4096)).unwrap();
+        for l in [1, 5, 77] {
+            dir.try_busy(&fx.region, l);
+        }
+        repair_dir(&env, dir);
+        for l in [1, 5, 77] {
+            assert!(!dir.is_busy(&fx.region, l));
+        }
+        assert!(lookup(&env, dir, "keep").is_some());
+    }
+}

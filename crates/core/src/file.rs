@@ -1,0 +1,647 @@
+//! The file data path (§4.3 "Data operations").
+//!
+//! File bytes live in 4-KB blocks from the segmented allocator, described
+//! by extents: three inline in the inode, the rest in chained overflow
+//! extent blocks. Writes use emulated non-temporal stores and are fenced
+//! **before** the size field is updated, giving the paper's guarantee that
+//! "metadata updates occur after the data has been persisted".
+//!
+//! Each file has one reader/writer lock embedded in its inode — writes are
+//! exclusive, reads concurrent. The *relaxed* mode of Fig. 7k disables the
+//! write lock for applications that coordinate their own writers.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use simurgh_fsapi::{FsError, FsResult};
+use simurgh_pmem::{PPtr, PmemRegion};
+
+use crate::alloc::BlockAlloc;
+use crate::obj::inode::{extblock, Extent, Inode, INLINE_EXTENTS};
+use crate::BLOCK_SIZE;
+
+/// Writer bit of the per-file lock word.
+const WRITER: u64 = 1 << 63;
+
+/// Default lock-hold limit before a waiter presumes the holder crashed and
+/// resets the lock (the lock word is volatile state; see module docs).
+pub const DEFAULT_FILE_MAX_HOLD: Duration = Duration::from_millis(500);
+
+/// Context for data-path operations.
+#[derive(Clone, Copy)]
+pub struct FileEnv<'a> {
+    pub region: &'a PmemRegion,
+    pub blocks: &'a BlockAlloc,
+    /// Skip the per-file write lock (paper's relaxed shared-file writes).
+    pub relaxed: bool,
+    pub max_hold: Duration,
+}
+
+impl<'a> FileEnv<'a> {
+    pub fn new(region: &'a PmemRegion, blocks: &'a BlockAlloc) -> Self {
+        FileEnv { region, blocks, relaxed: false, max_hold: DEFAULT_FILE_MAX_HOLD }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file reader/writer lock
+// ---------------------------------------------------------------------------
+
+/// Shared-read guard on a file.
+pub struct ReadGuard<'a> {
+    region: &'a PmemRegion,
+    lock: PPtr,
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        self.region.atomic_u64(self.lock).fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exclusive-write guard on a file. `None` inside means relaxed mode.
+pub struct WriteGuard<'a> {
+    region: Option<&'a PmemRegion>,
+    lock: PPtr,
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.region {
+            r.atomic_u64(self.lock).fetch_and(!WRITER, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Acquires the shared side of a file's lock; a stuck writer is presumed
+/// crashed after `max_hold` and the lock word is reset.
+pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
+    let lock = ino.lock_ptr();
+    let a = env.region.atomic_u64(lock);
+    let start = Instant::now();
+    let mut spins = 0u32;
+    loop {
+        let s = a.load(Ordering::Acquire);
+        if s & WRITER == 0 {
+            if a.compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return ReadGuard { region: env.region, lock };
+            }
+        } else if start.elapsed() > env.max_hold {
+            a.store(0, Ordering::Release); // crashed writer: reset
+        }
+        std::hint::spin_loop();
+        spins += 1;
+        if spins % 64 == 0 {
+            std::thread::yield_now(); // oversubscribed-host courtesy
+        }
+    }
+}
+
+/// Acquires the exclusive side; no-op in relaxed mode.
+pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
+    let lock = ino.lock_ptr();
+    if env.relaxed {
+        return WriteGuard { region: None, lock };
+    }
+    let a = env.region.atomic_u64(lock);
+    let start = Instant::now();
+    let mut spins = 0u32;
+    loop {
+        if a.compare_exchange_weak(0, WRITER, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            return WriteGuard { region: Some(env.region), lock };
+        }
+        if start.elapsed() > env.max_hold {
+            a.store(0, Ordering::Release); // crashed holder: reset
+        }
+        std::hint::spin_loop();
+        spins += 1;
+        if spins % 64 == 0 {
+            std::thread::yield_now(); // oversubscribed-host courtesy
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extent map
+// ---------------------------------------------------------------------------
+
+/// Calls `f(logical_start, extent)` for each extent in file order; returns
+/// the total allocated bytes.
+pub fn for_each_extent(r: &PmemRegion, ino: Inode, mut f: impl FnMut(u64, Extent)) -> u64 {
+    let mut logical = 0u64;
+    for i in 0..INLINE_EXTENTS {
+        let e = ino.extent(r, i);
+        if e.is_empty() {
+            return logical;
+        }
+        f(logical, e);
+        logical += e.len;
+    }
+    let mut blk = ino.ext_next(r);
+    while !blk.is_null() {
+        let n = extblock::count(r, blk);
+        for i in 0..n {
+            let e = extblock::get(r, blk, i);
+            f(logical, e);
+            logical += e.len;
+        }
+        blk = extblock::next(r, blk);
+    }
+    logical
+}
+
+/// Total allocated bytes of a file (multiple of the block size).
+pub fn allocated_bytes(r: &PmemRegion, ino: Inode) -> u64 {
+    for_each_extent(r, ino, |_, _| {})
+}
+
+/// Maps a logical offset to `(pmem address, contiguous bytes available)`.
+pub fn map_offset(r: &PmemRegion, ino: Inode, off: u64) -> Option<(PPtr, u64)> {
+    let mut found = None;
+    for_each_extent(r, ino, |logical, e| {
+        if found.is_none() && off >= logical && off < logical + e.len {
+            let within = off - logical;
+            found = Some((PPtr::new(e.start + within), e.len - within));
+        }
+    });
+    found
+}
+
+/// Appends an extent to the file's map, merging with the physical tail when
+/// contiguous. Allocates an overflow extent block on demand.
+fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
+    let r = env.region;
+    // Inline slots first.
+    for i in 0..INLINE_EXTENTS {
+        let cur = ino.extent(r, i);
+        if cur.is_empty() {
+            ino.set_extent(r, i, e);
+            return Ok(());
+        }
+        if cur.start + cur.len == e.start {
+            let last_inline = i + 1 == INLINE_EXTENTS || ino.extent(r, i + 1).is_empty();
+            let overflow_empty = ino.ext_next(r).is_null();
+            if last_inline && overflow_empty {
+                ino.set_extent(r, i, Extent { start: cur.start, len: cur.len + e.len });
+                return Ok(());
+            }
+        }
+    }
+    // Overflow chain.
+    let mut blk = ino.ext_next(r);
+    if blk.is_null() {
+        let nb = env.blocks.alloc(ino.ptr().off() / 64, 1).ok_or(FsError::NoSpace)?;
+        extblock::init(r, nb);
+        ino.set_ext_next(r, nb);
+        blk = nb;
+    }
+    loop {
+        let n = extblock::count(r, blk);
+        if n > 0 {
+            let last = extblock::get(r, blk, n - 1);
+            if last.start + last.len == e.start && extblock::next(r, blk).is_null() {
+                extblock::set_len(r, blk, n - 1, last.len + e.len);
+                return Ok(());
+            }
+        }
+        if extblock::push(r, blk, e) {
+            return Ok(());
+        }
+        let next = extblock::next(r, blk);
+        if next.is_null() {
+            let nb = env.blocks.alloc(ino.ptr().off() / 64, 1).ok_or(FsError::NoSpace)?;
+            extblock::init(r, nb);
+            extblock::set_next(r, blk, nb);
+            blk = nb;
+        } else {
+            blk = next;
+        }
+    }
+}
+
+/// Grows the allocation to at least `want` bytes (block-granular). Newly
+/// allocated space is *not* zeroed here; writers zero holes they skip.
+pub fn ensure_allocated(env: &FileEnv<'_>, ino: Inode, want: u64) -> FsResult<()> {
+    let have = allocated_bytes(env.region, ino);
+    if want <= have {
+        return Ok(());
+    }
+    let mut need_blocks = (want - have).div_ceil(BLOCK_SIZE as u64);
+    // Allocate in as few contiguous chunks as the allocator can provide:
+    // try the whole run first, halve on failure.
+    while need_blocks > 0 {
+        let mut chunk = need_blocks;
+        let ptr = loop {
+            match env.blocks.alloc(ino.ptr().off() / 64, chunk) {
+                Some(p) => break Some(p),
+                None if chunk > 1 => chunk = chunk.div_ceil(2),
+                None => break None,
+            }
+        };
+        let Some(p) = ptr else {
+            return Err(FsError::NoSpace);
+        };
+        push_extent(env, ino, Extent { start: p.off(), len: chunk * BLOCK_SIZE as u64 })?;
+        need_blocks -= chunk;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Read / write / truncate
+// ---------------------------------------------------------------------------
+
+/// Reads up to `buf.len()` bytes at `off`; returns bytes read (0 at EOF).
+/// Caller holds the read lock.
+pub fn read_at(env: &FileEnv<'_>, ino: Inode, off: u64, buf: &mut [u8]) -> usize {
+    let size = ino.size(env.region);
+    if off >= size || buf.is_empty() {
+        return 0;
+    }
+    let want = buf.len().min((size - off) as usize);
+    let mut done = 0usize;
+    while done < want {
+        let Some((addr, avail)) = map_offset(env.region, ino, off + done as u64) else {
+            break; // hole past allocation (shouldn't happen: size <= allocated)
+        };
+        let n = (want - done).min(avail as usize);
+        env.region.read_into(addr, &mut buf[done..done + n]);
+        done += n;
+    }
+    done
+}
+
+/// Writes `data` at `off`, extending allocation and size as needed; returns
+/// bytes written. Caller holds the write lock (or runs relaxed).
+pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResult<usize> {
+    let r = env.region;
+    let end = off + data.len() as u64;
+    ensure_allocated(env, ino, end)?;
+    let old_size = ino.size(r);
+    // Zero any hole between the current end and the write start.
+    if off > old_size {
+        zero_range(env, ino, old_size, off - old_size);
+    }
+    // Non-temporal copy of the payload, extent by extent.
+    let mut done = 0usize;
+    while done < data.len() {
+        let (addr, avail) = map_offset(r, ino, off + done as u64)
+            .ok_or(FsError::Corrupt("write past allocation"))?;
+        let n = (data.len() - done).min(avail as usize);
+        r.nt_write_from(addr, &data[done..done + n]);
+        done += n;
+    }
+    // sfence: data durable before the size update (paper ordering).
+    r.fence();
+    if end > old_size {
+        ino.set_size(r, end);
+    }
+    Ok(data.len())
+}
+
+fn zero_range(env: &FileEnv<'_>, ino: Inode, off: u64, len: u64) {
+    const ZEROS: [u8; BLOCK_SIZE] = [0u8; BLOCK_SIZE];
+    let mut done = 0u64;
+    while done < len {
+        let Some((addr, avail)) = map_offset(env.region, ino, off + done) else {
+            return;
+        };
+        let n = (len - done).min(avail).min(BLOCK_SIZE as u64);
+        env.region.nt_write_from(addr, &ZEROS[..n as usize]);
+        done += n;
+    }
+}
+
+/// Preallocates `[off, off+len)` without zeroing (FxMark DWTL). Extends the
+/// size like `fallocate(2)` without `KEEP_SIZE`.
+pub fn fallocate(env: &FileEnv<'_>, ino: Inode, off: u64, len: u64) -> FsResult<()> {
+    let end = off + len;
+    ensure_allocated(env, ino, end)?;
+    if end > ino.size(env.region) {
+        ino.set_size(env.region, end);
+    }
+    Ok(())
+}
+
+/// Truncates to `len`: shrinking frees whole blocks beyond the new end;
+/// growing allocates and zero-fills.
+pub fn truncate(env: &FileEnv<'_>, ino: Inode, len: u64) -> FsResult<()> {
+    let r = env.region;
+    let old = ino.size(r);
+    if len > old {
+        ensure_allocated(env, ino, len)?;
+        zero_range(env, ino, old, len - old);
+        r.fence();
+        ino.set_size(r, len);
+        return Ok(());
+    }
+    ino.set_size(r, len);
+    shrink_allocation(env, ino, len);
+    Ok(())
+}
+
+/// Frees every whole block past `keep` bytes and trims the extent map.
+fn shrink_allocation(env: &FileEnv<'_>, ino: Inode, keep: u64) {
+    let r = env.region;
+    let keep_alloc = keep.div_ceil(BLOCK_SIZE as u64) * BLOCK_SIZE as u64;
+    // Collect the full map, then rewrite it truncated.
+    let mut map: Vec<Extent> = Vec::new();
+    for_each_extent(r, ino, |_, e| map.push(e));
+    let mut logical = 0u64;
+    let mut kept: Vec<Extent> = Vec::new();
+    for e in &map {
+        if logical + e.len <= keep_alloc {
+            kept.push(*e);
+        } else if logical < keep_alloc {
+            let keep_len = keep_alloc - logical;
+            kept.push(Extent { start: e.start, len: keep_len });
+            env.blocks.free(PPtr::new(e.start + keep_len), (e.len - keep_len) / BLOCK_SIZE as u64);
+        } else {
+            env.blocks.free(PPtr::new(e.start), e.len / BLOCK_SIZE as u64);
+        }
+        logical += e.len;
+    }
+    // Free the overflow chain and rewrite from scratch.
+    let mut blk = ino.ext_next(r);
+    while !blk.is_null() {
+        let next = extblock::next(r, blk);
+        env.blocks.free(blk, 1);
+        blk = next;
+    }
+    ino.set_ext_next(r, PPtr::NULL);
+    for i in 0..INLINE_EXTENTS {
+        ino.set_extent(r, i, Extent::default());
+    }
+    for e in kept {
+        push_extent(env, ino, e).expect("rewriting a smaller map cannot need new space");
+    }
+}
+
+/// Frees all data and extent blocks of a file (unlink of the last link).
+pub fn free_all(env: &FileEnv<'_>, ino: Inode) {
+    let r = env.region;
+    let mut map: Vec<Extent> = Vec::new();
+    for_each_extent(r, ino, |_, e| map.push(e));
+    for e in map {
+        env.blocks.free(PPtr::new(e.start), e.len / BLOCK_SIZE as u64);
+    }
+    let mut blk = ino.ext_next(r);
+    while !blk.is_null() {
+        let next = extblock::next(r, blk);
+        env.blocks.free(blk, 1);
+        blk = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::inode::INODE_SIZE;
+    use simurgh_fsapi::types::FileMode;
+    use simurgh_pmem::layout::Extent as LExtent;
+    use std::sync::Arc;
+
+    struct Fx {
+        region: Arc<PmemRegion>,
+        blocks: Arc<BlockAlloc>,
+    }
+
+    impl Fx {
+        fn new(bytes: usize) -> Self {
+            let region = Arc::new(PmemRegion::new(bytes));
+            let data = LExtent { start: PPtr::new(64 * 1024), len: bytes as u64 - 64 * 1024 };
+            let blocks = Arc::new(BlockAlloc::new(data, 2));
+            Fx { region, blocks }
+        }
+
+        fn env(&self) -> FileEnv<'_> {
+            FileEnv::new(&self.region, &self.blocks)
+        }
+
+        fn inode(&self) -> Inode {
+            let ino = Inode(PPtr::new(4096));
+            ino.init(&self.region, FileMode::file(0o644), 0, 0, 1, 0);
+            ino
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let data = b"the quick brown fox";
+        assert_eq!(write_at(&env, ino, 0, data).unwrap(), data.len());
+        assert_eq!(ino.size(&fx.region), data.len() as u64);
+        let mut buf = vec![0u8; 64];
+        let n = read_at(&env, ino, 0, &mut buf);
+        assert_eq!(&buf[..n], data);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills_hole() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        write_at(&env, ino, 0, b"head").unwrap();
+        write_at(&env, ino, 10_000, b"tail").unwrap();
+        assert_eq!(ino.size(&fx.region), 10_004);
+        let mut buf = vec![0xffu8; 10_004];
+        assert_eq!(read_at(&env, ino, 0, &mut buf), 10_004);
+        assert_eq!(&buf[..4], b"head");
+        assert!(buf[4..10_000].iter().all(|&b| b == 0), "hole reads as zeros");
+        assert_eq!(&buf[10_000..], b"tail");
+    }
+
+    #[test]
+    fn appends_grow_and_merge_extents() {
+        let fx = Fx::new(32 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let chunk = vec![7u8; 4096];
+        for i in 0..100u64 {
+            write_at(&env, ino, i * 4096, &chunk).unwrap();
+        }
+        assert_eq!(ino.size(&fx.region), 100 * 4096);
+        let mut n_extents = 0;
+        for_each_extent(&fx.region, ino, |_, _| n_extents += 1);
+        assert!(n_extents <= 10, "contiguous appends merge ({n_extents} extents)");
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(read_at(&env, ino, 99 * 4096, &mut buf), 4096);
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn large_file_uses_overflow_extents() {
+        let fx = Fx::new(64 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        // Force fragmentation: allocate a guard block between writes so
+        // extents cannot merge.
+        for i in 0..8u64 {
+            write_at(&env, ino, i * 4096, &[i as u8; 4096]).unwrap();
+            let _guard = fx.blocks.alloc(i, 1).unwrap();
+        }
+        let mut n = 0;
+        for_each_extent(&fx.region, ino, |_, _| n += 1);
+        assert!(n > INLINE_EXTENTS, "spilled to overflow chain");
+        assert!(!ino.ext_next(&fx.region).is_null());
+        for i in 0..8u64 {
+            let mut buf = [0u8; 4096];
+            assert_eq!(read_at(&env, ino, i * 4096, &mut buf), 4096);
+            assert!(buf.iter().all(|&b| b == i as u8), "extent {i} intact");
+        }
+    }
+
+    #[test]
+    fn read_past_eof_is_empty() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        write_at(&env, ino, 0, b"xy").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(read_at(&env, ino, 2, &mut buf), 0);
+        assert_eq!(read_at(&env, ino, 100, &mut buf), 0);
+        assert_eq!(read_at(&env, ino, 0, &mut buf), 2, "short read at boundary");
+    }
+
+    #[test]
+    fn fallocate_reserves_without_zeroing() {
+        let fx = Fx::new(32 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let before = fx.blocks.free_blocks();
+        fallocate(&env, ino, 0, 4 << 20).unwrap();
+        assert_eq!(ino.size(&fx.region), 4 << 20);
+        assert_eq!(before - fx.blocks.free_blocks(), (4 << 20) / 4096);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_frees() {
+        let fx = Fx::new(16 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        write_at(&env, ino, 0, &vec![1u8; 1 << 20]).unwrap();
+        let after_write = fx.blocks.free_blocks();
+        truncate(&env, ino, 4096).unwrap();
+        assert_eq!(ino.size(&fx.region), 4096);
+        assert!(fx.blocks.free_blocks() > after_write, "blocks returned");
+        let mut buf = [0u8; 4096];
+        assert_eq!(read_at(&env, ino, 0, &mut buf), 4096);
+        assert!(buf.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn truncate_grow_zero_fills() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        write_at(&env, ino, 0, b"abc").unwrap();
+        truncate(&env, ino, 10_000).unwrap();
+        assert_eq!(ino.size(&fx.region), 10_000);
+        let mut buf = vec![0xffu8; 10_000];
+        assert_eq!(read_at(&env, ino, 0, &mut buf), 10_000);
+        assert_eq!(&buf[..3], b"abc");
+        assert!(buf[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn free_all_returns_every_block() {
+        let fx = Fx::new(16 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let before = fx.blocks.free_blocks();
+        write_at(&env, ino, 0, &vec![9u8; 2 << 20]).unwrap();
+        assert!(fx.blocks.free_blocks() < before);
+        free_all(&env, ino);
+        assert_eq!(fx.blocks.free_blocks(), before);
+    }
+
+    #[test]
+    fn rw_lock_excludes_writers() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let g = lock_write(&env, ino);
+        // A reader in another thread must not get in while the writer holds.
+        let held = std::sync::atomic::AtomicBool::new(true);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                let env2 = fx.env();
+                let _r = lock_read(&env2, ino);
+                assert!(!held.load(Ordering::SeqCst), "reader entered while writer held");
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            held.store(false, Ordering::SeqCst);
+            drop(g);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn readers_are_concurrent() {
+        let fx = Fx::new(8 << 20);
+        let env = fx.env();
+        let ino = fx.inode();
+        let r1 = lock_read(&env, ino);
+        let r2 = lock_read(&env, ino);
+        assert_eq!(fx.region.atomic_u64(ino.lock_ptr()).load(Ordering::SeqCst), 2);
+        drop(r1);
+        drop(r2);
+        assert_eq!(fx.region.atomic_u64(ino.lock_ptr()).load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn crashed_writer_lock_is_reset() {
+        let fx = Fx::new(8 << 20);
+        let mut env = fx.env();
+        env.max_hold = Duration::from_millis(10);
+        let ino = fx.inode();
+        // Simulate a crashed writer: set the writer bit by hand.
+        fx.region.atomic_u64(ino.lock_ptr()).store(WRITER, Ordering::SeqCst);
+        let start = Instant::now();
+        let g = lock_read(&env, ino);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        drop(g);
+    }
+
+    #[test]
+    fn relaxed_mode_skips_write_lock() {
+        let fx = Fx::new(8 << 20);
+        let mut env = fx.env();
+        env.relaxed = true;
+        let ino = fx.inode();
+        let g1 = lock_write(&env, ino);
+        let g2 = lock_write(&env, ino); // would deadlock if not relaxed
+        drop(g1);
+        drop(g2);
+    }
+
+    #[test]
+    fn inode_size_constant_holds() {
+        // The lock word and extent map must fit the fixed object.
+        assert_eq!(INODE_SIZE, 128);
+    }
+
+    #[test]
+    fn data_persists_before_size_metadata() {
+        // In tracked mode: after write_at returns, a crash must preserve
+        // both data and size (fence-then-size ordering).
+        let region = Arc::new(PmemRegion::new_tracked(4 << 20));
+        let data_ext = LExtent { start: PPtr::new(64 * 1024), len: (4 << 20) - 64 * 1024 };
+        let blocks = Arc::new(BlockAlloc::new(data_ext, 1));
+        let env = FileEnv::new(&region, &blocks);
+        let ino = Inode(PPtr::new(4096));
+        ino.init(&region, FileMode::file(0o644), 0, 0, 1, 0);
+        region.persist(PPtr::new(4096), 128);
+        write_at(&env, ino, 0, b"durable payload").unwrap();
+        let crashed = region.simulate_crash();
+        let ino2 = Inode(PPtr::new(4096));
+        assert_eq!(ino2.size(&crashed), 15);
+        let blocks2 = Arc::new(BlockAlloc::new(data_ext, 1));
+        let env2 = FileEnv::new(&crashed, &blocks2);
+        let mut buf = [0u8; 15];
+        assert_eq!(read_at(&env2, ino2, 0, &mut buf), 15);
+        assert_eq!(&buf, b"durable payload");
+    }
+}

@@ -1,0 +1,1087 @@
+//! [`SimurghFs`]: the public file system, tying together allocators,
+//! directory protocols, the data path, security and recovery.
+//!
+//! One `SimurghFs` corresponds to one mount of one NVMM region. Independent
+//! "processes" are threads sharing the instance through an `Arc` — they
+//! coordinate exclusively through the NVMM region and the volatile shared
+//! maps, mirroring the paper's processes sharing a DAX mapping and shared
+//! DRAM. There is no central metadata service: every operation is executed
+//! entirely by its calling thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simurgh_fsapi::fs::{DirEntry, FileSystem, OpenTable, ProcCtx};
+use simurgh_fsapi::types::{access, Fd, FileMode, FileType, FsStats, OpenFlags, SeekFrom, Stat};
+use simurgh_fsapi::{path, FsError, FsResult, OpTimers, TimerCategory};
+use simurgh_pmem::layout::Carver;
+use simurgh_pmem::{PPtr, PmemRegion, PAGE_SIZE};
+use simurgh_protfn::SecurityMode;
+
+use crate::alloc::{BlockAlloc, MetaAllocator};
+use crate::dindex::DirIndex;
+use crate::dir::{self, DirEnv};
+use crate::file::{self, FileEnv};
+use crate::obj::dirblock::{DirBlock, DIRBLOCK_SIZE};
+use crate::obj::inode::{Extent, Inode};
+use crate::obj::{self};
+use crate::recovery::{self, RecoveryReport};
+use crate::security::{OpClass, Security};
+use crate::super_block::{PoolKind, Superblock};
+
+const SYMLINK_HOPS: usize = 16;
+
+/// Mount/format configuration.
+#[derive(Clone)]
+pub struct SimurghConfig {
+    /// Per-call security cost model used when `charge_security_cost` is on.
+    pub security: SecurityMode,
+    /// Busy-wait the per-call security cost (benchmark fidelity; off for
+    /// plain unit tests).
+    pub charge_security_cost: bool,
+    /// Relaxed shared-file writes: skip the per-file write lock (Fig. 7k).
+    pub relaxed_writes: bool,
+    /// Block-allocator segments; default 2 × available parallelism (§4.2).
+    pub segments: Option<usize>,
+    /// Busy-flag hold limit before decentralized line recovery kicks in.
+    pub line_max_hold: Duration,
+    /// Per-file lock hold limit before a crashed holder is presumed.
+    pub file_max_hold: Duration,
+}
+
+impl Default for SimurghConfig {
+    fn default() -> Self {
+        SimurghConfig {
+            security: SecurityMode::Jmpp,
+            charge_security_cost: false,
+            relaxed_writes: false,
+            segments: None,
+            line_max_hold: dir::DEFAULT_LINE_MAX_HOLD,
+            file_max_hold: file::DEFAULT_FILE_MAX_HOLD,
+        }
+    }
+}
+
+impl SimurghConfig {
+    fn segment_count(&self) -> usize {
+        self.segments.unwrap_or_else(|| {
+            2 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenFile {
+    ino: Inode,
+    pos: u64,
+    flags: OpenFlags,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct OpenState {
+    refs: u32,
+    /// All directory entries are gone; free the inode on last close.
+    orphaned: bool,
+}
+
+/// The Simurgh file system.
+pub struct SimurghFs {
+    region: Arc<PmemRegion>,
+    blocks: Arc<BlockAlloc>,
+    meta: Arc<MetaAllocator>,
+    root: Inode,
+    opens: OpenTable<OpenFile>,
+    open_states: Mutex<HashMap<u64, OpenState>>,
+    clock: AtomicU64,
+    cfg: SimurghConfig,
+    timers: OpTimers,
+    sec: Security,
+    recovery: RecoveryReport,
+    /// Shared-DRAM directory index (paper Fig. 3 volatile metadata).
+    index: DirIndex,
+}
+
+impl SimurghFs {
+    /// Formats a fresh file system onto `region` and mounts it.
+    pub fn format(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
+        // Formatting is part of the §3.2 bootstrap and runs with OS
+        // privilege, so it works on regions already marked as kernel pages.
+        let _boot = simurgh_protfn::cpl::KernelGuard::enter();
+        let mut carver = Carver::new(region.len() as u64);
+        carver.take(PAGE_SIZE as u64, PAGE_SIZE as u64).map_err(|_| FsError::NoSpace)?;
+        let data = carver.remainder().map_err(|_| FsError::NoSpace)?;
+        Superblock::format(&region, PPtr::NULL, data);
+        let blocks = Arc::new(BlockAlloc::new(data, cfg.segment_count()));
+        let meta = Arc::new(MetaAllocator::new(region.clone(), blocks.clone()));
+        // Root inode + first hash block.
+        let root_ptr = meta.alloc(PoolKind::Inode)?;
+        let root = Inode(root_ptr);
+        root.init(&region, FileMode::dir(0o755), 0, 0, 2, 1);
+        let rblk = meta.alloc(PoolKind::DirBlock)?;
+        DirBlock(rblk).init(&region, true);
+        root.set_extent(&region, 0, Extent { start: rblk.off(), len: DIRBLOCK_SIZE });
+        region.persist(root_ptr, crate::obj::inode::INODE_SIZE as usize);
+        obj::clear_dirty(&region, rblk);
+        obj::clear_dirty(&region, root_ptr);
+        Superblock::set_root(&region, root_ptr);
+        let fs = Self::assemble(region, blocks, meta, root, cfg, RecoveryReport::default());
+        fs.index.mark_complete(rblk);
+        fs.index.set_tail(rblk, rblk);
+        Ok(fs)
+    }
+
+    /// Mounts an existing file system, running crash recovery if the region
+    /// was not cleanly unmounted.
+    pub fn mount(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
+        // Mounting (recovery included) is bootstrap work: OS privilege.
+        let _boot = simurgh_protfn::cpl::KernelGuard::enter();
+        if !Superblock::is_valid(&region) {
+            return Err(FsError::Corrupt("bad superblock magic"));
+        }
+        let (blocks, meta, mut report) = recovery::recover(&region, cfg.segment_count())?;
+        let root = Inode(Superblock::root_inode(&region));
+        Superblock::set_clean(&region, false);
+        let fs = Self::assemble(region, blocks, meta, root, cfg, RecoveryReport::default());
+        // Rebuild the shared-DRAM structures (second half of the paper's
+        // recovery procedure) and account its time in the report.
+        let t = std::time::Instant::now();
+        fs.rebuild_index();
+        report.rebuild_time = t.elapsed();
+        let fs = SimurghFs { recovery: report, ..fs };
+        Ok(fs)
+    }
+
+    /// Walks the tree and rebuilds the shared-DRAM directory index.
+    fn rebuild_index(&self) {
+        let env = self.dir_env();
+        let mut stack = vec![self.root];
+        while let Some(ino) = stack.pop() {
+            if ino.mode(&self.region).ftype != FileType::Directory {
+                continue;
+            }
+            let Ok(first) = self.dir_block_of(ino) else {
+                continue;
+            };
+            dir::reindex_dir(&env, first);
+            for (_, ftype, child) in dir::scan(&env, first) {
+                if ftype == FileType::Directory && !child.is_null() {
+                    stack.push(Inode(child));
+                }
+            }
+        }
+    }
+
+    fn assemble(
+        region: Arc<PmemRegion>,
+        blocks: Arc<BlockAlloc>,
+        meta: Arc<MetaAllocator>,
+        root: Inode,
+        cfg: SimurghConfig,
+        recovery: RecoveryReport,
+    ) -> Self {
+        let sec = if cfg.charge_security_cost {
+            Security::charging(cfg.security)
+        } else {
+            Security::disabled()
+        };
+        Superblock::set_clean(&region, false);
+        SimurghFs {
+            region,
+            blocks,
+            meta,
+            root,
+            opens: OpenTable::new(),
+            open_states: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(2),
+            cfg,
+            timers: OpTimers::default(),
+            sec,
+            recovery,
+            index: DirIndex::new(),
+        }
+    }
+
+    /// Installs full protected-function enforcement (bootstrap, §3.2).
+    pub fn with_enforcement(mut self, domain: Arc<simurgh_protfn::ProtectedDomain>) -> Self {
+        self.sec = Security::enforced(domain, self.cfg.security, self.cfg.charge_security_cost);
+        self
+    }
+
+    /// Cleanly unmounts: marks the region clean so the next mount skips
+    /// repair. The instance is consumed.
+    pub fn unmount(self) {
+        Superblock::set_clean(&self.region, true);
+    }
+
+    /// The recovery report of the mount that produced this instance.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Execution-time breakdown counters (Table 1 / Fig. 10 harness).
+    pub fn timers(&self) -> &OpTimers {
+        &self.timers
+    }
+
+    /// The underlying region (crash-test harness).
+    pub fn region(&self) -> &Arc<PmemRegion> {
+        &self.region
+    }
+
+    /// Block allocator statistics (benchmark assertions).
+    pub fn block_alloc(&self) -> &Arc<BlockAlloc> {
+        &self.blocks
+    }
+
+    /// Test support: resolves a directory path to its first hash block.
+    #[doc(hidden)]
+    pub fn testing_dir_block(&self, path: &str) -> FsResult<(Arc<PmemRegion>, DirBlock)> {
+        let ino = self.resolve(&ProcCtx::root(u32::MAX), path, true)?;
+        Ok((self.region.clone(), self.dir_block_of(ino)?))
+    }
+
+    /// Test support: a directory environment bound to this mount.
+    #[doc(hidden)]
+    pub fn testing_dir_env(&self) -> DirEnv<'_> {
+        self.dir_env()
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn dir_env(&self) -> DirEnv<'_> {
+        let mut env = DirEnv::new(&self.region, &self.meta).with_index(&self.index);
+        env.max_hold = self.cfg.line_max_hold;
+        env
+    }
+
+    fn file_env(&self) -> FileEnv<'_> {
+        let mut env = FileEnv::new(&self.region, &self.blocks);
+        env.relaxed = self.cfg.relaxed_writes;
+        env.max_hold = self.cfg.file_max_hold;
+        env
+    }
+
+    fn dir_block_of(&self, ino: Inode) -> FsResult<DirBlock> {
+        if ino.mode(&self.region).ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        let e = ino.extent(&self.region, 0);
+        if e.is_empty() {
+            return Err(FsError::Corrupt("directory without hash block"));
+        }
+        Ok(DirBlock(PPtr::new(e.start)))
+    }
+
+    fn check_perm(&self, ctx: &ProcCtx, ino: Inode, want: u16) -> FsResult<()> {
+        let m = ino.mode(&self.region);
+        if ctx.creds.may(want, m.perm, ino.uid(&self.region), ino.gid(&self.region)) {
+            Ok(())
+        } else {
+            Err(FsError::Access)
+        }
+    }
+
+    fn read_symlink(&self, ino: Inode) -> FsResult<String> {
+        let env = self.file_env();
+        let len = ino.size(&self.region) as usize;
+        let mut buf = vec![0u8; len];
+        let n = file::read_at(&env, ino, 0, &mut buf);
+        buf.truncate(n);
+        String::from_utf8(buf).map_err(|_| FsError::Corrupt("non-utf8 symlink target"))
+    }
+
+    /// Resolves path components to an inode, following intermediate (and,
+    /// optionally, final) symlinks. Permission: X on every directory walked.
+    fn walk(&self, ctx: &ProcCtx, comps: &[&str], follow_final: bool, hops: usize) -> FsResult<Inode> {
+        if hops > SYMLINK_HOPS {
+            return Err(FsError::TooManyLinks);
+        }
+        let env = self.dir_env();
+        let mut cur = self.root;
+        for (i, comp) in comps.iter().enumerate() {
+            let first = self.dir_block_of(cur)?;
+            self.check_perm(ctx, cur, access::X)?;
+            let fe = dir::lookup(&env, first, comp).ok_or(FsError::NotFound)?;
+            let ino = Inode(fe.inode(&self.region));
+            let is_final = i + 1 == comps.len();
+            if fe.is_symlink(&self.region) && (!is_final || follow_final) {
+                let target = self.read_symlink(ino)?;
+                let tcomps = path::components(&target)?;
+                let resolved = self.walk(ctx, &tcomps, true, hops + 1)?;
+                if is_final {
+                    return Ok(resolved);
+                }
+                cur = resolved;
+            } else {
+                cur = ino;
+            }
+        }
+        Ok(cur)
+    }
+
+    fn resolve(&self, ctx: &ProcCtx, p: &str, follow_final: bool) -> FsResult<Inode> {
+        let comps = path::components(p)?;
+        self.walk(ctx, &comps, follow_final, 0)
+    }
+
+    /// Resolves the parent directory of `p`, checking W|X on it, and
+    /// returns `(parent inode, its first hash block, final name)`.
+    fn resolve_parent<'p>(
+        &self,
+        ctx: &ProcCtx,
+        p: &'p str,
+    ) -> FsResult<(Inode, DirBlock, &'p str)> {
+        let (parent_comps, name) = path::split_parent(p)?;
+        let parent = self.walk(ctx, &parent_comps, true, 0)?;
+        let first = self.dir_block_of(parent)?;
+        self.check_perm(ctx, parent, access::W | access::X)?;
+        Ok((parent, first, name))
+    }
+
+    /// Allocates and initializes a fresh inode (still dirty; the directory
+    /// insert clears it at its step 6).
+    fn new_inode(&self, ctx: &ProcCtx, mode: FileMode, nlink: u32) -> FsResult<Inode> {
+        let p = self.meta.alloc(PoolKind::Inode)?;
+        let ino = Inode(p);
+        ino.init(&self.region, mode, ctx.creds.uid, ctx.creds.gid, nlink, self.now());
+        self.region.persist(p, crate::obj::inode::INODE_SIZE as usize);
+        Ok(ino)
+    }
+
+    /// Drops one link of `ino`; frees inode + data when the last link dies
+    /// and no descriptor holds it open (orphan handling like POSIX).
+    fn drop_link(&self, ino: Inode) {
+        let r = &*self.region;
+        let nlink = ino.nlink(r).saturating_sub(1);
+        if nlink > 0 {
+            ino.set_nlink(r, nlink);
+            return;
+        }
+        let mut states = self.open_states.lock();
+        if let Some(s) = states.get_mut(&ino.ptr().off()) {
+            if s.refs > 0 {
+                s.orphaned = true;
+                ino.set_nlink(r, 0);
+                return;
+            }
+        }
+        drop(states);
+        self.destroy_inode(ino);
+    }
+
+    fn destroy_inode(&self, ino: Inode) {
+        let env = self.file_env();
+        if ino.mode(&self.region).ftype == FileType::Directory {
+            // Free the hash-block chain.
+            let e = ino.extent(&self.region, 0);
+            if !e.is_empty() {
+                self.index.forget_dir(PPtr::new(e.start));
+                let mut blk = PPtr::new(e.start);
+                while !blk.is_null() {
+                    let next = DirBlock(blk).next(&self.region);
+                    self.meta.free(PoolKind::DirBlock, blk);
+                    blk = next;
+                }
+            }
+        } else {
+            file::free_all(&env, ino);
+        }
+        self.meta.free(PoolKind::Inode, ino.ptr());
+    }
+
+    fn open_ref(&self, ino: Inode) {
+        self.open_states.lock().entry(ino.ptr().off()).or_default().refs += 1;
+    }
+
+    fn close_ref(&self, ino: Inode) {
+        let mut states = self.open_states.lock();
+        let Some(s) = states.get_mut(&ino.ptr().off()) else {
+            return;
+        };
+        s.refs = s.refs.saturating_sub(1);
+        if s.refs == 0 {
+            let orphaned = s.orphaned;
+            states.remove(&ino.ptr().off());
+            drop(states);
+            if orphaned {
+                self.destroy_inode(ino);
+            }
+        }
+    }
+
+    fn with_open(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<OpenFile> {
+        self.opens.with(ctx.pid, fd, |o| *o)
+    }
+
+    fn do_pwrite(&self, open: &OpenFile, data: &[u8], off: u64) -> FsResult<usize> {
+        if !open.flags.write {
+            return Err(FsError::BadFd);
+        }
+        let env = self.file_env();
+        let _w = file::lock_write(&env, open.ino);
+        let n = self
+            .timers
+            .time(TimerCategory::Copy, || file::write_at(&env, open.ino, off, data))?;
+        open.ino.set_mtime(&self.region, self.now());
+        Ok(n)
+    }
+
+    fn do_pread(&self, open: &OpenFile, buf: &mut [u8], off: u64) -> FsResult<usize> {
+        if !open.flags.read {
+            return Err(FsError::BadFd);
+        }
+        let env = self.file_env();
+        let _r = file::lock_read(&env, open.ino);
+        Ok(self.timers.time(TimerCategory::Copy, || file::read_at(&env, open.ino, off, buf)))
+    }
+}
+
+impl simurgh_fsapi::Instrumented for SimurghFs {
+    fn timers(&self) -> &OpTimers {
+        &self.timers
+    }
+}
+
+impl FileSystem for SimurghFs {
+    fn name(&self) -> &str {
+        "simurgh"
+    }
+
+    fn open(&self, ctx: &ProcCtx, p: &str, flags: OpenFlags, mode: FileMode) -> FsResult<Fd> {
+        self.sec.call(OpClass::Walk, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let env = self.dir_env();
+                let ino = match self.resolve(ctx, p, true) {
+                    Ok(ino) => {
+                        if flags.excl && flags.create {
+                            return Err(FsError::Exists);
+                        }
+                        let m = ino.mode(&self.region);
+                        if m.ftype == FileType::Directory && flags.write {
+                            return Err(FsError::IsDir);
+                        }
+                        let mut want = 0;
+                        if flags.read {
+                            want |= access::R;
+                        }
+                        if flags.write {
+                            want |= access::W;
+                        }
+                        if want != 0 {
+                            self.check_perm(ctx, ino, want)?;
+                        }
+                        if flags.truncate && flags.write && m.ftype == FileType::Regular {
+                            let fenv = self.file_env();
+                            let _w = file::lock_write(&fenv, ino);
+                            file::truncate(&fenv, ino, 0)?;
+                        }
+                        ino
+                    }
+                    Err(FsError::NotFound) if flags.create => {
+                        let (_, first, name) = self.resolve_parent(ctx, p)?;
+                        path::validate_name(name)?;
+                        let ino = self.new_inode(ctx, FileMode::file(mode.perm), 1)?;
+                        match dir::insert(&env, first, name, FileType::Regular, ino.ptr()) {
+                            Ok(_) => ino,
+                            Err(e) => {
+                                self.meta.free(PoolKind::Inode, ino.ptr());
+                                // A concurrent creator may have won the race.
+                                if e == FsError::Exists && !flags.excl {
+                                    self.resolve(ctx, p, true)?
+                                } else {
+                                    return Err(e);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
+                let pos =
+                    if flags.append { ino.size(&self.region) } else { 0 };
+                self.open_ref(ino);
+                Ok(self.opens.insert(ctx.pid, OpenFile { ino, pos, flags }))
+            })
+        })
+    }
+
+    fn close(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
+        self.sec.call(OpClass::Ctl, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.opens.remove(ctx.pid, fd)?;
+                self.close_ref(open.ino);
+                Ok(())
+            })
+        })
+    }
+
+    fn read(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                let n = self.do_pread(&open, buf, open.pos)?;
+                self.opens.with_mut(ctx.pid, fd, |o| o.pos += n as u64)?;
+                Ok(n)
+            })
+        })
+    }
+
+    fn write(&self, ctx: &ProcCtx, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                let off = if open.flags.append {
+                    open.ino.size(&self.region)
+                } else {
+                    open.pos
+                };
+                let n = self.do_pwrite(&open, data, off)?;
+                self.opens.with_mut(ctx.pid, fd, |o| o.pos = off + n as u64)?;
+                Ok(n)
+            })
+        })
+    }
+
+    fn pread(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8], off: u64) -> FsResult<usize> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                self.do_pread(&open, buf, off)
+            })
+        })
+    }
+
+    fn pwrite(&self, ctx: &ProcCtx, fd: Fd, data: &[u8], off: u64) -> FsResult<usize> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                self.do_pwrite(&open, data, off)
+            })
+        })
+    }
+
+    fn lseek(&self, ctx: &ProcCtx, fd: Fd, pos: SeekFrom) -> FsResult<u64> {
+        self.sec.call(OpClass::Ctl, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                let size = open.ino.size(&self.region);
+                self.opens.with_mut(ctx.pid, fd, |o| {
+                    let new = match pos {
+                        SeekFrom::Start(s) => s as i128,
+                        SeekFrom::Current(d) => o.pos as i128 + d as i128,
+                        SeekFrom::End(d) => size as i128 + d as i128,
+                    };
+                    if new < 0 {
+                        return Err(FsError::Invalid);
+                    }
+                    o.pos = new as u64;
+                    Ok(o.pos)
+                })?
+            })
+        })
+    }
+
+    fn fsync(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
+        self.sec.call(OpClass::Ctl, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let _ = self.with_open(ctx, fd)?;
+                // Data is persisted eagerly on write; a final fence orders
+                // anything still pending.
+                self.region.fence();
+                Ok(())
+            })
+        })
+    }
+
+    fn fstat(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<Stat> {
+        self.sec.call(OpClass::Walk, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                Ok(open.ino.stat(&self.region))
+            })
+        })
+    }
+
+    fn ftruncate(&self, ctx: &ProcCtx, fd: Fd, len: u64) -> FsResult<()> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                if !open.flags.write {
+                    return Err(FsError::BadFd);
+                }
+                let env = self.file_env();
+                let _w = file::lock_write(&env, open.ino);
+                file::truncate(&env, open.ino, len)
+            })
+        })
+    }
+
+    fn fallocate(&self, ctx: &ProcCtx, fd: Fd, off: u64, len: u64) -> FsResult<()> {
+        self.sec.call(OpClass::Data, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let open = self.with_open(ctx, fd)?;
+                if !open.flags.write {
+                    return Err(FsError::BadFd);
+                }
+                let env = self.file_env();
+                let _w = file::lock_write(&env, open.ino);
+                file::fallocate(&env, open.ino, off, len)
+            })
+        })
+    }
+
+    fn unlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let (_, first, name) = self.resolve_parent(ctx, p)?;
+                let env = self.dir_env();
+                // Refuse directories (POSIX unlink semantics).
+                if let Some(fe) = dir::lookup(&env, first, name) {
+                    if fe.ftype(&self.region) == FileType::Directory {
+                        return Err(FsError::IsDir);
+                    }
+                }
+                dir::remove(&env, first, name, |fe| {
+                    self.drop_link(Inode(fe.inode(&self.region)));
+                })
+            })
+        })
+    }
+
+    fn mkdir(&self, ctx: &ProcCtx, p: &str, mode: FileMode) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let (_, first, name) = self.resolve_parent(ctx, p)?;
+                path::validate_name(name)?;
+                let env = self.dir_env();
+                let ino = self.new_inode(ctx, FileMode::dir(mode.perm), 2)?;
+                let blk = match self.meta.alloc(PoolKind::DirBlock) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.meta.free(PoolKind::Inode, ino.ptr());
+                        return Err(e);
+                    }
+                };
+                DirBlock(blk).init(&self.region, true);
+                ino.set_extent(&self.region, 0, Extent { start: blk.off(), len: DIRBLOCK_SIZE });
+                obj::clear_dirty(&self.region, blk);
+                self.index.mark_complete(blk);
+                self.index.set_tail(blk, blk);
+                match dir::insert(&env, first, name, FileType::Directory, ino.ptr()) {
+                    Ok(_) => Ok(()),
+                    Err(e) => {
+                        self.meta.free(PoolKind::DirBlock, blk);
+                        self.meta.free(PoolKind::Inode, ino.ptr());
+                        Err(e)
+                    }
+                }
+            })
+        })
+    }
+
+    fn rmdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let (_, first, name) = self.resolve_parent(ctx, p)?;
+                let env = self.dir_env();
+                let fe = dir::lookup(&env, first, name).ok_or(FsError::NotFound)?;
+                if fe.ftype(&self.region) != FileType::Directory {
+                    return Err(FsError::NotDir);
+                }
+                let child = Inode(fe.inode(&self.region));
+                let child_blk = self.dir_block_of(child)?;
+                if !dir::is_empty(&env, child_blk) {
+                    return Err(FsError::NotEmpty);
+                }
+                dir::remove(&env, first, name, |fe| {
+                    // Directories cannot be hard-linked: retire the inode
+                    // outright (its conventional nlink of 2 counts the
+                    // self-reference, which dies with the directory).
+                    let ino = Inode(fe.inode(&self.region));
+                    ino.set_nlink(&self.region, 1);
+                    self.drop_link(ino);
+                })?;
+                Ok(())
+            })
+        })
+    }
+
+    fn rename(&self, ctx: &ProcCtx, old: &str, new: &str) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let (_, src_blk, old_name) = self.resolve_parent(ctx, old)?;
+                let (_, dst_blk, new_name) = self.resolve_parent(ctx, new)?;
+                path::validate_name(new_name)?;
+                let env = self.dir_env();
+                let src_fe = dir::lookup(&env, src_blk, old_name).ok_or(FsError::NotFound)?;
+                let moving_dir = src_fe.ftype(&self.region) == FileType::Directory;
+                if moving_dir {
+                    let oc = path::components(old)?;
+                    let nc = path::components(new)?;
+                    if path::is_descendant(&oc, &nc) {
+                        return Err(FsError::Invalid);
+                    }
+                }
+                // Target compatibility checks (POSIX rename).
+                if let Some(tfe) = dir::lookup(&env, dst_blk, new_name) {
+                    if tfe.inode(&self.region) == src_fe.inode(&self.region) {
+                        // Hard links to the same inode: rename is a no-op
+                        // that leaves both names (POSIX).
+                        return Ok(());
+                    }
+                    let target_dir = tfe.ftype(&self.region) == FileType::Directory;
+                    match (moving_dir, target_dir) {
+                        (true, false) => return Err(FsError::NotDir),
+                        (false, true) => return Err(FsError::IsDir),
+                        (true, true) => {
+                            let t = Inode(tfe.inode(&self.region));
+                            if !dir::is_empty(&env, self.dir_block_of(t)?) {
+                                return Err(FsError::NotEmpty);
+                            }
+                        }
+                        (false, false) => {}
+                    }
+                }
+                let dispose = |fe: crate::obj::fentry::FileEntry| {
+                    self.drop_link(Inode(fe.inode(&self.region)));
+                };
+                if src_blk == dst_blk {
+                    dir::rename_same_dir(&env, src_blk, old_name, new_name, dispose)
+                } else {
+                    dir::rename_cross_dir(&env, src_blk, old_name, dst_blk, new_name, dispose)
+                }
+            })
+        })
+    }
+
+    fn stat(&self, ctx: &ProcCtx, p: &str) -> FsResult<Stat> {
+        self.sec.call(OpClass::Walk, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, p, true)?;
+                Ok(ino.stat(&self.region))
+            })
+        })
+    }
+
+    fn readdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<Vec<DirEntry>> {
+        self.sec.call(OpClass::Walk, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, p, true)?;
+                self.check_perm(ctx, ino, access::R)?;
+                let first = self.dir_block_of(ino)?;
+                let env = self.dir_env();
+                let mut entries: Vec<DirEntry> = dir::scan(&env, first)
+                    .into_iter()
+                    .map(|(name, ftype, inode)| DirEntry { name, ftype, ino: inode.off() })
+                    .collect();
+                entries.sort_by(|a, b| a.name.cmp(&b.name));
+                Ok(entries)
+            })
+        })
+    }
+
+    fn symlink(&self, ctx: &ProcCtx, target: &str, linkpath: &str) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let (_, first, name) = self.resolve_parent(ctx, linkpath)?;
+                path::validate_name(name)?;
+                let env = self.dir_env();
+                let ino = self.new_inode(ctx, FileMode::symlink(), 1)?;
+                let fenv = self.file_env();
+                file::write_at(&fenv, ino, 0, target.as_bytes())?;
+                match dir::insert(&env, first, name, FileType::Symlink, ino.ptr()) {
+                    Ok(_) => Ok(()),
+                    Err(e) => {
+                        file::free_all(&fenv, ino);
+                        self.meta.free(PoolKind::Inode, ino.ptr());
+                        Err(e)
+                    }
+                }
+            })
+        })
+    }
+
+    fn readlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<String> {
+        self.sec.call(OpClass::Walk, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, p, false)?;
+                if ino.mode(&self.region).ftype != FileType::Symlink {
+                    return Err(FsError::Invalid);
+                }
+                self.read_symlink(ino)
+            })
+        })
+    }
+
+    fn link(&self, ctx: &ProcCtx, existing: &str, new: &str) -> FsResult<()> {
+        self.sec.call(OpClass::Meta, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, existing, false)?;
+                let ftype = ino.mode(&self.region).ftype;
+                if ftype == FileType::Directory {
+                    return Err(FsError::IsDir);
+                }
+                let (_, first, name) = self.resolve_parent(ctx, new)?;
+                path::validate_name(name)?;
+                let env = self.dir_env();
+                ino.set_nlink(&self.region, ino.nlink(&self.region) + 1);
+                match dir::insert(&env, first, name, ftype, ino.ptr()) {
+                    Ok(_) => Ok(()),
+                    Err(e) => {
+                        ino.set_nlink(&self.region, ino.nlink(&self.region) - 1);
+                        Err(e)
+                    }
+                }
+            })
+        })
+    }
+
+    fn chmod(&self, ctx: &ProcCtx, p: &str, perm: u16) -> FsResult<()> {
+        self.sec.call(OpClass::Ctl, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, p, true)?;
+                if ctx.creds.uid != 0 && ctx.creds.uid != ino.uid(&self.region) {
+                    return Err(FsError::Access);
+                }
+                let mut m = ino.mode(&self.region);
+                m.perm = perm & 0o777;
+                ino.set_mode(&self.region, m);
+                self.region.persist(ino.ptr().add(8), 4);
+                Ok(())
+            })
+        })
+    }
+
+    fn statfs(&self, _ctx: &ProcCtx) -> FsResult<FsStats> {
+        self.sec.call(OpClass::Ctl, || {
+            Ok(FsStats {
+                total_bytes: self.region.len() as u64,
+                free_bytes: self.blocks.free_blocks() * crate::BLOCK_SIZE as u64,
+                block_size: crate::BLOCK_SIZE as u32,
+            })
+        })
+    }
+
+    fn set_times(&self, ctx: &ProcCtx, p: &str, atime: u64, mtime: u64) -> FsResult<()> {
+        self.sec.call(OpClass::Ctl, || {
+            self.timers.time(TimerCategory::Fs, || {
+                let ino = self.resolve(ctx, p, true)?;
+                if ctx.creds.uid != 0 && ctx.creds.uid != ino.uid(&self.region) {
+                    return Err(FsError::Access);
+                }
+                ino.set_atime(&self.region, atime);
+                ino.set_mtime(&self.region, mtime);
+                self.region.persist(ino.ptr().add(32), 16);
+                Ok(())
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fs() -> (SimurghFs, ProcCtx) {
+        let region = Arc::new(PmemRegion::new(32 << 20));
+        let fs = SimurghFs::format(region, SimurghConfig::default()).unwrap();
+        (fs, ProcCtx::root(1))
+    }
+
+    #[test]
+    fn format_creates_usable_root() {
+        let (fs, ctx) = small_fs();
+        assert_eq!(fs.readdir(&ctx, "/").unwrap().len(), 0);
+        let st = fs.stat(&ctx, "/").unwrap();
+        assert!(st.is_dir());
+    }
+
+    #[test]
+    fn full_file_lifecycle() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/data.bin", b"payload").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/data.bin").unwrap(), b"payload");
+        let st = fs.stat(&ctx, "/data.bin").unwrap();
+        assert_eq!(st.size, 7);
+        fs.unlink(&ctx, "/data.bin").unwrap();
+        assert_eq!(fs.stat(&ctx, "/data.bin").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn directories_nest_and_enumerate() {
+        let (fs, ctx) = small_fs();
+        fs.mkdir(&ctx, "/a", FileMode::dir(0o755)).unwrap();
+        fs.mkdir(&ctx, "/a/b", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/a/b/c.txt", b"x").unwrap();
+        let names: Vec<_> = fs.readdir(&ctx, "/a/b").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["c.txt"]);
+        assert_eq!(fs.rmdir(&ctx, "/a").unwrap_err(), FsError::NotEmpty);
+        fs.unlink(&ctx, "/a/b/c.txt").unwrap();
+        fs.rmdir(&ctx, "/a/b").unwrap();
+        fs.rmdir(&ctx, "/a").unwrap();
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let (fs, ctx) = small_fs();
+        fs.mkdir(&ctx, "/d1", FileMode::dir(0o755)).unwrap();
+        fs.mkdir(&ctx, "/d2", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/d1/f", b"content").unwrap();
+        fs.rename(&ctx, "/d1/f", "/d1/g").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/d1/g").unwrap(), b"content");
+        fs.rename(&ctx, "/d1/g", "/d2/h").unwrap();
+        assert_eq!(fs.stat(&ctx, "/d1/g").unwrap_err(), FsError::NotFound);
+        assert_eq!(fs.read_to_vec(&ctx, "/d2/h").unwrap(), b"content");
+    }
+
+    #[test]
+    fn rename_dir_into_own_subtree_rejected() {
+        let (fs, ctx) = small_fs();
+        fs.mkdir(&ctx, "/top", FileMode::dir(0o755)).unwrap();
+        fs.mkdir(&ctx, "/top/sub", FileMode::dir(0o755)).unwrap();
+        assert_eq!(fs.rename(&ctx, "/top", "/top/sub/evil").unwrap_err(), FsError::Invalid);
+    }
+
+    #[test]
+    fn hard_links_and_nlink() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/orig", b"shared").unwrap();
+        fs.link(&ctx, "/orig", "/alias").unwrap();
+        let a = fs.stat(&ctx, "/orig").unwrap();
+        let b = fs.stat(&ctx, "/alias").unwrap();
+        assert_eq!(a.ino, b.ino);
+        assert_eq!(a.nlink, 2);
+        fs.unlink(&ctx, "/orig").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/alias").unwrap(), b"shared");
+        assert_eq!(fs.stat(&ctx, "/alias").unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn symlinks_follow_and_readlink() {
+        let (fs, ctx) = small_fs();
+        fs.mkdir(&ctx, "/real", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/real/f", b"deep").unwrap();
+        fs.symlink(&ctx, "/real", "/lnk").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/lnk/f").unwrap(), b"deep");
+        assert_eq!(fs.readlink(&ctx, "/lnk").unwrap(), "/real");
+        assert!(fs.stat(&ctx, "/lnk").unwrap().is_dir());
+        // Loop detection.
+        fs.symlink(&ctx, "/loop2", "/loop1").unwrap();
+        fs.symlink(&ctx, "/loop1", "/loop2").unwrap();
+        assert_eq!(fs.stat(&ctx, "/loop1").unwrap_err(), FsError::TooManyLinks);
+    }
+
+    #[test]
+    fn unlinked_open_file_remains_readable_until_close() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/ghost", b"boo").unwrap();
+        let fd = fs.open(&ctx, "/ghost", OpenFlags::RDONLY, FileMode::default()).unwrap();
+        fs.unlink(&ctx, "/ghost").unwrap();
+        assert_eq!(fs.stat(&ctx, "/ghost").unwrap_err(), FsError::NotFound);
+        let mut buf = [0u8; 3];
+        assert_eq!(fs.pread(&ctx, fd, &mut buf, 0).unwrap(), 3);
+        assert_eq!(&buf, b"boo");
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let (fs, ctx) = small_fs();
+        let fd = fs.open(&ctx, "/log", OpenFlags::APPEND, FileMode::default()).unwrap();
+        fs.write(&ctx, fd, b"one,").unwrap();
+        fs.write(&ctx, fd, b"two").unwrap();
+        fs.close(&ctx, fd).unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/log").unwrap(), b"one,two");
+    }
+
+    #[test]
+    fn permissions_checked_on_walk_and_open() {
+        let (fs, root) = small_fs();
+        fs.mkdir(&root, "/secret", FileMode::dir(0o700)).unwrap();
+        fs.write_file(&root, "/secret/key", b"k").unwrap();
+        fs.write_file(&root, "/open", b"o").unwrap();
+        fs.chmod(&root, "/open", 0o600).unwrap();
+        let user = ProcCtx::new(9, simurgh_fsapi::Credentials::user(1000, 1000));
+        assert_eq!(fs.stat(&user, "/secret/key").unwrap_err(), FsError::Access);
+        assert_eq!(
+            fs.open(&user, "/open", OpenFlags::RDONLY, FileMode::default()).unwrap_err(),
+            FsError::Access
+        );
+        assert_eq!(fs.chmod(&user, "/open", 0o777).unwrap_err(), FsError::Access);
+        assert_eq!(fs.unlink(&user, "/open").unwrap_err(), FsError::Access);
+    }
+
+    #[test]
+    fn concurrent_shared_directory_creates() {
+        let region = Arc::new(PmemRegion::new(64 << 20));
+        let fs = Arc::new(SimurghFs::format(region, SimurghConfig::default()).unwrap());
+        fs.mkdir(&ProcCtx::root(0), "/shared", FileMode::dir(0o777)).unwrap();
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u32 {
+                let fs = &fs;
+                s.spawn(move |_| {
+                    let ctx = ProcCtx::root(t + 1);
+                    for i in 0..50 {
+                        let fd = fs
+                            .create(&ctx, &format!("/shared/t{t}-f{i}"), FileMode::default())
+                            .unwrap();
+                        fs.close(&ctx, fd).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(fs.readdir(&ProcCtx::root(0), "/shared").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn ftruncate_and_fallocate() {
+        let (fs, ctx) = small_fs();
+        let fd = fs.open(&ctx, "/t", OpenFlags::CREATE, FileMode::default()).unwrap();
+        fs.fallocate(&ctx, fd, 0, 1 << 20).unwrap();
+        assert_eq!(fs.fstat(&ctx, fd).unwrap().size, 1 << 20);
+        fs.ftruncate(&ctx, fd, 100).unwrap();
+        assert_eq!(fs.fstat(&ctx, fd).unwrap().size, 100);
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn lseek_semantics() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/s", b"0123456789").unwrap();
+        let fd = fs.open(&ctx, "/s", OpenFlags::RDWR, FileMode::default()).unwrap();
+        assert_eq!(fs.lseek(&ctx, fd, SeekFrom::End(-4)).unwrap(), 6);
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(&ctx, fd, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"6789");
+        assert_eq!(fs.lseek(&ctx, fd, SeekFrom::Current(-2)).unwrap(), 8);
+        assert_eq!(fs.lseek(&ctx, fd, SeekFrom::Current(-20)).unwrap_err(), FsError::Invalid);
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn set_times_roundtrip() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/f", b"").unwrap();
+        fs.set_times(&ctx, "/f", 1234, 5678).unwrap();
+        let st = fs.stat(&ctx, "/f").unwrap();
+        assert_eq!((st.atime, st.mtime), (1234, 5678));
+    }
+
+    #[test]
+    fn stat_ino_is_persistent_pointer() {
+        let (fs, ctx) = small_fs();
+        fs.write_file(&ctx, "/p", b"").unwrap();
+        let st = fs.stat(&ctx, "/p").unwrap();
+        // The inode id is a valid offset into the region pointing at a
+        // valid inode object — the paper's "no inode numbers" design.
+        let ino = Inode(PPtr::new(st.ino));
+        assert_eq!(ino.stat(&fs.region).size, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Name hashing for the directory hash blocks.
+//!
+//! Directory blocks are linear hash maps from name hashes to file-entry
+//! pointers (§4.3). The hash must be stable across mounts (it is implied by
+//! the persistent layout), so we use FNV-1a rather than anything seeded.
+
+/// FNV-1a 64-bit.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The directory line a name maps to, for a directory with `nlines` lines.
+#[inline]
+pub fn dir_line(name: &str, nlines: usize) -> usize {
+    (fnv1a(name.as_bytes()) % nlines as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn lines_are_stable_and_in_range() {
+        for name in ["file-1", "file-2", "a/b", "xyz", ""] {
+            let l = dir_line(name, 256);
+            assert!(l < 256);
+            assert_eq!(l, dir_line(name, 256));
+        }
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        // 10k sequential names over 256 lines: no line should be wildly hot.
+        let mut counts = [0u32; 256];
+        for i in 0..10_000 {
+            counts[dir_line(&format!("file-{i}"), 256)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 100, "hot line: {max}");
+        assert!(min > 5, "cold line: {min}");
+    }
+}

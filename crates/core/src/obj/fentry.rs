@@ -1,0 +1,159 @@
+//! File-entry layout.
+//!
+//! File entries are the values of the directory hash maps: they carry the
+//! name, a type/link flag word and the persistent pointer to the inode
+//! (§4.3 "Directory blocks", "Symbolic links"). They are fixed-size pool
+//! objects so that allocation is a single lock-free claim.
+
+use simurgh_fsapi::types::FileType;
+use simurgh_pmem::{PPtr, PmemRegion};
+
+/// Size of one file-entry object.
+pub const FENTRY_SIZE: u64 = 256;
+
+/// Maximum name bytes stored inline (≥ `simurgh_fsapi::NAME_MAX`).
+pub const NAME_CAP: usize = 232;
+
+const O_INODE: u64 = 8;
+const O_FLAGS: u64 = 16;
+const O_NAMELEN: u64 = 20;
+const O_NAME: u64 = 24;
+
+/// Flag bit: this entry is a symbolic link (paper's "link flag" — the
+/// inode it points to stores only the destination path).
+const F_SYMLINK: u32 = 1;
+const F_TYPE_SHIFT: u32 = 8;
+
+/// Typed view over a file-entry object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileEntry(pub PPtr);
+
+impl FileEntry {
+    #[inline]
+    pub fn ptr(self) -> PPtr {
+        self.0
+    }
+
+    /// Writes name, type and inode pointer (create path). Caller persists
+    /// the object and links it into a hash line afterwards.
+    pub fn init(self, r: &PmemRegion, name: &str, ftype: FileType, inode: PPtr) {
+        debug_assert!(name.len() <= NAME_CAP);
+        r.write(self.0.add(O_INODE), inode.off());
+        let t: u32 = match ftype {
+            FileType::Regular => 0,
+            FileType::Directory => 1,
+            FileType::Symlink => 2,
+        };
+        let mut flags = t << F_TYPE_SHIFT;
+        if ftype == FileType::Symlink {
+            flags |= F_SYMLINK;
+        }
+        r.write(self.0.add(O_FLAGS), flags);
+        r.write(self.0.add(O_NAMELEN), name.len() as u32);
+        r.write_from(self.0.add(O_NAME), name.as_bytes());
+    }
+
+    pub fn inode(self, r: &PmemRegion) -> PPtr {
+        PPtr::new(r.read(self.0.add(O_INODE)))
+    }
+
+    pub fn set_inode(self, r: &PmemRegion, inode: PPtr) {
+        r.write(self.0.add(O_INODE), inode.off());
+        r.persist(self.0.add(O_INODE), 8);
+    }
+
+    pub fn ftype(self, r: &PmemRegion) -> FileType {
+        let flags: u32 = r.read(self.0.add(O_FLAGS));
+        match (flags >> F_TYPE_SHIFT) & 0xff {
+            1 => FileType::Directory,
+            2 => FileType::Symlink,
+            _ => FileType::Regular,
+        }
+    }
+
+    pub fn is_symlink(self, r: &PmemRegion) -> bool {
+        let flags: u32 = r.read(self.0.add(O_FLAGS));
+        flags & F_SYMLINK != 0
+    }
+
+    pub fn name_len(self, r: &PmemRegion) -> usize {
+        (r.read::<u32>(self.0.add(O_NAMELEN)) as usize).min(NAME_CAP)
+    }
+
+    /// Reads the entry name.
+    pub fn name(self, r: &PmemRegion) -> String {
+        let len = self.name_len(r);
+        let mut buf = vec![0u8; len];
+        r.read_into(self.0.add(O_NAME), &mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+
+    /// Compares the stored name against `name` without allocating.
+    pub fn name_eq(self, r: &PmemRegion, name: &str) -> bool {
+        if self.name_len(r) != name.len() {
+            return false;
+        }
+        let mut buf = [0u8; NAME_CAP];
+        let len = name.len();
+        r.read_into(self.0.add(O_NAME), &mut buf[..len]);
+        &buf[..len] == name.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_and_read_back() {
+        let r = PmemRegion::new(8192);
+        let fe = FileEntry(PPtr::new(1024));
+        fe.init(&r, "report.txt", FileType::Regular, PPtr::new(4096));
+        assert_eq!(fe.inode(&r), PPtr::new(4096));
+        assert_eq!(fe.ftype(&r), FileType::Regular);
+        assert!(!fe.is_symlink(&r));
+        assert_eq!(fe.name(&r), "report.txt");
+        assert!(fe.name_eq(&r, "report.txt"));
+        assert!(!fe.name_eq(&r, "report.txT"));
+        assert!(!fe.name_eq(&r, "report.txt2"));
+    }
+
+    #[test]
+    fn symlink_flag() {
+        let r = PmemRegion::new(8192);
+        let fe = FileEntry(PPtr::new(1024));
+        fe.init(&r, "ln", FileType::Symlink, PPtr::new(2048));
+        assert!(fe.is_symlink(&r));
+        assert_eq!(fe.ftype(&r), FileType::Symlink);
+    }
+
+    #[test]
+    fn directory_type() {
+        let r = PmemRegion::new(8192);
+        let fe = FileEntry(PPtr::new(1024));
+        fe.init(&r, "subdir", FileType::Directory, PPtr::new(2048));
+        assert_eq!(fe.ftype(&r), FileType::Directory);
+        assert!(!fe.is_symlink(&r));
+    }
+
+    #[test]
+    fn inode_retarget() {
+        // The intra-directory rename protocol points a shadow entry at the
+        // same inode (Fig. 5c step 2).
+        let r = PmemRegion::new(8192);
+        let fe = FileEntry(PPtr::new(1024));
+        fe.init(&r, "x", FileType::Regular, PPtr::new(4096));
+        fe.set_inode(&r, PPtr::new(6144));
+        assert_eq!(fe.inode(&r), PPtr::new(6144));
+    }
+
+    #[test]
+    fn max_length_name() {
+        let r = PmemRegion::new(8192);
+        let fe = FileEntry(PPtr::new(1024));
+        let name = "n".repeat(simurgh_fsapi::NAME_MAX);
+        fe.init(&r, &name, FileType::Regular, PPtr::new(4096));
+        assert_eq!(fe.name(&r), name);
+        assert!(fe.name_eq(&r, &name));
+    }
+}

@@ -1,0 +1,135 @@
+//! Persistent metadata object layouts.
+//!
+//! Simurgh keeps three kinds of fixed-size metadata objects in NVMM pools
+//! (§4.2 "Data structure allocator"): inodes, file entries and directory
+//! hash blocks. Every object starts with an 8-byte header word containing
+//! the **valid** and **dirty** flags the allocator and the crash-recovery
+//! protocols revolve around:
+//!
+//! * free object: `valid = 0, dirty = 0` (entire object zeroed),
+//! * just allocated / operation in flight: `valid = 1, dirty = 1`,
+//! * live and consistent: `valid = 1, dirty = 0`,
+//! * deallocation in flight: `valid = 0, dirty = 1`.
+//!
+//! The header also carries a type tag so the mark-and-sweep recovery can
+//! sanity-check every pointer it follows.
+
+pub mod dirblock;
+pub mod fentry;
+pub mod inode;
+
+use simurgh_pmem::{PPtr, PmemRegion};
+use std::sync::atomic::Ordering;
+
+/// Header bit: the object is live.
+pub const H_VALID: u64 = 1 << 0;
+/// Header bit: an operation on the object has not completed.
+pub const H_DIRTY: u64 = 1 << 1;
+
+/// Object type tags (header bits 8..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Tag {
+    Inode = 1,
+    FileEntry = 2,
+    DirBlock = 3,
+}
+
+impl Tag {
+    pub fn from_header(h: u64) -> Option<Tag> {
+        match (h >> 8) & 0xff {
+            1 => Some(Tag::Inode),
+            2 => Some(Tag::FileEntry),
+            3 => Some(Tag::DirBlock),
+            _ => None,
+        }
+    }
+
+    pub fn bits(self) -> u64 {
+        (self as u64) << 8
+    }
+}
+
+/// Reads an object header.
+#[inline]
+pub fn header(region: &PmemRegion, obj: PPtr) -> u64 {
+    region.atomic_u64(obj).load(Ordering::Acquire)
+}
+
+/// Whether the header marks a live object.
+#[inline]
+pub fn is_valid(h: u64) -> bool {
+    h & H_VALID != 0
+}
+
+/// Whether the header marks an in-flight operation.
+#[inline]
+pub fn is_dirty(h: u64) -> bool {
+    h & H_DIRTY != 0
+}
+
+/// Clears the dirty bit and persists the header — the final step of the
+/// create/rename protocols ("the dirty bits for the newly created data
+/// structures are unset", Fig. 5a step 6).
+pub fn clear_dirty(region: &PmemRegion, obj: PPtr) {
+    region.atomic_u64(obj).fetch_and(!H_DIRTY, Ordering::AcqRel);
+    region.note_atomic(obj, 8);
+    region.persist(obj, 8);
+}
+
+/// Sets the dirty bit and persists the header (marks an operation on a live
+/// object as in flight, e.g. the file entry being removed in Fig. 5b).
+pub fn set_dirty(region: &PmemRegion, obj: PPtr) {
+    region.atomic_u64(obj).fetch_or(H_DIRTY, Ordering::AcqRel);
+    region.note_atomic(obj, 8);
+    region.persist(obj, 8);
+}
+
+/// Clears the valid bit (keeping dirty set) and persists — the first step
+/// of deallocation (Fig. 5b step 2).
+pub fn invalidate(region: &PmemRegion, obj: PPtr) {
+    let a = region.atomic_u64(obj);
+    let mut h = a.load(Ordering::Acquire);
+    loop {
+        let new = (h & !H_VALID) | H_DIRTY;
+        match a.compare_exchange_weak(h, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => break,
+            Err(cur) => h = cur,
+        }
+    }
+    region.note_atomic(obj, 8);
+    region.persist(obj, 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for t in [Tag::Inode, Tag::FileEntry, Tag::DirBlock] {
+            assert_eq!(Tag::from_header(t.bits() | H_VALID | H_DIRTY), Some(t));
+        }
+        assert_eq!(Tag::from_header(0), None);
+        assert_eq!(Tag::from_header(0xff << 8), None);
+    }
+
+    #[test]
+    fn header_bit_lifecycle() {
+        let r = PmemRegion::new(4096);
+        let p = PPtr::new(64);
+        // Allocation: valid + dirty + tag.
+        r.atomic_u64(p).store(H_VALID | H_DIRTY | Tag::Inode.bits(), Ordering::Release);
+        let h = header(&r, p);
+        assert!(is_valid(h) && is_dirty(h));
+        clear_dirty(&r, p);
+        let h = header(&r, p);
+        assert!(is_valid(h) && !is_dirty(h));
+        set_dirty(&r, p);
+        assert!(is_dirty(header(&r, p)));
+        invalidate(&r, p);
+        let h = header(&r, p);
+        assert!(!is_valid(h) && is_dirty(h));
+        assert_eq!(Tag::from_header(h), Some(Tag::Inode), "tag survives state changes");
+    }
+}

@@ -1,0 +1,166 @@
+//! Exercises the shared-DRAM index code paths of the directory module
+//! explicitly: hits, authoritative misses, stale-hint verification, free
+//! hints, tail hints, and index state across repairs and reindexing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simurgh_core::dindex::{DirIndex, IndexHit};
+use simurgh_core::hash::fnv1a;
+use simurgh_core::obj;
+use simurgh_core::{dir, SimurghConfig, SimurghFs};
+use simurgh_fsapi::{FileMode, FileSystem, FileType, ProcCtx};
+use simurgh_pmem::{PPtr, PmemRegion};
+
+const CTX: ProcCtx = ProcCtx::root(1);
+
+fn fs() -> SimurghFs {
+    SimurghFs::format(Arc::new(PmemRegion::new(64 << 20)), SimurghConfig::default()).unwrap()
+}
+
+#[test]
+fn fresh_directories_answer_misses_authoritatively() {
+    let fs = fs();
+    fs.mkdir(&CTX, "/d", FileMode::dir(0o755)).unwrap();
+    // A lookup of a missing name in a complete directory is a fast miss —
+    // observable through the index directly.
+    let (_, first) = fs.testing_dir_block("/d").unwrap();
+    let env = fs.testing_dir_env();
+    let ix = env.index.expect("mounted fs always has an index");
+    assert!(ix.is_complete(first.ptr()));
+    assert_eq!(ix.lookup(first.ptr(), fnv1a(b"missing")), IndexHit::AbsentForSure);
+    assert!(dir::lookup(&env, first, "missing").is_none());
+}
+
+#[test]
+fn stale_index_entry_is_verified_and_corrected() {
+    let fs = fs();
+    fs.write_file(&CTX, "/victim", b"v").unwrap();
+    let (_, first) = fs.testing_dir_block("/").unwrap();
+    let env = fs.testing_dir_env();
+    let ix = env.index.unwrap();
+    // Poison the index: point the name at a bogus object.
+    ix.insert(first.ptr(), fnv1a(b"victim"), PPtr::new(64), PPtr::new(64));
+    // Lookup must detect the mismatch, fall back to the chain, and still
+    // find the real entry (also healing the index).
+    let fe = dir::lookup(&env, first, "victim").expect("verified fallback");
+    assert!(obj::is_valid(obj::header(fs.region(), fe.ptr())));
+    assert_eq!(fs.read_to_vec(&CTX, "/victim").unwrap(), b"v");
+    match ix.lookup(first.ptr(), fnv1a(b"victim")) {
+        IndexHit::Found(p, _) => assert_eq!(p, fe.ptr(), "index healed"),
+        other => panic!("expected healed hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn free_hint_reuses_deleted_slot() {
+    let fs = fs();
+    fs.mkdir(&CTX, "/d", FileMode::dir(0o777)).unwrap();
+    // Build a chain: enough colliding names to need several blocks.
+    let base = "seed";
+    let mut names = vec![base.to_owned()];
+    let mut i = 0;
+    while names.len() < 5 {
+        let cand = format!("c{i}");
+        if simurgh_core::hash::dir_line(&cand, 256) == simurgh_core::hash::dir_line(base, 256) {
+            names.push(cand);
+        }
+        i += 1;
+    }
+    for n in &names {
+        fs.write_file(&CTX, &format!("/d/{n}"), b"x").unwrap();
+    }
+    let (_, first) = fs.testing_dir_block("/d").unwrap();
+    let chain_before = dir::chain(fs.region(), first).count();
+    // Delete one from the middle, insert a new colliding name: the freed
+    // slot must be reused rather than the chain extended.
+    fs.unlink(&CTX, &format!("/d/{}", names[2])).unwrap();
+    let newcomer = loop {
+        let cand = format!("n{i}");
+        if simurgh_core::hash::dir_line(&cand, 256) == simurgh_core::hash::dir_line(base, 256) {
+            break cand;
+        }
+        i += 1;
+    };
+    fs.write_file(&CTX, &format!("/d/{newcomer}"), b"y").unwrap();
+    let chain_after = dir::chain(fs.region(), first).count();
+    assert_eq!(chain_after, chain_before, "free slot reused, chain not extended");
+    for n in names.iter().filter(|n| *n != &names[2]) {
+        assert!(fs.stat(&CTX, &format!("/d/{n}")).is_ok());
+    }
+    assert!(fs.stat(&CTX, &format!("/d/{newcomer}")).is_ok());
+}
+
+#[test]
+fn repair_drops_authority_and_reindex_restores_it() {
+    let region = Arc::new(PmemRegion::new(64 << 20));
+    let cfg = SimurghConfig { line_max_hold: Duration::from_millis(10), ..Default::default() };
+    let fs = SimurghFs::format(region, cfg).unwrap();
+    fs.mkdir(&CTX, "/d", FileMode::dir(0o777)).unwrap();
+    fs.write_file(&CTX, "/d/a", b"1").unwrap();
+    let (_, first) = fs.testing_dir_block("/d").unwrap();
+    let env = fs.testing_dir_env();
+    let ix = env.index.unwrap();
+    assert!(ix.is_complete(first.ptr()));
+    // A runtime repair marks the directory incomplete...
+    dir::repair_line(&env, first, 0);
+    assert!(!ix.is_complete(first.ptr()), "authority dropped during repair");
+    // ...and reindexing restores completeness with the right content.
+    dir::reindex_dir(&env, first);
+    assert!(ix.is_complete(first.ptr()));
+    assert!(matches!(ix.lookup(first.ptr(), fnv1a(b"a")), IndexHit::Found(_, _)));
+}
+
+#[test]
+fn rename_updates_index_both_sides() {
+    let fs = fs();
+    fs.mkdir(&CTX, "/src", FileMode::dir(0o777)).unwrap();
+    fs.mkdir(&CTX, "/dst", FileMode::dir(0o777)).unwrap();
+    fs.write_file(&CTX, "/src/file", b"cargo").unwrap();
+    fs.rename(&CTX, "/src/file", "/dst/moved").unwrap();
+    let (_, src) = fs.testing_dir_block("/src").unwrap();
+    let (_, dst) = fs.testing_dir_block("/dst").unwrap();
+    let env = fs.testing_dir_env();
+    let ix = env.index.unwrap();
+    assert_eq!(ix.lookup(src.ptr(), fnv1a(b"file")), IndexHit::AbsentForSure);
+    assert!(matches!(ix.lookup(dst.ptr(), fnv1a(b"moved")), IndexHit::Found(_, _)));
+    assert_eq!(fs.read_to_vec(&CTX, "/dst/moved").unwrap(), b"cargo");
+}
+
+#[test]
+fn rmdir_forgets_directory_state() {
+    let fs = fs();
+    fs.mkdir(&CTX, "/tmp", FileMode::dir(0o777)).unwrap();
+    let (_, first) = fs.testing_dir_block("/tmp").unwrap();
+    let ptr = first.ptr();
+    fs.rmdir(&CTX, "/tmp").unwrap();
+    let env = fs.testing_dir_env();
+    let ix = env.index.unwrap();
+    assert!(!ix.is_complete(ptr), "forgotten after rmdir");
+    assert_eq!(ix.lookup(ptr, fnv1a(b"anything")), IndexHit::Unknown);
+}
+
+#[test]
+fn mount_rebuild_restores_full_index() {
+    let region = Arc::new(PmemRegion::new(64 << 20));
+    let fs = SimurghFs::format(region.clone(), SimurghConfig::default()).unwrap();
+    fs.mkdir(&CTX, "/a", FileMode::dir(0o755)).unwrap();
+    for i in 0..30 {
+        fs.write_file(&CTX, &format!("/a/f{i}"), b"z").unwrap();
+    }
+    fs.unmount();
+    let fs2 = SimurghFs::mount(region, SimurghConfig::default()).unwrap();
+    assert!(fs2.recovery_report().rebuild_time > Duration::ZERO);
+    let (_, first) = fs2.testing_dir_block("/a").unwrap();
+    let env = fs2.testing_dir_env();
+    let ix = env.index.unwrap();
+    assert!(ix.is_complete(first.ptr()), "rebuilt at mount");
+    for i in 0..30 {
+        assert!(matches!(
+            ix.lookup(first.ptr(), fnv1a(format!("f{i}").as_bytes())),
+            IndexHit::Found(_, _)
+        ));
+    }
+    // Entry kinds survive too.
+    assert_eq!(fs2.stat(&CTX, "/a").unwrap().mode.ftype, FileType::Directory);
+}

@@ -1,0 +1,81 @@
+//! File-system error codes, modelled on the POSIX errnos the paper's
+//! workloads (FxMark, Filebench, LevelDB, tar, git) actually exercise.
+
+/// Result alias used across all file-system implementations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// POSIX-flavoured error conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT: a path component does not exist.
+    NotFound,
+    /// EEXIST: target already exists (O_EXCL create, mkdir, link).
+    Exists,
+    /// ENOTDIR: a non-final path component is not a directory.
+    NotDir,
+    /// EISDIR: directory where a file was required.
+    IsDir,
+    /// ENOTEMPTY: rmdir / rename onto a non-empty directory.
+    NotEmpty,
+    /// EACCES: permission denied by mode bits.
+    Access,
+    /// ENOSPC: allocator exhausted.
+    NoSpace,
+    /// EBADF: unknown or wrongly-opened file descriptor.
+    BadFd,
+    /// ENAMETOOLONG.
+    NameTooLong,
+    /// EINVAL: malformed path or argument.
+    Invalid,
+    /// EMLINK / ELOOP: too many links or symlink loop.
+    TooManyLinks,
+    /// EROFS or an operation the implementation does not support.
+    Unsupported,
+    /// Internal consistency failure (would be a kernel bug on a real FS).
+    Corrupt(&'static str),
+}
+
+impl FsError {
+    /// The closest classic errno name, for harness output.
+    pub fn errno_name(&self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+            FsError::Exists => "EEXIST",
+            FsError::NotDir => "ENOTDIR",
+            FsError::IsDir => "EISDIR",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::Access => "EACCES",
+            FsError::NoSpace => "ENOSPC",
+            FsError::BadFd => "EBADF",
+            FsError::NameTooLong => "ENAMETOOLONG",
+            FsError::Invalid => "EINVAL",
+            FsError::TooManyLinks => "ELOOP",
+            FsError::Unsupported => "ENOTSUP",
+            FsError::Corrupt(_) => "EIO",
+        }
+    }
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Corrupt(what) => write!(f, "EIO (fs corruption: {what})"),
+            other => f.write_str(other.errno_name()),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_names() {
+        assert_eq!(FsError::NotFound.errno_name(), "ENOENT");
+        assert_eq!(FsError::Corrupt("x").errno_name(), "EIO");
+        assert_eq!(format!("{}", FsError::Exists), "EEXIST");
+        assert_eq!(format!("{}", FsError::Corrupt("bad line")), "EIO (fs corruption: bad line)");
+    }
+}

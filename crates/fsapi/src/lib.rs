@@ -1,0 +1,25 @@
+//! Common file-system interface for the Simurgh reproduction.
+//!
+//! Simurgh is benchmarked against four other file systems across identical
+//! workloads, so every implementation — `simurgh-core` and each model in
+//! `simurgh-baselines` — speaks the same POSIX-like [`FileSystem`] trait
+//! defined here. The crate also carries the shared vocabulary types
+//! (credentials, modes, stat, errors), path handling, an instrumentation
+//! layer for the paper's execution-time breakdowns (Table 1, Fig. 10), and
+//! [`reffs::RefFs`], a deliberately simple in-memory reference file system
+//! used as the oracle in differential and property tests.
+
+pub mod error;
+pub mod fs;
+pub mod path;
+pub mod profile;
+pub mod reffs;
+pub mod types;
+
+pub use error::{FsError, FsResult};
+pub use fs::{DirEntry, FileSystem, ProcCtx};
+pub use profile::{Breakdown, Instrumented, OpTimers, TimerCategory};
+pub use types::{Credentials, Fd, FileMode, FileType, FsStats, OpenFlags, SeekFrom, Stat};
+
+/// Maximum file-name length accepted by every implementation (bytes).
+pub const NAME_MAX: usize = 230;

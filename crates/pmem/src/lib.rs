@@ -1,0 +1,44 @@
+//! Emulated non-volatile main memory (NVMM) for the Simurgh reproduction.
+//!
+//! The paper evaluates Simurgh on Intel Optane DC persistent memory mapped
+//! directly into application address spaces. This crate provides the software
+//! substitute: a byte-addressable region addressed through *persistent
+//! pointers* (offsets), with the exact persistence primitives the paper's
+//! protocols rely on:
+//!
+//! * regular and non-temporal stores,
+//! * cache-line write-back (`clwb`) and store fences (`sfence`),
+//! * 8/32/64-bit atomic access for the lock-free metadata protocols,
+//! * an optional **crash tracker** that maintains a separate "media" image so
+//!   that a simulated power failure only preserves lines that were flushed
+//!   *and* fenced — letting tests observe every torn intermediate state of
+//!   the paper's Fig. 5 protocols,
+//! * an optional per-page [`AccessPolicy`] hook so the protected-function
+//!   simulator can enforce that NVMM pages marked as kernel pages are only
+//!   touched from privileged mode (paper §3.2),
+//! * a calibrated [`clock::SpinClock`] used to inject modelled latencies
+//!   (security-call costs, NVMM bandwidth) as real delays.
+//!
+//! Everything in the Simurgh stack — the file system, the baseline models and
+//! the benchmark harness — goes through [`PmemRegion`].
+
+pub mod clock;
+pub mod layout;
+pub mod pptr;
+pub mod prot;
+pub mod region;
+pub mod stats;
+pub mod tracker;
+
+pub use clock::SpinClock;
+pub use pptr::PPtr;
+pub use prot::{AccessFault, AccessPolicy, PageFlags, PageTable};
+pub use region::{PmemError, PmemRegion, RegionBuilder};
+pub use stats::PmemStats;
+pub use tracker::TrackMode;
+
+/// Size of one emulated CPU cache line in bytes.
+pub const CACHE_LINE: usize = 64;
+
+/// Size of one emulated page in bytes (the protection granularity).
+pub const PAGE_SIZE: usize = 4096;

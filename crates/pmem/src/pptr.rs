@@ -1,0 +1,149 @@
+//! Persistent pointers: region-relative offsets.
+//!
+//! NVMM is mapped at an unpredictable virtual address in every process
+//! (ASLR), so Simurgh replaces absolute pointers with *relative offsets from
+//! the start of the NVMM device* (paper §4.1). [`PPtr`] is that offset. The
+//! all-zero value is reserved as the null pointer, which the paper's delete
+//! protocol depends on (a zeroed slot means "no entry").
+
+use std::fmt;
+
+/// A persistent pointer: a byte offset from the start of a [`PmemRegion`]
+/// (`crate::PmemRegion`). Offset `0` is the null pointer and always points at
+/// the superblock area, which never holds an allocatable object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
+pub struct PPtr(pub u64);
+
+impl PPtr {
+    /// The null persistent pointer.
+    pub const NULL: PPtr = PPtr(0);
+
+    /// Creates a persistent pointer from a raw offset.
+    #[inline]
+    pub const fn new(off: u64) -> Self {
+        PPtr(off)
+    }
+
+    /// Raw byte offset.
+    #[inline]
+    pub const fn off(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Offset arithmetic; panics on overflow in debug builds.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        PPtr(self.0 + bytes)
+    }
+
+    /// Checked offset arithmetic.
+    #[inline]
+    pub fn checked_add(self, bytes: u64) -> Option<Self> {
+        self.0.checked_add(bytes).map(PPtr)
+    }
+
+    /// Whether the pointer is aligned to `align` bytes (`align` must be a
+    /// power of two).
+    #[inline]
+    pub const fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds the pointer up to the next multiple of `align`.
+    #[inline]
+    pub const fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        PPtr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Index of the emulated 4-KB page this pointer falls into.
+    #[inline]
+    pub const fn page(self) -> usize {
+        (self.0 / crate::PAGE_SIZE as u64) as usize
+    }
+
+    /// Index of the emulated cache line this pointer falls into.
+    #[inline]
+    pub const fn line(self) -> usize {
+        (self.0 / crate::CACHE_LINE as u64) as usize
+    }
+}
+
+impl fmt::Debug for PPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PPtr(NULL)")
+        } else {
+            write!(f, "PPtr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PPtr {
+    fn from(off: u64) -> Self {
+        PPtr(off)
+    }
+}
+
+impl From<PPtr> for u64 {
+    fn from(p: PPtr) -> Self {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero_and_default() {
+        assert!(PPtr::NULL.is_null());
+        assert_eq!(PPtr::default(), PPtr::NULL);
+        assert!(!PPtr::new(1).is_null());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = PPtr::new(4096);
+        assert_eq!(p.add(64).off(), 4160);
+        assert_eq!(p.checked_add(u64::MAX), None);
+        assert_eq!(p.checked_add(4), Some(PPtr::new(4100)));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(PPtr::new(128).is_aligned(64));
+        assert!(!PPtr::new(65).is_aligned(64));
+        assert_eq!(PPtr::new(65).align_up(64), PPtr::new(128));
+        assert_eq!(PPtr::new(64).align_up(64), PPtr::new(64));
+    }
+
+    #[test]
+    fn page_and_line_indices() {
+        assert_eq!(PPtr::new(0).page(), 0);
+        assert_eq!(PPtr::new(4096).page(), 1);
+        assert_eq!(PPtr::new(8191).page(), 1);
+        assert_eq!(PPtr::new(63).line(), 0);
+        assert_eq!(PPtr::new(64).line(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:?}", PPtr::NULL), "PPtr(NULL)");
+        assert_eq!(format!("{}", PPtr::new(0x1000)), "0x1000");
+    }
+}

@@ -1,0 +1,142 @@
+//! Page-granular protection metadata.
+//!
+//! The paper marks file-system data/metadata pages and protected-function
+//! pages as *kernel pages* and adds one new page-table bit, `ep`
+//! ("execute protected", §3.1). This module stores those bits; the policy
+//! that interprets them against the calling thread's privilege level lives
+//! in `simurgh-protfn`, which plugs in here via [`AccessPolicy`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Per-page protection flags, mirroring the paper's extended PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags(pub u8);
+
+impl PageFlags {
+    /// The page belongs to the kernel / file-system domain; user-mode
+    /// accesses must fault.
+    pub const KERNEL: PageFlags = PageFlags(0b01);
+    /// The `ep` bit: the page contains protected functions and may be the
+    /// target of a `jmpp`.
+    pub const EP: PageFlags = PageFlags(0b10);
+
+    /// Flag-set union.
+    pub const fn union(self, other: PageFlags) -> PageFlags {
+        PageFlags(self.0 | other.0)
+    }
+
+    /// Whether all bits of `other` are set in `self`.
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// A protection fault detected on an emulated access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessFault {
+    /// A user-mode (CPL=3) access touched a kernel page.
+    UserAccessToKernelPage { page: usize, write: bool },
+    /// A write targeted an execute-protected page from user mode (protected
+    /// code must be immutable to applications).
+    WriteToProtectedCode { page: usize },
+}
+
+impl std::fmt::Display for AccessFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessFault::UserAccessToKernelPage { page, write } => write!(
+                f,
+                "user-mode {} of kernel page {page}",
+                if *write { "write" } else { "read" }
+            ),
+            AccessFault::WriteToProtectedCode { page } => {
+                write!(f, "write to execute-protected page {page}")
+            }
+        }
+    }
+}
+
+/// Policy hook consulted by [`crate::PmemRegion`] on every access when
+/// installed. Implemented by the protected-function simulator.
+pub trait AccessPolicy: Send + Sync {
+    /// Returns `Err` if the calling thread may not perform this access.
+    fn check_access(&self, page: usize, write: bool) -> Result<(), AccessFault>;
+}
+
+/// The emulated extended page table: one flag byte per 4-KB page.
+pub struct PageTable {
+    flags: Vec<AtomicU8>,
+}
+
+impl PageTable {
+    /// A table covering `pages` pages, all flags clear (plain user pages).
+    pub fn new(pages: usize) -> Self {
+        PageTable { flags: (0..pages).map(|_| AtomicU8::new(0)).collect() }
+    }
+
+    /// Number of pages covered.
+    pub fn pages(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Reads the flags of one page. Out-of-range pages read as flag-free.
+    pub fn get(&self, page: usize) -> PageFlags {
+        self.flags.get(page).map_or(PageFlags::default(), |f| PageFlags(f.load(Ordering::Acquire)))
+    }
+
+    /// Sets (ORs in) flags on a page range. The privilege check — only
+    /// kernel mode may set `EP` — is the caller's job (the protfn kernel
+    /// module does it).
+    pub fn set(&self, first_page: usize, pages: usize, flags: PageFlags) {
+        for p in first_page..first_page + pages {
+            if let Some(f) = self.flags.get(p) {
+                f.fetch_or(flags.0, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Clears flags on a page range.
+    pub fn clear(&self, first_page: usize, pages: usize, flags: PageFlags) {
+        for p in first_page..first_page + pages {
+            if let Some(f) = self.flags.get(p) {
+                f.fetch_and(!flags.0, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_union_and_contains() {
+        let both = PageFlags::KERNEL.union(PageFlags::EP);
+        assert!(both.contains(PageFlags::KERNEL));
+        assert!(both.contains(PageFlags::EP));
+        assert!(!PageFlags::KERNEL.contains(PageFlags::EP));
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let pt = PageTable::new(8);
+        assert_eq!(pt.get(3), PageFlags::default());
+        pt.set(2, 3, PageFlags::KERNEL);
+        assert!(pt.get(2).contains(PageFlags::KERNEL));
+        assert!(pt.get(4).contains(PageFlags::KERNEL));
+        assert!(!pt.get(5).contains(PageFlags::KERNEL));
+        pt.set(3, 1, PageFlags::EP);
+        assert!(pt.get(3).contains(PageFlags::KERNEL.union(PageFlags::EP)));
+        pt.clear(2, 3, PageFlags::KERNEL);
+        assert!(!pt.get(3).contains(PageFlags::KERNEL));
+        assert!(pt.get(3).contains(PageFlags::EP));
+    }
+
+    #[test]
+    fn out_of_range_pages_are_flag_free() {
+        let pt = PageTable::new(2);
+        assert_eq!(pt.get(100), PageFlags::default());
+        pt.set(100, 1, PageFlags::KERNEL); // silently ignored
+        assert_eq!(pt.get(100), PageFlags::default());
+    }
+}

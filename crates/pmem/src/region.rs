@@ -1,0 +1,650 @@
+//! The emulated NVMM region and its access primitives.
+//!
+//! A [`PmemRegion`] owns one contiguous, page-aligned allocation that stands
+//! in for a DAX-mapped persistent-memory device. All loads and stores issued
+//! by the file systems go through this type so that
+//!
+//! * persistence ordering (`store → clwb → sfence`) is observable by the
+//!   crash tracker,
+//! * per-page access control can be enforced (protected functions, §3.2),
+//! * traffic statistics can be attributed (Table 1 / Fig. 10 breakdowns).
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
+use std::sync::Arc;
+
+use crate::prot::{AccessFault, AccessPolicy};
+use crate::stats::PmemStats;
+use crate::tracker::{TrackMode, Tracker};
+use crate::{PPtr, CACHE_LINE, PAGE_SIZE};
+
+/// Errors surfaced by fallible region operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// Access outside the region bounds.
+    OutOfBounds { off: u64, len: usize, region: usize },
+    /// Page-protection violation reported by the [`AccessPolicy`].
+    Fault(AccessFault),
+    /// The region image passed to [`RegionBuilder::from_image`] has an
+    /// invalid size (must be a whole number of pages).
+    BadImage { len: usize },
+}
+
+impl std::fmt::Display for PmemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmemError::OutOfBounds { off, len, region } => {
+                write!(f, "pmem access [{off:#x}, +{len}) outside region of {region} bytes")
+            }
+            PmemError::Fault(fault) => write!(f, "pmem protection fault: {fault}"),
+            PmemError::BadImage { len } => {
+                write!(f, "pmem image length {len} is not a whole number of pages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+/// Values that can be stored to and loaded from persistent memory by plain
+/// byte copy.
+///
+/// # Safety
+///
+/// Implementors must be valid for any bit pattern and contain no padding
+/// whose content matters (padding bytes are copied verbatim).
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl<const N: usize> Pod for [u8; N] {}
+
+/// Builder for [`PmemRegion`].
+pub struct RegionBuilder {
+    pages: usize,
+    mode: TrackMode,
+    policy: Option<Arc<dyn AccessPolicy>>,
+    image: Option<Vec<u8>>,
+}
+
+impl RegionBuilder {
+    /// Starts a builder for a region of `bytes` (rounded up to whole pages).
+    pub fn new(bytes: usize) -> Self {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        RegionBuilder { pages, mode: TrackMode::Raw, policy: None, image: None }
+    }
+
+    /// Selects raw (fast) or tracked (crash-simulating) mode.
+    pub fn mode(mut self, mode: TrackMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Installs a page access policy (protected-function enforcement).
+    pub fn policy(mut self, policy: Arc<dyn AccessPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Initializes the region contents from a previously captured image
+    /// (e.g. the media image surviving a simulated crash).
+    pub fn from_image(mut self, image: Vec<u8>) -> Self {
+        self.pages = image.len() / PAGE_SIZE;
+        self.image = Some(image);
+        self
+    }
+
+    /// Builds the region.
+    pub fn build(self) -> Result<PmemRegion, PmemError> {
+        if let Some(img) = &self.image {
+            if img.len() % PAGE_SIZE != 0 || img.is_empty() {
+                return Err(PmemError::BadImage { len: img.len() });
+            }
+        }
+        let len = self.pages * PAGE_SIZE;
+        let layout = Layout::from_size_align(len, PAGE_SIZE).expect("valid layout");
+        // SAFETY: layout has non-zero size.
+        let base = unsafe { alloc_zeroed(layout) };
+        assert!(!base.is_null(), "pmem allocation of {len} bytes failed");
+        if let Some(img) = &self.image {
+            // SAFETY: base is valid for len bytes and img.len() == len.
+            unsafe { std::ptr::copy_nonoverlapping(img.as_ptr(), base, len) };
+        }
+        let tracker = match self.mode {
+            TrackMode::Raw => None,
+            TrackMode::Tracked => {
+                let initial = self.image.unwrap_or_else(|| vec![0u8; len]);
+                Some(Tracker::new(initial))
+            }
+        };
+        Ok(PmemRegion {
+            base,
+            len,
+            layout,
+            tracker,
+            policy: self.policy,
+            stats: PmemStats::default(),
+        })
+    }
+}
+
+/// One emulated NVMM device.
+///
+/// The region is `Sync`: concurrent access is coordinated by the file-system
+/// protocols built on top (atomic flags, busy-wait locks), exactly as on real
+/// shared persistent memory.
+pub struct PmemRegion {
+    base: *mut u8,
+    len: usize,
+    layout: Layout,
+    tracker: Option<Tracker>,
+    policy: Option<Arc<dyn AccessPolicy>>,
+    stats: PmemStats,
+}
+
+// SAFETY: the raw allocation is only accessed through the methods below;
+// racing plain stores are possible if callers misuse the API, but the public
+// surface mirrors shared persistent memory, where the same caution applies.
+// Synchronisation is the responsibility of the lock/flag protocols above.
+unsafe impl Send for PmemRegion {}
+unsafe impl Sync for PmemRegion {}
+
+impl Drop for PmemRegion {
+    fn drop(&mut self) {
+        // SAFETY: base was allocated with this layout in RegionBuilder::build.
+        unsafe { dealloc(self.base, self.layout) };
+    }
+}
+
+impl PmemRegion {
+    /// Convenience: a raw-mode region of `bytes` bytes.
+    pub fn new(bytes: usize) -> Self {
+        RegionBuilder::new(bytes).build().expect("raw region build cannot fail")
+    }
+
+    /// Convenience: a crash-tracked region of `bytes` bytes.
+    pub fn new_tracked(bytes: usize) -> Self {
+        RegionBuilder::new(bytes).mode(TrackMode::Tracked).build().expect("tracked region")
+    }
+
+    /// Region length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the region has zero length (never the case in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Traffic statistics for this region.
+    #[inline]
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    /// Whether this region runs with the crash tracker enabled.
+    #[inline]
+    pub fn is_tracked(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    #[inline]
+    fn bounds(&self, p: PPtr, len: usize) {
+        let end = p.off() as usize + len;
+        assert!(
+            (p.off() as usize) < self.len && end <= self.len,
+            "pmem access [{:#x}, +{}) outside region of {} bytes",
+            p.off(),
+            len,
+            self.len
+        );
+    }
+
+    #[inline]
+    fn guard(&self, p: PPtr, len: usize, write: bool) {
+        self.bounds(p, len);
+        if let Some(policy) = &self.policy {
+            let first = p.page();
+            let last = (p.off() as usize + len - 1) / PAGE_SIZE;
+            for page in first..=last {
+                if let Err(fault) = policy.check_access(page, write) {
+                    panic!("pmem protection fault: {fault}");
+                }
+            }
+        }
+    }
+
+    /// Checks whether an access would be allowed without performing it.
+    /// Used by security tests and by recovery code validating pointers from
+    /// a possibly corrupted image.
+    pub fn check_access(&self, p: PPtr, len: usize, write: bool) -> Result<(), PmemError> {
+        let end = p.off() as usize + len;
+        if p.off() as usize >= self.len || end > self.len || len == 0 {
+            return Err(PmemError::OutOfBounds { off: p.off(), len, region: self.len });
+        }
+        if let Some(policy) = &self.policy {
+            let first = p.page();
+            let last = (end - 1) / PAGE_SIZE;
+            for page in first..=last {
+                policy.check_access(page, write).map_err(PmemError::Fault)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a range lies within the region (no policy check).
+    pub fn in_bounds(&self, p: PPtr, len: usize) -> bool {
+        let end = p.off().checked_add(len as u64);
+        matches!(end, Some(e) if (e as usize) <= self.len)
+    }
+
+    // ----- plain loads & stores -------------------------------------------
+
+    /// Loads a POD value.
+    #[inline]
+    pub fn read<T: Pod>(&self, p: PPtr) -> T {
+        self.guard(p, size_of::<T>(), false);
+        self.stats.count_read(size_of::<T>());
+        // SAFETY: bounds checked; T is Pod so any bit pattern is valid.
+        unsafe { std::ptr::read_unaligned(self.base.add(p.off() as usize) as *const T) }
+    }
+
+    /// Stores a POD value (write-back cached; durable only after
+    /// [`flush`](Self::flush) + [`fence`](Self::fence)).
+    #[inline]
+    pub fn write<T: Pod>(&self, p: PPtr, val: T) {
+        self.guard(p, size_of::<T>(), true);
+        self.stats.count_write(size_of::<T>());
+        // SAFETY: bounds checked.
+        unsafe { std::ptr::write_unaligned(self.base.add(p.off() as usize) as *mut T, val) };
+        if let Some(t) = &self.tracker {
+            t.mark_dirty(p.off() as usize, size_of::<T>());
+        }
+    }
+
+    /// Copies bytes out of the region into `buf`.
+    #[inline]
+    pub fn read_into(&self, p: PPtr, buf: &mut [u8]) {
+        self.guard(p, buf.len(), false);
+        self.stats.count_read(buf.len());
+        // SAFETY: bounds checked; regions never overlap a caller's buffer.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.base.add(p.off() as usize), buf.as_mut_ptr(), buf.len())
+        };
+    }
+
+    /// Copies `buf` into the region with regular (cached) stores.
+    #[inline]
+    pub fn write_from(&self, p: PPtr, buf: &[u8]) {
+        self.guard(p, buf.len(), true);
+        self.stats.count_write(buf.len());
+        // SAFETY: bounds checked.
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), self.base.add(p.off() as usize), buf.len())
+        };
+        if let Some(t) = &self.tracker {
+            t.mark_dirty(p.off() as usize, buf.len());
+        }
+    }
+
+    /// Copies `buf` into the region with emulated **non-temporal** stores:
+    /// the data bypasses the cache and becomes durable at the next
+    /// [`fence`](Self::fence), with no explicit `clwb` required. Simurgh's
+    /// data path uses this (paper §4.3 "Data operations").
+    #[inline]
+    pub fn nt_write_from(&self, p: PPtr, buf: &[u8]) {
+        self.guard(p, buf.len(), true);
+        self.stats.count_nt_write(buf.len());
+        // SAFETY: bounds checked.
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), self.base.add(p.off() as usize), buf.len())
+        };
+        if let Some(t) = &self.tracker {
+            // Non-temporal stores go straight to the write-pending queue.
+            t.stage(self.base, self.len, p.off() as usize, buf.len());
+        }
+    }
+
+    /// Zeroes a byte range with regular stores.
+    pub fn zero(&self, p: PPtr, len: usize) {
+        self.guard(p, len, true);
+        self.stats.count_write(len);
+        // SAFETY: bounds checked.
+        unsafe { std::ptr::write_bytes(self.base.add(p.off() as usize), 0, len) };
+        if let Some(t) = &self.tracker {
+            t.mark_dirty(p.off() as usize, len);
+        }
+    }
+
+    // ----- persistence primitives -----------------------------------------
+
+    /// Emulated `clwb`: initiates write-back of every cache line overlapping
+    /// the range. The lines become durable at the next [`fence`](Self::fence).
+    #[inline]
+    pub fn flush(&self, p: PPtr, len: usize) {
+        self.bounds(p, len.max(1));
+        self.stats.count_flush(len.div_ceil(CACHE_LINE).max(1));
+        if let Some(t) = &self.tracker {
+            t.stage(self.base, self.len, p.off() as usize, len);
+        }
+    }
+
+    /// Emulated `sfence`: all previously initiated write-backs (and
+    /// non-temporal stores) become durable on the media image.
+    #[inline]
+    pub fn fence(&self) {
+        self.stats.count_fence();
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = &self.tracker {
+            t.fence();
+        }
+    }
+
+    /// Convenience `clwb + sfence` over one range.
+    #[inline]
+    pub fn persist(&self, p: PPtr, len: usize) {
+        self.flush(p, len);
+        self.fence();
+    }
+
+    // ----- atomics ----------------------------------------------------------
+
+    /// An atomic view of 8 bytes at `p` (must be 8-byte aligned).
+    ///
+    /// Atomic stores through this handle are *cached* like plain stores: they
+    /// must still be flushed and fenced to become durable. Use
+    /// [`persist`](Self::persist) on the same address at protocol persist
+    /// points.
+    #[inline]
+    pub fn atomic_u64(&self, p: PPtr) -> &AtomicU64 {
+        self.guard(p, 8, true);
+        assert!(p.is_aligned(8), "atomic_u64 at unaligned offset {:#x}", p.off());
+        // SAFETY: bounds + alignment checked; AtomicU64 has the same layout as u64.
+        unsafe { &*(self.base.add(p.off() as usize) as *const AtomicU64) }
+    }
+
+    /// An atomic view of 4 bytes at `p` (must be 4-byte aligned).
+    #[inline]
+    pub fn atomic_u32(&self, p: PPtr) -> &AtomicU32 {
+        self.guard(p, 4, true);
+        assert!(p.is_aligned(4), "atomic_u32 at unaligned offset {:#x}", p.off());
+        // SAFETY: bounds + alignment checked.
+        unsafe { &*(self.base.add(p.off() as usize) as *const AtomicU32) }
+    }
+
+    /// An atomic view of one byte at `p`.
+    #[inline]
+    pub fn atomic_u8(&self, p: PPtr) -> &AtomicU8 {
+        self.guard(p, 1, true);
+        // SAFETY: bounds checked.
+        unsafe { &*(self.base.add(p.off() as usize) as *const AtomicU8) }
+    }
+
+    /// Notifies the crash tracker that an atomic store happened at `p`
+    /// (atomics bypass the plain-store hooks). No-op in raw mode.
+    #[inline]
+    pub fn note_atomic(&self, p: PPtr, len: usize) {
+        if let Some(t) = &self.tracker {
+            t.mark_dirty(p.off() as usize, len);
+        }
+    }
+
+    // ----- crash simulation -------------------------------------------------
+
+    /// Returns a copy of the **media image**: the bytes that would survive a
+    /// power failure right now. Panics in raw mode.
+    pub fn media_image(&self) -> Vec<u8> {
+        self.tracker
+            .as_ref()
+            .expect("media_image requires TrackMode::Tracked")
+            .media_image()
+    }
+
+    /// Simulates a power failure and remount: returns a fresh tracked region
+    /// whose contents are exactly the durable media image. The current
+    /// (volatile) contents of `self` are discarded, like CPU caches on a
+    /// power cut.
+    pub fn simulate_crash(&self) -> PmemRegion {
+        let image = self.media_image();
+        RegionBuilder::new(image.len())
+            .mode(TrackMode::Tracked)
+            .from_image(image)
+            .build()
+            .expect("crash image is page-aligned")
+    }
+
+    /// Lines written since the last fence that persisted them — i.e. data
+    /// that would be lost on a crash right now. Diagnostic for persistence
+    /// lint tests. Panics in raw mode.
+    pub fn unpersisted_lines(&self) -> usize {
+        self.tracker
+            .as_ref()
+            .expect("unpersisted_lines requires TrackMode::Tracked")
+            .dirty_line_count()
+    }
+
+    /// Touches every page of the allocation so first-touch page faults are
+    /// taken now rather than inside a timed benchmark phase. No effect on
+    /// contents, statistics or tracking.
+    pub fn prewarm(&self) {
+        let mut page = 0;
+        while page < self.len {
+            // SAFETY: in-bounds; rewriting the current value is benign.
+            unsafe {
+                let p = self.base.add(page);
+                std::ptr::write_volatile(p, std::ptr::read_volatile(p));
+            }
+            page += PAGE_SIZE;
+        }
+    }
+
+    /// Full volatile image (what the running system currently sees).
+    pub fn volatile_image(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.len];
+        self.read_into(PPtr::NULL, &mut v[..]);
+        v
+    }
+}
+
+impl std::fmt::Debug for PmemRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemRegion")
+            .field("len", &self.len)
+            .field("tracked", &self.is_tracked())
+            .field("policy", &self.policy.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let r = PmemRegion::new(8192);
+        r.write(PPtr::new(100), 0xdead_beef_u32);
+        assert_eq!(r.read::<u32>(PPtr::new(100)), 0xdead_beef);
+        r.write(PPtr::new(4096), [1u8, 2, 3, 4]);
+        assert_eq!(r.read::<[u8; 4]>(PPtr::new(4096)), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bulk_copy_roundtrip() {
+        let r = PmemRegion::new(8192);
+        let data: Vec<u8> = (0..=255).collect();
+        r.write_from(PPtr::new(500), &data);
+        let mut out = vec![0u8; 256];
+        r.read_into(PPtr::new(500), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn zero_range() {
+        let r = PmemRegion::new(4096);
+        r.write_from(PPtr::new(0), &[0xff; 128]);
+        r.zero(PPtr::new(32), 64);
+        let mut out = vec![0u8; 128];
+        r.read_into(PPtr::new(0), &mut out);
+        assert!(out[..32].iter().all(|&b| b == 0xff));
+        assert!(out[32..96].iter().all(|&b| b == 0));
+        assert!(out[96..].iter().all(|&b| b == 0xff));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn out_of_bounds_read_panics() {
+        let r = PmemRegion::new(4096);
+        let _ = r.read::<u64>(PPtr::new(4090));
+    }
+
+    #[test]
+    fn atomics_are_shared() {
+        let r = PmemRegion::new(4096);
+        let a = r.atomic_u64(PPtr::new(64));
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(r.read::<u64>(PPtr::new(64)), 7);
+        assert_eq!(r.atomic_u64(PPtr::new(64)).load(Ordering::SeqCst), 7);
+        let res = a.compare_exchange(7, 9, Ordering::SeqCst, Ordering::SeqCst);
+        assert!(res.is_ok());
+        assert_eq!(r.read::<u64>(PPtr::new(64)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_atomic_panics() {
+        let r = PmemRegion::new(4096);
+        let _ = r.atomic_u64(PPtr::new(3));
+    }
+
+    #[test]
+    fn unflushed_stores_do_not_survive_crash() {
+        let r = PmemRegion::new_tracked(4096);
+        r.write(PPtr::new(0), 0x11111111_u32);
+        // No flush, no fence: lost on crash.
+        let crashed = r.simulate_crash();
+        assert_eq!(crashed.read::<u32>(PPtr::new(0)), 0);
+    }
+
+    #[test]
+    fn flushed_but_unfenced_stores_do_not_survive_crash() {
+        let r = PmemRegion::new_tracked(4096);
+        r.write(PPtr::new(0), 0x22222222_u32);
+        r.flush(PPtr::new(0), 4);
+        let crashed = r.simulate_crash();
+        assert_eq!(crashed.read::<u32>(PPtr::new(0)), 0);
+    }
+
+    #[test]
+    fn persisted_stores_survive_crash() {
+        let r = PmemRegion::new_tracked(4096);
+        r.write(PPtr::new(0), 0x33333333_u32);
+        r.persist(PPtr::new(0), 4);
+        let crashed = r.simulate_crash();
+        assert_eq!(crashed.read::<u32>(PPtr::new(0)), 0x33333333);
+    }
+
+    #[test]
+    fn nt_stores_survive_after_fence_only() {
+        let r = PmemRegion::new_tracked(4096);
+        r.nt_write_from(PPtr::new(128), &[0xab; 64]);
+        // nt stores skip clwb but still need the fence.
+        let crashed_before_fence = r.simulate_crash();
+        assert_eq!(crashed_before_fence.read::<u8>(PPtr::new(128)), 0);
+        r.fence();
+        let crashed = r.simulate_crash();
+        assert_eq!(crashed.read::<u8>(PPtr::new(128)), 0xab);
+        assert_eq!(crashed.read::<u8>(PPtr::new(191)), 0xab);
+    }
+
+    #[test]
+    fn flush_snapshots_at_clwb_time() {
+        let r = PmemRegion::new_tracked(4096);
+        r.write(PPtr::new(0), 0xaaaa_u16);
+        r.flush(PPtr::new(0), 2);
+        // Overwrite after the clwb but before the fence: the clwb'd value
+        // is what lands on media (conservative deterministic model).
+        r.write(PPtr::new(0), 0xbbbb_u16);
+        r.fence();
+        let crashed = r.simulate_crash();
+        assert_eq!(crashed.read::<u16>(PPtr::new(0)), 0xaaaa);
+    }
+
+    #[test]
+    fn crash_image_remount_preserves_tracking() {
+        let r = PmemRegion::new_tracked(8192);
+        r.write(PPtr::new(10), 42u8);
+        r.persist(PPtr::new(10), 1);
+        let c1 = r.simulate_crash();
+        assert_eq!(c1.read::<u8>(PPtr::new(10)), 42);
+        // The remounted region keeps tracking: new unflushed writes are lost again.
+        c1.write(PPtr::new(20), 7u8);
+        let c2 = c1.simulate_crash();
+        assert_eq!(c2.read::<u8>(PPtr::new(10)), 42);
+        assert_eq!(c2.read::<u8>(PPtr::new(20)), 0);
+    }
+
+    #[test]
+    fn unpersisted_line_diagnostics() {
+        let r = PmemRegion::new_tracked(4096);
+        assert_eq!(r.unpersisted_lines(), 0);
+        r.write(PPtr::new(0), 1u8);
+        r.write(PPtr::new(200), 1u8);
+        assert_eq!(r.unpersisted_lines(), 2);
+        r.persist(PPtr::new(0), 1);
+        assert_eq!(r.unpersisted_lines(), 1);
+        r.persist(PPtr::new(200), 1);
+        assert_eq!(r.unpersisted_lines(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let r = PmemRegion::new(4096);
+        r.write_from(PPtr::new(0), &[0u8; 100]);
+        let mut buf = [0u8; 50];
+        r.read_into(PPtr::new(0), &mut buf);
+        r.nt_write_from(PPtr::new(512), &[1u8; 64]);
+        r.persist(PPtr::new(0), 100);
+        let s = r.stats().snapshot();
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 50);
+        assert_eq!(s.bytes_nt_written, 64);
+        assert_eq!(s.fences, 1);
+        assert!(s.flushed_lines >= 2);
+    }
+
+    #[test]
+    fn check_access_reports_oob() {
+        let r = PmemRegion::new(4096);
+        assert!(r.check_access(PPtr::new(0), 4096, false).is_ok());
+        assert!(matches!(
+            r.check_access(PPtr::new(4000), 200, false),
+            Err(PmemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_atomic_increments() {
+        let r = std::sync::Arc::new(PmemRegion::new(4096));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = &r;
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        r.atomic_u64(PPtr::new(0)).fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(r.read::<u64>(PPtr::new(0)), 4000);
+    }
+}

@@ -1,0 +1,192 @@
+//! Crash tracker: models the volatile-cache / durable-media split.
+//!
+//! Real NVMM sits behind the CPU cache hierarchy: a store is *visible* to
+//! other cores immediately but *durable* only once its cache line has been
+//! written back (`clwb`) and the write-back has been ordered (`sfence`).
+//! Every crash-consistency argument in the paper (§4.3, Fig. 5) is an
+//! argument about which lines have crossed that boundary.
+//!
+//! In tracked mode the region keeps a second, *media* image. `clwb`
+//! snapshots the addressed lines from live memory into a staging queue;
+//! `sfence` commits the queue to the media image. A simulated crash discards
+//! live memory and restarts from the media image — so a test can stop a
+//! protocol between any two steps and observe exactly the state a real power
+//! failure would leave behind.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::CACHE_LINE;
+
+/// Whether a region tracks persistence for crash simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackMode {
+    /// Direct access, no media image. Use for benchmarks.
+    #[default]
+    Raw,
+    /// Maintain a media image; stores survive a crash only when flushed and
+    /// fenced. Use for crash-consistency tests.
+    Tracked,
+}
+
+struct StagedLine {
+    line: usize,
+    /// Dirty-version of the line at `clwb` time; used to keep the dirty-line
+    /// diagnostic exact when a line is rewritten between `clwb` and `sfence`.
+    version: Option<u64>,
+    data: [u8; CACHE_LINE],
+}
+
+struct TrackState {
+    media: Box<[u8]>,
+    staged: Vec<StagedLine>,
+    /// line index -> version of the latest unpersisted store to it.
+    dirty: HashMap<usize, u64>,
+    next_version: u64,
+}
+
+/// The tracking state attached to a [`crate::PmemRegion`] in tracked mode.
+pub struct Tracker {
+    state: Mutex<TrackState>,
+}
+
+impl Tracker {
+    pub(crate) fn new(initial: Vec<u8>) -> Self {
+        Tracker {
+            state: Mutex::new(TrackState {
+                media: initial.into_boxed_slice(),
+                staged: Vec::new(),
+                dirty: HashMap::new(),
+                next_version: 1,
+            }),
+        }
+    }
+
+    /// Records that `[off, off+len)` was touched by cached stores.
+    pub(crate) fn mark_dirty(&self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let first = off / CACHE_LINE;
+        let last = (off + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            let v = st.next_version;
+            st.next_version += 1;
+            st.dirty.insert(line, v);
+        }
+    }
+
+    /// Emulated `clwb` (or a non-temporal store): snapshots the addressed
+    /// lines from live memory into the staging queue.
+    ///
+    /// # Safety contract (internal)
+    /// `base` must point at a live allocation of `region_len` bytes; callers
+    /// inside this crate guarantee that.
+    pub(crate) fn stage(&self, base: *const u8, region_len: usize, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let first = off / CACHE_LINE;
+        let last = (off + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            let start = line * CACHE_LINE;
+            debug_assert!(start + CACHE_LINE <= region_len);
+            let mut data = [0u8; CACHE_LINE];
+            // SAFETY: per the contract, base..base+region_len is live and the
+            // line range is in bounds.
+            unsafe { std::ptr::copy_nonoverlapping(base.add(start), data.as_mut_ptr(), CACHE_LINE) };
+            let version = st.dirty.get(&line).copied();
+            st.staged.push(StagedLine { line, version, data });
+        }
+    }
+
+    /// Emulated `sfence`: commits every staged line to the media image.
+    pub(crate) fn fence(&self) {
+        let mut st = self.state.lock();
+        let staged = std::mem::take(&mut st.staged);
+        for s in staged {
+            let start = s.line * CACHE_LINE;
+            st.media[start..start + CACHE_LINE].copy_from_slice(&s.data);
+            // Only clear the dirty diagnostic if the line was not rewritten
+            // after the clwb that we just committed.
+            if let Some(v) = s.version {
+                if st.dirty.get(&s.line) == Some(&v) {
+                    st.dirty.remove(&s.line);
+                }
+            }
+        }
+    }
+
+    /// Copy of the durable image.
+    pub(crate) fn media_image(&self) -> Vec<u8> {
+        self.state.lock().media.to_vec()
+    }
+
+    /// Number of lines with stores that would currently be lost on a crash.
+    pub(crate) fn dirty_line_count(&self) -> usize {
+        self.state.lock().dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(buf: &[u8]) -> (*const u8, usize) {
+        (buf.as_ptr(), buf.len())
+    }
+
+    #[test]
+    fn fence_without_stage_is_noop() {
+        let t = Tracker::new(vec![0u8; 256]);
+        t.fence();
+        assert_eq!(t.media_image(), vec![0u8; 256]);
+    }
+
+    #[test]
+    fn stage_then_fence_commits() {
+        let buf = vec![7u8; 256];
+        let t = Tracker::new(vec![0u8; 256]);
+        let (p, l) = live(&buf);
+        t.stage(p, l, 0, 64);
+        assert_eq!(t.media_image()[0], 0, "not durable before fence");
+        t.fence();
+        assert_eq!(t.media_image()[..64], [7u8; 64][..]);
+        assert_eq!(t.media_image()[64], 0, "only the staged line committed");
+    }
+
+    #[test]
+    fn dirty_version_survives_rewrite_after_clwb() {
+        let buf = vec![1u8; 128];
+        let t = Tracker::new(vec![0u8; 128]);
+        let (p, l) = live(&buf);
+        t.mark_dirty(0, 8);
+        t.stage(p, l, 0, 8);
+        // Rewrite the same line after the clwb but before the fence.
+        t.mark_dirty(0, 8);
+        t.fence();
+        // The fence committed the older snapshot: the line is still dirty.
+        assert_eq!(t.dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn dirty_cleared_when_fence_covers_latest_store() {
+        let buf = vec![1u8; 128];
+        let t = Tracker::new(vec![0u8; 128]);
+        let (p, l) = live(&buf);
+        t.mark_dirty(0, 8);
+        t.stage(p, l, 0, 8);
+        t.fence();
+        assert_eq!(t.dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn spanning_range_touches_every_line() {
+        let t = Tracker::new(vec![0u8; 512]);
+        t.mark_dirty(60, 10); // crosses lines 0 and 1
+        assert_eq!(t.dirty_line_count(), 2);
+    }
+}

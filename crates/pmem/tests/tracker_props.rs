@@ -1,0 +1,135 @@
+//! Property tests for the crash tracker: an explicit model of the
+//! volatile/durable split is driven with random store/flush/fence/crash
+//! sequences and must agree with the real region byte for byte.
+
+use proptest::prelude::*;
+use simurgh_pmem::{PPtr, PmemRegion};
+
+const SIZE: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Store { off: u16, val: u8 },
+    NtStore { off: u16, val: u8 },
+    Flush { off: u16, len: u8 },
+    Fence,
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0u16..SIZE as u16, any::<u8>()).prop_map(|(off, val)| Cmd::Store { off, val }),
+        (0u16..SIZE as u16, any::<u8>()).prop_map(|(off, val)| Cmd::NtStore { off, val }),
+        (0u16..SIZE as u16, 1u8..255).prop_map(|(off, len)| Cmd::Flush { off, len }),
+        Just(Cmd::Fence),
+    ]
+}
+
+/// Explicit model: volatile bytes, media bytes, and the set of staged
+/// line snapshots awaiting a fence.
+struct Model {
+    volatile: Vec<u8>,
+    media: Vec<u8>,
+    staged: Vec<(usize, [u8; 64])>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { volatile: vec![0; SIZE], media: vec![0; SIZE], staged: Vec::new() }
+    }
+
+    fn stage_lines(&mut self, off: usize, len: usize) {
+        let first = off / 64;
+        let last = (off + len - 1) / 64;
+        for line in first..=last {
+            let mut snap = [0u8; 64];
+            snap.copy_from_slice(&self.volatile[line * 64..line * 64 + 64]);
+            self.staged.push((line, snap));
+        }
+    }
+
+    fn apply(&mut self, c: &Cmd) {
+        match c {
+            Cmd::Store { off, val } => self.volatile[*off as usize] = *val,
+            Cmd::NtStore { off, val } => {
+                self.volatile[*off as usize] = *val;
+                self.stage_lines(*off as usize, 1);
+            }
+            Cmd::Flush { off, len } => {
+                let len = (*len as usize).min(SIZE - *off as usize).max(1);
+                self.stage_lines(*off as usize, len);
+            }
+            Cmd::Fence => {
+                for (line, snap) in self.staged.drain(..) {
+                    self.media[line * 64..line * 64 + 64].copy_from_slice(&snap);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn region_media_matches_model(cmds in proptest::collection::vec(cmd(), 1..120)) {
+        let region = PmemRegion::new_tracked(SIZE);
+        let mut model = Model::new();
+        for c in &cmds {
+            match c {
+                Cmd::Store { off, val } => region.write(PPtr::new(*off as u64), *val),
+                Cmd::NtStore { off, val } => {
+                    region.nt_write_from(PPtr::new(*off as u64), &[*val])
+                }
+                Cmd::Flush { off, len } => {
+                    let len = (*len as usize).min(SIZE - *off as usize).max(1);
+                    region.flush(PPtr::new(*off as u64), len);
+                }
+                Cmd::Fence => region.fence(),
+            }
+            model.apply(c);
+        }
+        // The durable image after a crash equals the model's media bytes.
+        prop_assert_eq!(region.media_image(), model.media);
+        // The live image equals the model's volatile bytes.
+        prop_assert_eq!(region.volatile_image(), model.volatile);
+    }
+
+    #[test]
+    fn crash_remount_chain_preserves_media(
+        cmds in proptest::collection::vec(cmd(), 1..60),
+        more in proptest::collection::vec(cmd(), 1..60),
+    ) {
+        let region = PmemRegion::new_tracked(SIZE);
+        let mut model = Model::new();
+        for c in &cmds {
+            match c {
+                Cmd::Store { off, val } => region.write(PPtr::new(*off as u64), *val),
+                Cmd::NtStore { off, val } => region.nt_write_from(PPtr::new(*off as u64), &[*val]),
+                Cmd::Flush { off, len } => {
+                    let len = (*len as usize).min(SIZE - *off as usize).max(1);
+                    region.flush(PPtr::new(*off as u64), len);
+                }
+                Cmd::Fence => region.fence(),
+            }
+            model.apply(c);
+        }
+        // Crash: the remounted region starts from the media image, with
+        // volatile == media and nothing staged.
+        let r2 = region.simulate_crash();
+        let mut m2 = Model { volatile: model.media.clone(), media: model.media.clone(), staged: Vec::new() };
+        for c in &more {
+            match c {
+                Cmd::Store { off, val } => r2.write(PPtr::new(*off as u64), *val),
+                Cmd::NtStore { off, val } => r2.nt_write_from(PPtr::new(*off as u64), &[*val]),
+                Cmd::Flush { off, len } => {
+                    let len = (*len as usize).min(SIZE - *off as usize).max(1);
+                    r2.flush(PPtr::new(*off as u64), len);
+                }
+                Cmd::Fence => r2.fence(),
+            }
+            m2.apply(c);
+        }
+        prop_assert_eq!(r2.media_image(), m2.media);
+        prop_assert_eq!(r2.volatile_image(), m2.volatile);
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-thread current privilege level (CPL).
+//!
+//! x86 derives the CPL from the low bits of `%cs`; it is a property of the
+//! executing hardware thread. We model it as a thread-local. Threads start
+//! in user mode ([`Ring::User`]); only the `jmpp` path of
+//! [`crate::ProtectedDomain`] (and the simulated kernel-module bootstrap)
+//! raises it.
+
+use std::cell::Cell;
+
+/// Privilege rings. Only the two levels the paper distinguishes are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ring {
+    /// CPL 0: supervisor / protected-function mode.
+    Kernel,
+    /// CPL 3: normal application code.
+    User,
+}
+
+thread_local! {
+    static CPL: Cell<Ring> = const { Cell::new(Ring::User) };
+}
+
+/// The calling thread's current privilege level.
+#[inline]
+pub fn current() -> Ring {
+    CPL.with(|c| c.get())
+}
+
+/// Sets the calling thread's privilege level. Internal to the simulator —
+/// well-behaved code goes through `jmpp`/`pret`; tests use this to model an
+/// OS context switch or a misbehaving kernel.
+#[inline]
+pub fn set(ring: Ring) {
+    CPL.with(|c| c.set(ring));
+}
+
+/// RAII guard that raises to kernel mode and restores the previous level on
+/// drop. Used by the bootstrap path ("the OS security module") and by tests.
+pub struct KernelGuard {
+    prev: Ring,
+}
+
+impl KernelGuard {
+    /// Enters kernel mode.
+    pub fn enter() -> Self {
+        let prev = current();
+        set(Ring::Kernel);
+        KernelGuard { prev }
+    }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        set(self.prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_start_in_user_mode() {
+        assert_eq!(current(), Ring::User);
+        std::thread::spawn(|| assert_eq!(current(), Ring::User)).join().unwrap();
+    }
+
+    #[test]
+    fn guard_restores_previous_level() {
+        assert_eq!(current(), Ring::User);
+        {
+            let _g = KernelGuard::enter();
+            assert_eq!(current(), Ring::Kernel);
+            {
+                let _g2 = KernelGuard::enter();
+                assert_eq!(current(), Ring::Kernel);
+            }
+            assert_eq!(current(), Ring::Kernel);
+        }
+        assert_eq!(current(), Ring::User);
+    }
+
+    #[test]
+    fn cpl_is_thread_local() {
+        let _g = KernelGuard::enter();
+        std::thread::spawn(|| assert_eq!(current(), Ring::User)).join().unwrap();
+        assert_eq!(current(), Ring::Kernel);
+    }
+}

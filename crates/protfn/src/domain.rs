@@ -1,0 +1,342 @@
+//! The `jmpp`/`pret` state machine (paper §3.1–§3.2).
+//!
+//! A [`ProtectedDomain`] owns a simulated code region: a page table with
+//! `ep` bits and, per protected page, the slot map of loaded functions.
+//! The four requirements of §3.1 map onto it as follows:
+//!
+//! 1. *Normal functions cannot access file-system data* — enforced by
+//!    [`crate::KernelPagePolicy`] on the NVMM region.
+//! 2. *Normal functions cannot change protected code* — the slot maps are
+//!    only mutable through [`ProtectedDomain::load_protected`], the
+//!    simulated `load_protected()` system call.
+//! 3. *A safe privilege transition exists* — [`ProtectedDomain::jmpp`]
+//!    raises the thread's CPL only after validating the `ep` bit.
+//! 4. *Privileged execution is restricted to predefined entry points* —
+//!    `jmpp` faults unless the target offset is one of the four entry
+//!    offsets **and** a function entry (not body bytes) is loaded there.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::RwLock;
+use simurgh_pmem::prot::{PageFlags, PageTable};
+
+use crate::cpl::{self, Ring};
+use crate::page::{EntryPoint, ProtectedPage, SlotContent, ENTRY_OFFSETS};
+
+/// Identifier of a loaded protected function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FnId(pub u32);
+
+/// A security violation detected by the simulated hardware. On real silicon
+/// these raise exceptions; here they are values so tests can assert on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `jmpp` targeted a page whose `ep` bit is clear.
+    EpNotSet { page: usize },
+    /// `jmpp` targeted an offset that is not one of the four entry offsets.
+    BadEntryOffset { offset: usize },
+    /// `jmpp` targeted a legal entry offset with no function entry loaded
+    /// there (empty slot, or body bytes of a longer function).
+    NoFunctionAtEntry { target: EntryPoint },
+    /// `pret` executed with no matching `jmpp` (nesting underflow).
+    NestingUnderflow,
+    /// The protected-stack return address was corrupted between `jmpp` and
+    /// `pret` (modelled stack-tampering detection, §3.2).
+    ReturnAddressMismatch { expected: usize, found: usize },
+    /// `load_protected` could not place the function (code region full).
+    NoCodeSpace,
+    /// A function with this name is already loaded.
+    DuplicateName,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::EpNotSet { page } => write!(f, "jmpp to page {page} without ep bit"),
+            Fault::BadEntryOffset { offset } => {
+                write!(f, "jmpp to non-entry offset {offset:#x}")
+            }
+            Fault::NoFunctionAtEntry { target } => {
+                write!(f, "jmpp to empty/body slot at page {} offset {:#x}", target.page, target.offset)
+            }
+            Fault::NestingUnderflow => write!(f, "pret without jmpp"),
+            Fault::ReturnAddressMismatch { expected, found } => {
+                write!(f, "protected return address corrupted: expected {expected:#x}, found {found:#x}")
+            }
+            Fault::NoCodeSpace => write!(f, "no space left in protected code region"),
+            Fault::DuplicateName => write!(f, "protected function name already loaded"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+thread_local! {
+    /// Per-thread protected stack: the return addresses of active protected
+    /// calls live here, not on the user stack (§3.2 stack-switching).
+    static PROT_STACK: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The simulated protected code region plus the kernel module that loads
+/// functions into it.
+pub struct ProtectedDomain {
+    code_pt: PageTable,
+    inner: RwLock<Inner>,
+    next_id: AtomicU32,
+    jmpp_count: std::sync::atomic::AtomicU64,
+}
+
+struct Inner {
+    pages: Vec<ProtectedPage>,
+    by_name: HashMap<String, EntryPoint>,
+}
+
+impl ProtectedDomain {
+    /// Creates a domain with `code_pages` protected-code page frames.
+    pub fn new(code_pages: usize) -> Self {
+        ProtectedDomain {
+            code_pt: PageTable::new(code_pages),
+            inner: RwLock::new(Inner {
+                pages: (0..code_pages).map(|_| ProtectedPage::new()).collect(),
+                by_name: HashMap::new(),
+            }),
+            next_id: AtomicU32::new(1),
+            jmpp_count: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The simulated `load_protected()` system call (§3.2 steps 3–5): the
+    /// OS security module loads a trusted function of `code_bytes` bytes,
+    /// maps it, and sets the `ep` bit on its page. Runs in kernel mode.
+    pub fn load_protected(&self, name: &str, code_bytes: usize) -> Result<(FnId, EntryPoint), Fault> {
+        let _kernel = cpl::KernelGuard::enter();
+        let mut inner = self.inner.write();
+        if inner.by_name.contains_key(name) {
+            return Err(Fault::DuplicateName);
+        }
+        let span = code_bytes.div_ceil(crate::page::SLOT_SIZE).max(1);
+        let id = FnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        for (page_idx, page) in inner.pages.iter_mut().enumerate() {
+            if let Some(slot) = page.find_free(span) {
+                page.load(slot, id, code_bytes).expect("find_free guaranteed fit");
+                // Only kernel mode may set the ep bit; we hold KernelGuard.
+                self.code_pt.set(page_idx, 1, PageFlags::EP.union(PageFlags::KERNEL));
+                let ep = EntryPoint { page: page_idx, offset: ENTRY_OFFSETS[slot] };
+                inner.by_name.insert(name.to_owned(), ep);
+                return Ok((id, ep));
+            }
+        }
+        Err(Fault::NoCodeSpace)
+    }
+
+    /// Looks up a loaded function by name (what the preload library does
+    /// once at startup; afterwards it calls by address).
+    pub fn resolve(&self, name: &str) -> Option<EntryPoint> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// The `jmpp` instruction: validates the target and, on success, raises
+    /// the thread to kernel mode and pushes the return address onto the
+    /// protected stack. Balanced by [`ProtectedCall::pret`] (or drop).
+    pub fn jmpp(&self, target: EntryPoint) -> Result<ProtectedCall<'_>, Fault> {
+        // 1. ep bit check (done during address translation on real HW).
+        if !self.code_pt.get(target.page).contains(PageFlags::EP) {
+            return Err(Fault::EpNotSet { page: target.page });
+        }
+        // 2. Entry-offset check.
+        let Some(slot) = target.slot() else {
+            return Err(Fault::BadEntryOffset { offset: target.offset });
+        };
+        // 3. A function entry must be loaded at that slot.
+        {
+            let inner = self.inner.read();
+            match inner.pages.get(target.page).map(|p| p.slots[slot]) {
+                Some(SlotContent::Entry(_)) => {}
+                _ => return Err(Fault::NoFunctionAtEntry { target }),
+            }
+        }
+        // 4. Raise privilege, switch to the protected stack.
+        let ret_addr = target.addr() ^ 0x5a5a_5a5a; // simulated caller address
+        PROT_STACK.with(|s| s.borrow_mut().push(ret_addr));
+        cpl::set(Ring::Kernel);
+        self.jmpp_count.fetch_add(1, Ordering::Relaxed);
+        Ok(ProtectedCall { domain: self, ret_addr, done: false })
+    }
+
+    /// Runs `body` inside a protected call to `target`.
+    pub fn enter<R>(&self, target: EntryPoint, body: impl FnOnce() -> R) -> Result<R, Fault> {
+        let call = self.jmpp(target)?;
+        let out = body();
+        call.pret()?;
+        Ok(out)
+    }
+
+    /// Number of successful `jmpp` transitions (diagnostic).
+    pub fn jmpp_count(&self) -> u64 {
+        self.jmpp_count.load(Ordering::Relaxed)
+    }
+
+    /// The code-region page table (for tests asserting on `ep` bits).
+    pub fn code_page_table(&self) -> &PageTable {
+        &self.code_pt
+    }
+
+    fn pret_impl(&self, expected_ret: usize) -> Result<(), Fault> {
+        PROT_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let Some(found) = stack.pop() else {
+                return Err(Fault::NestingUnderflow);
+            };
+            if found != expected_ret {
+                stack.push(found);
+                return Err(Fault::ReturnAddressMismatch { expected: expected_ret, found });
+            }
+            if stack.is_empty() {
+                cpl::set(Ring::User);
+            }
+            Ok(())
+        })
+    }
+}
+
+/// An active protected call; dropping it performs the `pret`.
+pub struct ProtectedCall<'d> {
+    domain: &'d ProtectedDomain,
+    ret_addr: usize,
+    done: bool,
+}
+
+impl std::fmt::Debug for ProtectedCall<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectedCall").field("ret_addr", &self.ret_addr).finish()
+    }
+}
+
+impl ProtectedCall<'_> {
+    /// The `pret` instruction: pops the protected stack, validates the
+    /// return address, and drops back to user mode when the nesting counter
+    /// reaches zero.
+    pub fn pret(mut self) -> Result<(), Fault> {
+        self.done = true;
+        self.domain.pret_impl(self.ret_addr)
+    }
+}
+
+impl Drop for ProtectedCall<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.domain.pret_impl(self.ret_addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain_with(name: &str, bytes: usize) -> (ProtectedDomain, EntryPoint) {
+        let d = ProtectedDomain::new(4);
+        let (_, ep) = d.load_protected(name, bytes).unwrap();
+        (d, ep)
+    }
+
+    #[test]
+    fn load_sets_ep_bit_and_resolves() {
+        let (d, ep) = domain_with("read", 100);
+        assert!(d.code_page_table().get(ep.page).contains(PageFlags::EP));
+        assert_eq!(d.resolve("read"), Some(ep));
+        assert_eq!(d.resolve("write"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (d, _) = domain_with("read", 100);
+        assert_eq!(d.load_protected("read", 100).unwrap_err(), Fault::DuplicateName);
+    }
+
+    #[test]
+    fn jmpp_raises_and_pret_lowers_privilege() {
+        let (d, ep) = domain_with("open", 100);
+        assert_eq!(cpl::current(), Ring::User);
+        let call = d.jmpp(ep).unwrap();
+        assert_eq!(cpl::current(), Ring::Kernel);
+        call.pret().unwrap();
+        assert_eq!(cpl::current(), Ring::User);
+        assert_eq!(d.jmpp_count(), 1);
+    }
+
+    #[test]
+    fn nested_calls_stay_kernel_until_last_pret() {
+        let (d, ep) = domain_with("open", 100);
+        let (_, ep2) = d.load_protected("stat", 100).unwrap();
+        let outer = d.jmpp(ep).unwrap();
+        let inner = d.jmpp(ep2).unwrap();
+        assert_eq!(cpl::current(), Ring::Kernel);
+        inner.pret().unwrap();
+        assert_eq!(cpl::current(), Ring::Kernel, "still nested");
+        outer.pret().unwrap();
+        assert_eq!(cpl::current(), Ring::User);
+    }
+
+    #[test]
+    fn jmpp_to_page_without_ep_faults() {
+        let d = ProtectedDomain::new(4);
+        let target = EntryPoint { page: 2, offset: 0 };
+        assert_eq!(d.jmpp(target).unwrap_err(), Fault::EpNotSet { page: 2 });
+        assert_eq!(cpl::current(), Ring::User);
+    }
+
+    #[test]
+    fn jmpp_to_arbitrary_offset_faults() {
+        let (d, ep) = domain_with("open", 100);
+        let target = EntryPoint { page: ep.page, offset: 0x123 };
+        assert_eq!(d.jmpp(target).unwrap_err(), Fault::BadEntryOffset { offset: 0x123 });
+    }
+
+    #[test]
+    fn jmpp_into_function_body_faults() {
+        // A >1 kB function's spill slot is a legal offset but not an entry.
+        let (d, ep) = domain_with("open", 1100);
+        assert_eq!(ep.offset, 0x000);
+        let body = EntryPoint { page: ep.page, offset: 0x400 };
+        assert_eq!(d.jmpp(body).unwrap_err(), Fault::NoFunctionAtEntry { target: body });
+    }
+
+    #[test]
+    fn jmpp_to_empty_slot_faults() {
+        let (d, ep) = domain_with("open", 100);
+        let empty = EntryPoint { page: ep.page, offset: 0x800 };
+        assert_eq!(d.jmpp(empty).unwrap_err(), Fault::NoFunctionAtEntry { target: empty });
+    }
+
+    #[test]
+    fn enter_runs_body_in_kernel_mode() {
+        let (d, ep) = domain_with("open", 100);
+        let ring = d.enter(ep, cpl::current).unwrap();
+        assert_eq!(ring, Ring::Kernel);
+        assert_eq!(cpl::current(), Ring::User);
+    }
+
+    #[test]
+    fn drop_performs_pret() {
+        let (d, ep) = domain_with("open", 100);
+        {
+            let _call = d.jmpp(ep).unwrap();
+            assert_eq!(cpl::current(), Ring::Kernel);
+        }
+        assert_eq!(cpl::current(), Ring::User);
+    }
+
+    #[test]
+    fn functions_pack_across_pages() {
+        let d = ProtectedDomain::new(2);
+        // 4 KB function fills page 0; next goes to page 1.
+        let (_, a) = d.load_protected("big", 4096).unwrap();
+        let (_, b) = d.load_protected("small", 10).unwrap();
+        assert_eq!(a.page, 0);
+        assert_eq!(b.page, 1);
+        // Two pages of 4 KB functions exhaust the region.
+        assert_eq!(d.load_protected("more", 4096).unwrap_err(), Fault::NoCodeSpace);
+    }
+}

@@ -1,0 +1,147 @@
+//! The §3.3 microbenchmark: cycle costs of `call`, `jmpp`/`pret` and
+//! syscalls, broken into execution blocks like the paper's gem5 runs.
+//!
+//! The modelled cycle numbers come straight from [`crate::CostModel`]; this
+//! module replays them through the simulator (so the security checks really
+//! execute) and reports both the model numbers and the measured wall-clock
+//! cost per simulated call on this host.
+
+use std::time::Instant;
+
+use crate::cost::CostModel;
+use crate::domain::ProtectedDomain;
+
+/// One row of the reproduced gem5 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRow {
+    pub mechanism: &'static str,
+    pub modelled_cycles: u64,
+    pub modelled_ns: f64,
+    /// Average wall-clock nanoseconds per simulated invocation on this host
+    /// (includes the simulator's own bookkeeping; reported for transparency).
+    pub simulated_ns: f64,
+}
+
+/// Result of the gem5-reproduction benchmark.
+#[derive(Debug, Clone)]
+pub struct Gem5Report {
+    pub rows: Vec<CycleRow>,
+    /// Breakdown of the jmpp/pret cost into the paper's execution blocks.
+    pub jmpp_blocks: Vec<(&'static str, u64)>,
+    pub iterations: u64,
+}
+
+impl Gem5Report {
+    /// Ratio of empty-syscall cycles to jmpp/pret cycles (the paper's 6x /
+    /// 17x headline depending on host vs gem5 syscall numbers).
+    pub fn syscall_speedup_host(&self) -> f64 {
+        let m = CostModel::default();
+        m.syscall_host as f64 / m.jmpp_pret as f64
+    }
+}
+
+/// Runs the reproduction benchmark: `iters` protected calls through a real
+/// [`ProtectedDomain`] plus modelled numbers for the other mechanisms.
+pub fn run(iters: u64) -> Gem5Report {
+    let model = CostModel::default();
+    let domain = ProtectedDomain::new(1);
+    let (_, ep) = domain.load_protected("bench_fn", 64).expect("load bench fn");
+
+    // Plain call baseline: an opaque function call.
+    let plain = {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..iters {
+            acc = std::hint::black_box(acc.wrapping_add(i));
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+
+    // jmpp/pret through the simulator (validates ep bit + entry each time).
+    let jmpp = {
+        let start = Instant::now();
+        for _ in 0..iters {
+            domain.enter(ep, || std::hint::black_box(0u64)).expect("valid entry");
+        }
+        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+
+    // Syscall stand-in: a real OS round trip for reference.
+    let syscall = {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(std::thread::current().id());
+        }
+        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+
+    let rows = vec![
+        CycleRow {
+            mechanism: "call/ret (gem5)",
+            modelled_cycles: model.call_ret,
+            modelled_ns: model.cycles_to_ns(model.call_ret),
+            simulated_ns: plain,
+        },
+        CycleRow {
+            mechanism: "jmpp+pret (gem5)",
+            modelled_cycles: model.jmpp_pret,
+            modelled_ns: model.cycles_to_ns(model.jmpp_pret),
+            simulated_ns: jmpp,
+        },
+        CycleRow {
+            mechanism: "empty syscall (gem5)",
+            modelled_cycles: model.syscall_gem5,
+            modelled_ns: model.cycles_to_ns(model.syscall_gem5),
+            simulated_ns: syscall,
+        },
+        CycleRow {
+            mechanism: "geteuid syscall (host)",
+            modelled_cycles: model.syscall_host,
+            modelled_ns: model.cycles_to_ns(model.syscall_host),
+            simulated_ns: syscall,
+        },
+    ];
+
+    let jmpp_blocks = vec![
+        ("CPL change + protected-stack return address", model.cpl_and_retaddr),
+        ("ep bit + entry-point check", model.ep_and_entry_check),
+        ("call routine", model.call_ret),
+        (
+            "remaining pipeline effects",
+            model.jmpp_pret - model.cpl_and_retaddr - model.ep_and_entry_check - model.call_ret,
+        ),
+    ];
+
+    Gem5Report { rows, jmpp_blocks, iterations: iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_mechanisms() {
+        let r = run(100);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.iterations, 100);
+        let names: Vec<_> = r.rows.iter().map(|r| r.mechanism).collect();
+        assert!(names.iter().any(|n| n.contains("jmpp")));
+        assert!(names.iter().any(|n| n.contains("syscall")));
+    }
+
+    #[test]
+    fn blocks_sum_to_jmpp_total() {
+        let r = run(10);
+        let model = CostModel::default();
+        let sum: u64 = r.jmpp_blocks.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, model.jmpp_pret);
+    }
+
+    #[test]
+    fn headline_ratio_is_about_six() {
+        let r = run(10);
+        let ratio = r.syscall_speedup_host();
+        assert!(ratio > 5.0 && ratio < 7.0, "6x claim, got {ratio}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Software simulation of Simurgh's protected user-space functions (§3).
+//!
+//! The paper proposes two instructions — `jmpp` (jump protected) and `pret`
+//! (protected return) — plus one new page-table bit `ep` ("execute
+//! protected"). Together they let an application enter predefined
+//! file-system entry points at function-call cost while the CPU privilege
+//! level is temporarily raised, removing the kernel from the control path.
+//!
+//! Real silicon with these instructions does not exist; the authors
+//! prototyped them in gem5 and added the measured 46-cycle `jmpp`/`pret`
+//! delta to every Simurgh call on their Optane testbed. This crate provides
+//! the equivalent software construction:
+//!
+//! * [`cpl`] — a per-thread current privilege level (x86 CPL semantics),
+//! * [`page`] — protected code pages with the four fixed entry offsets of
+//!   the paper's Fig. 1,
+//! * [`domain::ProtectedDomain`] — the `jmpp`/`pret` state machine with all
+//!   four security requirements of §3.1 enforced and violations surfaced as
+//!   typed [`Fault`]s,
+//! * [`policy::KernelPagePolicy`] — an [`simurgh_pmem::AccessPolicy`] that
+//!   faults user-mode access to kernel-marked NVMM pages, completing the
+//!   "NVMM only reachable from protected functions" guarantee of §3.2,
+//! * [`cost`] — the gem5-derived cycle model and [`cost::SecurityMode`],
+//!   which the benchmark harness uses to charge each file-system call with
+//!   the protected-function or syscall cost it would have on real hardware,
+//! * [`gem5`] — the §3.3 microbenchmark reproducing the cycle-count table.
+
+pub mod cost;
+pub mod cpl;
+pub mod domain;
+pub mod gem5;
+pub mod page;
+pub mod policy;
+
+pub use cost::{CostModel, SecurityMode};
+pub use cpl::Ring;
+pub use domain::{Fault, FnId, ProtectedDomain};
+pub use page::{EntryPoint, ENTRY_OFFSETS, ENTRY_POINTS_PER_PAGE};
+pub use policy::KernelPagePolicy;

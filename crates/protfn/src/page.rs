@@ -1,0 +1,145 @@
+//! Protected code pages and their fixed entry points (paper Fig. 1).
+//!
+//! A protected 4-KB page exposes exactly four legal `jmpp` targets at the
+//! offsets `0x000`, `0x400`, `0x800` and `0xc00`. A function longer than one
+//! slot must be laid out so that the instruction falling on the next entry
+//! offset is *not* a valid entry (the paper uses "not a `nop`"); jumping
+//! there faults. We model that by recording, per slot, whether a function
+//! entry or function *body* occupies it.
+
+use simurgh_pmem::PAGE_SIZE;
+
+/// Number of `jmpp` entry points per protected page.
+pub const ENTRY_POINTS_PER_PAGE: usize = 4;
+
+/// The fixed entry offsets within a protected page.
+pub const ENTRY_OFFSETS: [usize; ENTRY_POINTS_PER_PAGE] = [0x000, 0x400, 0x800, 0xc00];
+
+/// Bytes of code capacity per entry slot.
+pub const SLOT_SIZE: usize = PAGE_SIZE / ENTRY_POINTS_PER_PAGE;
+
+/// A code address in the simulated process image: page index plus offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryPoint {
+    pub page: usize,
+    pub offset: usize,
+}
+
+impl EntryPoint {
+    /// The slot index this address targets, if it is one of the four legal
+    /// entry offsets.
+    pub fn slot(&self) -> Option<usize> {
+        ENTRY_OFFSETS.iter().position(|&o| o == self.offset)
+    }
+
+    /// The flat simulated code address.
+    pub fn addr(&self) -> usize {
+        self.page * PAGE_SIZE + self.offset
+    }
+
+    /// Builds an entry point from a flat code address.
+    pub fn from_addr(addr: usize) -> Self {
+        EntryPoint { page: addr / PAGE_SIZE, offset: addr % PAGE_SIZE }
+    }
+}
+
+/// What occupies one entry slot of a protected page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotContent {
+    /// Nothing loaded; jumping here faults.
+    Empty,
+    /// A function entry: a registered protected function starts here.
+    Entry(crate::FnId),
+    /// Body bytes of a function that started in an earlier slot (the paper's
+    /// "the instruction at the next entry offset must not be a nop" rule);
+    /// jumping here faults.
+    Body,
+}
+
+/// The slot map of one protected code page.
+#[derive(Debug, Clone)]
+pub struct ProtectedPage {
+    pub slots: [SlotContent; ENTRY_POINTS_PER_PAGE],
+}
+
+impl ProtectedPage {
+    /// An empty protected page.
+    pub fn new() -> Self {
+        ProtectedPage { slots: [SlotContent::Empty; ENTRY_POINTS_PER_PAGE] }
+    }
+
+    /// Loads a function of `code_bytes` bytes starting at `slot`; marks any
+    /// following slots it spills into as [`SlotContent::Body`]. Returns the
+    /// number of slots consumed, or `None` if they don't fit or are taken.
+    pub fn load(&mut self, slot: usize, id: crate::FnId, code_bytes: usize) -> Option<usize> {
+        let span = code_bytes.div_ceil(SLOT_SIZE).max(1);
+        if slot + span > ENTRY_POINTS_PER_PAGE {
+            return None;
+        }
+        if self.slots[slot..slot + span].iter().any(|s| *s != SlotContent::Empty) {
+            return None;
+        }
+        self.slots[slot] = SlotContent::Entry(id);
+        for s in &mut self.slots[slot + 1..slot + span] {
+            *s = SlotContent::Body;
+        }
+        Some(span)
+    }
+
+    /// First run of `span` free slots, if any.
+    pub fn find_free(&self, span: usize) -> Option<usize> {
+        (0..=ENTRY_POINTS_PER_PAGE.saturating_sub(span))
+            .find(|&s| self.slots[s..s + span].iter().all(|c| *c == SlotContent::Empty))
+    }
+}
+
+impl Default for ProtectedPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnId;
+
+    #[test]
+    fn entry_offsets_match_figure_1() {
+        assert_eq!(ENTRY_OFFSETS, [0x000, 0x400, 0x800, 0xc00]);
+        assert_eq!(SLOT_SIZE, 1024);
+    }
+
+    #[test]
+    fn slot_resolution() {
+        assert_eq!(EntryPoint { page: 0, offset: 0x400 }.slot(), Some(1));
+        assert_eq!(EntryPoint { page: 0, offset: 0x401 }.slot(), None);
+        assert_eq!(EntryPoint { page: 2, offset: 0xc00 }.slot(), Some(3));
+        let e = EntryPoint::from_addr(2 * PAGE_SIZE + 0x800);
+        assert_eq!(e, EntryPoint { page: 2, offset: 0x800 });
+        assert_eq!(e.addr(), 2 * PAGE_SIZE + 0x800);
+    }
+
+    #[test]
+    fn oversized_function_claims_body_slots() {
+        // The paper's example: open() slightly bigger than 1 kB occupies two
+        // slots; the second may not be jumped to.
+        let mut p = ProtectedPage::new();
+        let span = p.load(2, FnId(7), 1100).unwrap();
+        assert_eq!(span, 2);
+        assert_eq!(p.slots[2], SlotContent::Entry(FnId(7)));
+        assert_eq!(p.slots[3], SlotContent::Body);
+    }
+
+    #[test]
+    fn load_rejects_overlap_and_overflow() {
+        let mut p = ProtectedPage::new();
+        assert!(p.load(3, FnId(1), 2000).is_none(), "would overflow the page");
+        p.load(1, FnId(1), 100).unwrap();
+        assert!(p.load(1, FnId(2), 100).is_none(), "slot taken");
+        assert_eq!(p.find_free(2), Some(2));
+        p.load(2, FnId(3), 2048).unwrap();
+        assert_eq!(p.find_free(1), Some(0));
+        assert_eq!(p.find_free(2), None);
+    }
+}

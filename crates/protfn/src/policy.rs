@@ -1,0 +1,133 @@
+//! The NVMM access policy: kernel pages are only reachable from protected
+//! functions (paper §3.2).
+//!
+//! Simurgh maps all NVMM into every application's address space but marks
+//! the pages as kernel pages, so a plain user-mode load or store faults.
+//! [`KernelPagePolicy`] implements exactly that check for the emulated
+//! region: it compares the calling thread's CPL (raised only by a valid
+//! `jmpp`) against the page's flags.
+
+use std::sync::Arc;
+
+use simurgh_pmem::prot::{AccessFault, AccessPolicy, PageFlags, PageTable};
+
+use crate::cpl::{self, Ring};
+
+/// [`AccessPolicy`] enforcing kernel-page isolation for an NVMM region.
+pub struct KernelPagePolicy {
+    table: Arc<PageTable>,
+}
+
+impl KernelPagePolicy {
+    /// Wraps a data-region page table.
+    pub fn new(table: Arc<PageTable>) -> Self {
+        KernelPagePolicy { table }
+    }
+
+    /// Marks every page of the region as a kernel page — what the Simurgh
+    /// bootstrap does for the whole NVMM device. Requires kernel mode.
+    pub fn protect_all(&self) {
+        let _k = cpl::KernelGuard::enter();
+        self.table.set(0, self.table.pages(), PageFlags::KERNEL);
+    }
+
+    /// The underlying page table.
+    pub fn table(&self) -> &Arc<PageTable> {
+        &self.table
+    }
+}
+
+impl AccessPolicy for KernelPagePolicy {
+    fn check_access(&self, page: usize, write: bool) -> Result<(), AccessFault> {
+        let flags = self.table.get(page);
+        if cpl::current() == Ring::User {
+            if flags.contains(PageFlags::EP) && write {
+                return Err(AccessFault::WriteToProtectedCode { page });
+            }
+            if flags.contains(PageFlags::KERNEL) {
+                return Err(AccessFault::UserAccessToKernelPage { page, write });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_pmem::{PPtr, RegionBuilder, PAGE_SIZE};
+
+    fn protected_region(pages: usize) -> (simurgh_pmem::PmemRegion, Arc<PageTable>) {
+        let table = Arc::new(PageTable::new(pages));
+        let policy = Arc::new(KernelPagePolicy::new(table.clone()));
+        policy.protect_all();
+        let region = RegionBuilder::new(pages * PAGE_SIZE).policy(policy).build().unwrap();
+        (region, table)
+    }
+
+    #[test]
+    fn user_mode_access_to_kernel_page_faults() {
+        let (region, _) = protected_region(4);
+        assert!(matches!(
+            region.check_access(PPtr::new(0), 8, false),
+            Err(simurgh_pmem::PmemError::Fault(AccessFault::UserAccessToKernelPage {
+                page: 0,
+                write: false
+            }))
+        ));
+        assert!(matches!(
+            region.check_access(PPtr::new(PAGE_SIZE as u64), 8, true),
+            Err(simurgh_pmem::PmemError::Fault(AccessFault::UserAccessToKernelPage {
+                page: 1,
+                write: true
+            }))
+        ));
+    }
+
+    #[test]
+    fn kernel_mode_access_is_allowed() {
+        let (region, _) = protected_region(4);
+        let _k = cpl::KernelGuard::enter();
+        assert!(region.check_access(PPtr::new(0), 8, true).is_ok());
+        region.write(PPtr::new(16), 99u64);
+        assert_eq!(region.read::<u64>(PPtr::new(16)), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "protection fault")]
+    fn user_mode_store_panics_like_a_sigsegv() {
+        let (region, _) = protected_region(1);
+        region.write(PPtr::new(0), 1u8);
+    }
+
+    #[test]
+    fn unprotected_pages_stay_accessible_from_user_mode() {
+        let table = Arc::new(PageTable::new(2));
+        let policy = Arc::new(KernelPagePolicy::new(table.clone()));
+        // Protect only page 1; page 0 stays a user page.
+        {
+            let _k = cpl::KernelGuard::enter();
+            table.set(1, 1, PageFlags::KERNEL);
+        }
+        let region = RegionBuilder::new(2 * PAGE_SIZE).policy(policy).build().unwrap();
+        region.write(PPtr::new(0), 5u8);
+        assert_eq!(region.read::<u8>(PPtr::new(0)), 5);
+        assert!(region.check_access(PPtr::new(PAGE_SIZE as u64), 1, false).is_err());
+    }
+
+    #[test]
+    fn user_mode_write_to_ep_page_faults_as_code_write() {
+        let table = Arc::new(PageTable::new(1));
+        {
+            let _k = cpl::KernelGuard::enter();
+            table.set(0, 1, PageFlags::EP);
+        }
+        let policy = KernelPagePolicy::new(table);
+        assert_eq!(
+            policy.check_access(0, true),
+            Err(AccessFault::WriteToProtectedCode { page: 0 })
+        );
+        // Reading protected code from user mode is fine (it is mapped).
+        assert_eq!(policy.check_access(0, false), Ok(()));
+    }
+}

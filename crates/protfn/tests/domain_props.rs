@@ -1,0 +1,89 @@
+//! Property tests for the protected-function domain: for any sequence of
+//! loaded functions, `jmpp` succeeds exactly at loaded entry points and
+//! faults everywhere else, and the CPL is always balanced afterwards.
+
+use proptest::prelude::*;
+use simurgh_protfn::{cpl, EntryPoint, Fault, ProtectedDomain, Ring, ENTRY_OFFSETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn jmpp_legality_matches_loaded_layout(
+        sizes in proptest::collection::vec(1usize..2600, 1..12),
+        probe_page in 0usize..6,
+        probe_off in 0usize..4096,
+    ) {
+        let domain = ProtectedDomain::new(4);
+        let mut loaded: Vec<(EntryPoint, usize)> = Vec::new();
+        for (i, bytes) in sizes.iter().enumerate() {
+            match domain.load_protected(&format!("fn{i}"), *bytes) {
+                Ok((_, ep)) => loaded.push((ep, *bytes)),
+                Err(Fault::NoCodeSpace) => break,
+                Err(other) => prop_assert!(false, "unexpected load fault {other}"),
+            }
+        }
+        // Every loaded entry point must be callable.
+        for (ep, _) in &loaded {
+            let out = domain.enter(*ep, cpl::current);
+            prop_assert_eq!(out.expect("loaded entry callable"), Ring::Kernel);
+            prop_assert_eq!(cpl::current(), Ring::User);
+        }
+        // A random probe address must succeed iff it is a loaded entry.
+        let probe = EntryPoint { page: probe_page, offset: probe_off };
+        let should_work = loaded.iter().any(|(ep, _)| *ep == probe);
+        let outcome = domain.jmpp(probe);
+        if should_work {
+            prop_assert!(outcome.is_ok(), "loaded entry rejected: {probe:?}");
+            outcome.unwrap().pret().unwrap();
+        } else {
+            let fault = outcome.expect_err("illegal jmpp accepted");
+            match fault {
+                Fault::EpNotSet { .. } => {
+                    // Page has no function at all.
+                    prop_assert!(!loaded.iter().any(|(ep, _)| ep.page == probe.page));
+                }
+                Fault::BadEntryOffset { offset } => {
+                    prop_assert!(!ENTRY_OFFSETS.contains(&offset));
+                }
+                Fault::NoFunctionAtEntry { .. } => {
+                    prop_assert!(ENTRY_OFFSETS.contains(&probe.offset));
+                }
+                other => prop_assert!(false, "unexpected fault {other}"),
+            }
+        }
+        prop_assert_eq!(cpl::current(), Ring::User, "CPL balanced at the end");
+    }
+
+    #[test]
+    fn nesting_depth_always_balances(depth in 1usize..20) {
+        let domain = ProtectedDomain::new(4);
+        let (_, ep) = domain.load_protected("f", 16).unwrap();
+        fn recurse(domain: &ProtectedDomain, ep: EntryPoint, left: usize) {
+            if left == 0 {
+                assert_eq!(cpl::current(), Ring::Kernel);
+                return;
+            }
+            domain.enter(ep, || recurse(domain, ep, left - 1)).unwrap();
+            assert_eq!(cpl::current(), Ring::Kernel, "outer frames stay privileged");
+        }
+        domain.enter(ep, || recurse(&domain, ep, depth)).unwrap();
+        prop_assert_eq!(cpl::current(), Ring::User);
+    }
+
+    #[test]
+    fn code_capacity_is_exact(bytes in 1usize..4097) {
+        // A page holds floor(4096 / slot) functions of `bytes` bytes where
+        // slot-span = ceil(bytes / 1024).
+        let domain = ProtectedDomain::new(1);
+        let span = bytes.div_ceil(1024);
+        let fit = 4 / span;
+        let mut loaded = 0;
+        for i in 0..8 {
+            if domain.load_protected(&format!("f{i}"), bytes).is_ok() {
+                loaded += 1;
+            }
+        }
+        prop_assert_eq!(loaded, fit, "{} byte functions per 4K page", bytes);
+    }
+}

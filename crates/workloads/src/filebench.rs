@@ -1,0 +1,291 @@
+//! Filebench personalities (Fig. 8, Table 2).
+//!
+//! Four synthetic macro-workloads re-implemented from the Filebench
+//! personality definitions the paper uses with default settings:
+//! varmail (mail server: create/delete/append/fsync/read), webserver
+//! (open/read whole files + log appends), webproxy (create/delete + repeat
+//! reads) and fileserver (create/write/append/read/delete/stat).
+//! Throughput is reported in Filebench's unit: completed flow-operations
+//! per second.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simurgh_fsapi::{FileMode, FileSystem, FsError, OpenFlags, ProcCtx};
+
+use crate::runner::{BenchResult, Runner};
+
+/// One personality's parameters (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilebenchConfig {
+    pub name: &'static str,
+    /// Number of files in the pre-created file set.
+    pub nfiles: usize,
+    /// Mean directory width; widths ≥ nfiles put everything in one dir.
+    pub dir_width: usize,
+    /// Mean file size in bytes.
+    pub file_size: usize,
+    /// Worker processes.
+    pub threads: usize,
+    /// I/O unit for reads/appends.
+    pub io_size: usize,
+}
+
+/// Table 2 presets. `scale` shrinks file counts/sizes for quick runs
+/// (1.0 = the paper's settings).
+pub fn varmail(scale: f64) -> FilebenchConfig {
+    FilebenchConfig {
+        name: "varmail",
+        nfiles: ((1000.0 * scale) as usize).max(16),
+        dir_width: 1_000_000,
+        file_size: ((128.0 * 1024.0 * scale) as usize).max(1024),
+        threads: 16,
+        io_size: 16 * 1024,
+    }
+}
+
+pub fn webserver(scale: f64) -> FilebenchConfig {
+    FilebenchConfig {
+        name: "webserver",
+        nfiles: ((1000.0 * scale) as usize).max(16),
+        dir_width: 20,
+        file_size: ((128.0 * 1024.0 * scale) as usize).max(1024),
+        threads: 100,
+        io_size: 16 * 1024,
+    }
+}
+
+pub fn webproxy(scale: f64) -> FilebenchConfig {
+    FilebenchConfig {
+        name: "webproxy",
+        nfiles: ((10_000.0 * scale) as usize).max(32),
+        dir_width: 1_000_000,
+        file_size: ((16.0 * 1024.0 * scale) as usize).max(512),
+        threads: 100,
+        io_size: 16 * 1024,
+    }
+}
+
+pub fn fileserver(scale: f64) -> FilebenchConfig {
+    FilebenchConfig {
+        name: "fileserver",
+        nfiles: ((10_000.0 * scale) as usize).max(32),
+        dir_width: 20,
+        file_size: ((128.0 * 1024.0 * scale) as usize).max(1024),
+        threads: 50,
+        io_size: 16 * 1024,
+    }
+}
+
+/// The pre-created file population.
+pub struct FileSet {
+    root: String,
+    cfg: FilebenchConfig,
+    ndirs: usize,
+}
+
+impl FileSet {
+    /// Creates the directory tree and initial files (untimed setup).
+    pub fn create(fs: &dyn FileSystem, root: &str, cfg: FilebenchConfig) -> FileSet {
+        let ctx = ProcCtx::root(0);
+        let ndirs = cfg.nfiles.div_ceil(cfg.dir_width).max(1);
+        fs.mkdir(&ctx, root, FileMode::dir(0o777)).expect("fileset root");
+        for d in 0..ndirs {
+            fs.mkdir(&ctx, &format!("{root}/d{d}"), FileMode::dir(0o777)).expect("fileset dir");
+        }
+        let set = FileSet { root: root.to_owned(), cfg, ndirs };
+        let payload = vec![0x66u8; cfg.file_size];
+        for i in 0..cfg.nfiles {
+            fs.write_file(&ctx, &set.path(i), &payload).expect("fileset file");
+        }
+        set
+    }
+
+    /// Path of logical file `i`.
+    pub fn path(&self, i: usize) -> String {
+        format!("{}/d{}/f{}", self.root, i % self.ndirs, i)
+    }
+
+    fn pick(&self, rng: &mut impl RngExt) -> usize {
+        rng.random_range(0..self.cfg.nfiles)
+    }
+}
+
+fn read_whole(fs: &dyn FileSystem, ctx: &ProcCtx, path: &str, io: usize) -> Result<u64, FsError> {
+    let fd = fs.open(ctx, path, OpenFlags::RDONLY, FileMode::default())?;
+    let mut buf = vec![0u8; io];
+    let mut off = 0u64;
+    let mut ops = 1;
+    loop {
+        let n = fs.pread(ctx, fd, &mut buf, off)?;
+        if n == 0 {
+            break;
+        }
+        off += n as u64;
+        ops += 1;
+    }
+    fs.close(ctx, fd)?;
+    Ok(ops)
+}
+
+/// Runs one personality for `iters` iterations per thread; returns
+/// flowops/s. Concurrent create/delete races on shared names are part of
+/// the workload; affected flowops simply don't count.
+pub fn run(fs: &dyn FileSystem, cfg: FilebenchConfig, iters: usize) -> BenchResult {
+    let set = FileSet::create(fs, &format!("/fb-{}", cfg.name), cfg);
+    let io = vec![0x77u8; cfg.io_size];
+    Runner::new(cfg.threads).run(|ctx, tid| {
+        let mut rng = StdRng::seed_from_u64(tid as u64 * 31 + 5);
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        for it in 0..iters {
+            match cfg.name {
+                "varmail" => {
+                    // delete; create+append+fsync; open+append+fsync; read.
+                    if fs.unlink(ctx, &set.path(set.pick(&mut rng))).is_ok() {
+                        ops += 1;
+                    }
+                    let p = format!("{}/d0/t{tid}-m{it}", set.root);
+                    if let Ok(fd) = fs.open(ctx, &p, OpenFlags::APPEND, FileMode::default()) {
+                        let _ = fs.write(ctx, fd, &io);
+                        let _ = fs.fsync(ctx, fd);
+                        let _ = fs.close(ctx, fd);
+                        ops += 3;
+                        bytes += cfg.io_size as u64;
+                    }
+                    let p = set.path(set.pick(&mut rng));
+                    if let Ok(fd) = fs.open(ctx, &p, OpenFlags { read: true, write: true, append: true, ..Default::default() }, FileMode::default()) {
+                        let mut buf = vec![0u8; cfg.io_size];
+                        let _ = fs.pread(ctx, fd, &mut buf, 0);
+                        let _ = fs.write(ctx, fd, &io);
+                        let _ = fs.fsync(ctx, fd);
+                        let _ = fs.close(ctx, fd);
+                        ops += 4;
+                        bytes += 2 * cfg.io_size as u64;
+                    }
+                    if let Ok(n) = read_whole(fs, ctx, &set.path(set.pick(&mut rng)), cfg.io_size) {
+                        ops += n;
+                        bytes += cfg.file_size as u64;
+                    }
+                }
+                "webserver" => {
+                    // 10 whole-file reads + 1 log append.
+                    for _ in 0..10 {
+                        if let Ok(n) = read_whole(fs, ctx, &set.path(set.pick(&mut rng)), cfg.io_size)
+                        {
+                            ops += n;
+                            bytes += cfg.file_size as u64;
+                        }
+                    }
+                    let log = format!("{}/d0/log{tid}", set.root);
+                    if let Ok(fd) = fs.open(ctx, &log, OpenFlags::APPEND, FileMode::default()) {
+                        let _ = fs.write(ctx, fd, &io);
+                        let _ = fs.close(ctx, fd);
+                        ops += 1;
+                        bytes += cfg.io_size as u64;
+                    }
+                }
+                "webproxy" => {
+                    // delete; create+append; 5 whole-file reads.
+                    if fs.unlink(ctx, &set.path(set.pick(&mut rng))).is_ok() {
+                        ops += 1;
+                    }
+                    let p = format!("{}/d0/t{tid}-p{it}", set.root);
+                    if let Ok(fd) = fs.open(ctx, &p, OpenFlags::APPEND, FileMode::default()) {
+                        let _ = fs.write(ctx, fd, &io);
+                        let _ = fs.close(ctx, fd);
+                        ops += 2;
+                        bytes += cfg.io_size as u64;
+                    }
+                    for _ in 0..5 {
+                        if let Ok(n) = read_whole(fs, ctx, &set.path(set.pick(&mut rng)), cfg.io_size)
+                        {
+                            ops += n;
+                            bytes += cfg.file_size as u64;
+                        }
+                    }
+                }
+                "fileserver" => {
+                    // create+write whole; open+append; read whole; delete; stat.
+                    let p = format!("{}/d{}/t{tid}-s{it}", set.root, it % set.ndirs);
+                    if let Ok(fd) = fs.open(ctx, &p, OpenFlags::CREATE, FileMode::default()) {
+                        let mut off = 0u64;
+                        while (off as usize) < cfg.file_size {
+                            let n = cfg.io_size.min(cfg.file_size - off as usize);
+                            let _ = fs.pwrite(ctx, fd, &io[..n], off);
+                            off += n as u64;
+                        }
+                        let _ = fs.close(ctx, fd);
+                        ops += 2;
+                        bytes += cfg.file_size as u64;
+                    }
+                    let p = set.path(set.pick(&mut rng));
+                    if let Ok(fd) = fs.open(ctx, &p, OpenFlags::APPEND, FileMode::default()) {
+                        let _ = fs.write(ctx, fd, &io);
+                        let _ = fs.close(ctx, fd);
+                        ops += 1;
+                        bytes += cfg.io_size as u64;
+                    }
+                    if let Ok(n) = read_whole(fs, ctx, &set.path(set.pick(&mut rng)), cfg.io_size) {
+                        ops += n;
+                        bytes += cfg.file_size as u64;
+                    }
+                    if fs.unlink(ctx, &set.path(set.pick(&mut rng))).is_ok() {
+                        ops += 1;
+                    }
+                    if fs.stat(ctx, &set.path(set.pick(&mut rng))).is_ok() {
+                        ops += 1;
+                    }
+                }
+                other => panic!("unknown personality {other}"),
+            }
+        }
+        (ops, bytes)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+    use std::sync::Arc;
+
+    fn fresh() -> SimurghFs {
+        SimurghFs::format(Arc::new(PmemRegion::new(128 << 20)), SimurghConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn presets_match_table2() {
+        assert_eq!(varmail(1.0).nfiles, 1000);
+        assert_eq!(varmail(1.0).threads, 16);
+        assert_eq!(webserver(1.0).dir_width, 20);
+        assert_eq!(webserver(1.0).threads, 100);
+        assert_eq!(webproxy(1.0).nfiles, 10_000);
+        assert_eq!(webproxy(1.0).file_size, 16 * 1024);
+        assert_eq!(fileserver(1.0).threads, 50);
+    }
+
+    #[test]
+    fn fileset_population() {
+        let fs = fresh();
+        let mut cfg = webserver(0.05);
+        cfg.threads = 2;
+        let set = FileSet::create(&fs, "/pop", cfg);
+        let ctx = ProcCtx::root(0);
+        // All files exist at their computed paths.
+        for i in 0..cfg.nfiles {
+            assert_eq!(fs.stat(&ctx, &set.path(i)).unwrap().size, cfg.file_size as u64);
+        }
+    }
+
+    #[test]
+    fn all_personalities_run_on_simurgh() {
+        for make in [varmail, webserver, webproxy, fileserver] {
+            let fs = fresh();
+            let mut cfg = make(0.02);
+            cfg.threads = 2;
+            let r = run(&fs, cfg, 3);
+            assert!(r.ops > 0, "{} produced no ops", cfg.name);
+        }
+    }
+}

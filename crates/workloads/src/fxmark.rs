@@ -1,0 +1,379 @@
+//! FxMark-derived microbenchmarks (Fig. 6 and Fig. 7 of the paper).
+//!
+//! Ten kernels, each stressing one file-system path at 1..N processes. The
+//! four-letter codes follow FxMark: MWCL/MWCM (create private/shared),
+//! MWUL (unlink), MWRM (rename shared), MRPL/MRPM (path resolution
+//! private/shared), DWAL (append), DWTL (fallocate/truncate), DRBL/DRBM
+//! (block reads private/shared), DWOL/DWOM (block overwrites).
+//!
+//! Following §5.2, the read benchmarks come in two flavours: the *original*
+//! FxMark pattern that re-reads the same blocks (measuring the CPU cache)
+//! and the paper's *adapted* pattern using pseudo-random block addresses
+//! (measuring the NVMM) — the distinction behind Fig. 6.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simurgh_fsapi::{FileMode, FileSystem, OpenFlags, ProcCtx};
+
+use crate::runner::{private_dir, setup_private_dirs, BenchResult, Runner};
+
+/// 4-KB I/O unit used by all data benchmarks (FxMark's block size).
+pub const IO_SIZE: usize = 4096;
+
+fn root_ctx() -> ProcCtx {
+    ProcCtx::root(0)
+}
+
+// ---------------------------------------------------------------------------
+// Metadata benchmarks
+// ---------------------------------------------------------------------------
+
+/// MWCL — create empty files, one private directory per process (Fig. 7a).
+pub fn create_private(fs: &dyn FileSystem, threads: usize, files: usize) -> BenchResult {
+    setup_private_dirs(fs, threads);
+    Runner::new(threads).run(|ctx, tid| {
+        let dir = private_dir(tid);
+        for i in 0..files {
+            let fd = fs.create(ctx, &format!("{dir}/f{i}"), FileMode::default()).expect("create");
+            fs.close(ctx, fd).expect("close");
+        }
+        (files as u64, 0)
+    })
+}
+
+/// MWCM — create empty files in one shared directory (Fig. 7b).
+pub fn create_shared(fs: &dyn FileSystem, threads: usize, files: usize) -> BenchResult {
+    let ctx = root_ctx();
+    fs.mkdir(&ctx, "/fx-shared", FileMode::dir(0o777)).expect("setup");
+    Runner::new(threads).run(|ctx, tid| {
+        for i in 0..files {
+            let fd = fs
+                .create(ctx, &format!("/fx-shared/t{tid}-f{i}"), FileMode::default())
+                .expect("create");
+            fs.close(ctx, fd).expect("close");
+        }
+        (files as u64, 0)
+    })
+}
+
+/// MWUL — unlink empty files from private directories (Fig. 7c).
+pub fn unlink_private(fs: &dyn FileSystem, threads: usize, files: usize) -> BenchResult {
+    setup_private_dirs(fs, threads);
+    let ctx = root_ctx();
+    for tid in 0..threads {
+        for i in 0..files {
+            let fd = fs
+                .create(&ctx, &format!("{}/f{i}", private_dir(tid)), FileMode::default())
+                .expect("setup create");
+            fs.close(&ctx, fd).expect("close");
+        }
+    }
+    Runner::new(threads).run(|ctx, tid| {
+        let dir = private_dir(tid);
+        for i in 0..files {
+            fs.unlink(ctx, &format!("{dir}/f{i}")).expect("unlink");
+        }
+        (files as u64, 0)
+    })
+}
+
+/// MWRM — rename empty files within one shared directory (Fig. 7d).
+pub fn rename_shared(fs: &dyn FileSystem, threads: usize, files: usize) -> BenchResult {
+    let ctx = root_ctx();
+    fs.mkdir(&ctx, "/fx-ren", FileMode::dir(0o777)).expect("setup");
+    for tid in 0..threads {
+        for i in 0..files {
+            let fd = fs
+                .create(&ctx, &format!("/fx-ren/t{tid}-f{i}"), FileMode::default())
+                .expect("setup create");
+            fs.close(&ctx, fd).expect("close");
+        }
+    }
+    Runner::new(threads).run(|ctx, tid| {
+        for i in 0..files {
+            fs.rename(ctx, &format!("/fx-ren/t{tid}-f{i}"), &format!("/fx-ren/t{tid}-r{i}"))
+                .expect("rename");
+        }
+        (files as u64, 0)
+    })
+}
+
+/// Builds a nested path `base/d0/d1/../d{depth-1}` and a `leaf` file in it.
+fn build_nested(fs: &dyn FileSystem, base: &str, depth: usize) -> String {
+    let ctx = root_ctx();
+    let mut p = base.to_owned();
+    if !p.is_empty() {
+        fs.mkdir(&ctx, &p, FileMode::dir(0o777)).expect("mkdir base");
+    }
+    for d in 0..depth {
+        p = format!("{p}/d{d}");
+        fs.mkdir(&ctx, &p, FileMode::dir(0o777)).expect("mkdir nest");
+    }
+    let leaf = format!("{p}/leaf");
+    let fd = fs.create(&ctx, &leaf, FileMode::default()).expect("leaf");
+    fs.close(&ctx, fd).expect("close");
+    leaf
+}
+
+/// MRPL — resolve private nested paths of depth 5 by `open`+`close`
+/// (Fig. 7e).
+pub fn resolve_private(fs: &dyn FileSystem, threads: usize, depth: usize, ops: usize) -> BenchResult {
+    let leaves: Vec<String> =
+        (0..threads).map(|tid| build_nested(fs, &format!("/fx-res{tid}"), depth)).collect();
+    Runner::new(threads).run(|ctx, tid| {
+        let leaf = &leaves[tid];
+        for _ in 0..ops {
+            let fd = fs.open(ctx, leaf, OpenFlags::RDONLY, FileMode::default()).expect("open");
+            fs.close(ctx, fd).expect("close");
+        }
+        (ops as u64, 0)
+    })
+}
+
+/// MRPM — all processes resolve the same shared nested path (Fig. 7f).
+pub fn resolve_shared(fs: &dyn FileSystem, threads: usize, depth: usize, ops: usize) -> BenchResult {
+    let leaf = build_nested(fs, "/fx-resS", depth);
+    Runner::new(threads).run(|ctx, _tid| {
+        for _ in 0..ops {
+            let fd = fs.open(ctx, &leaf, OpenFlags::RDONLY, FileMode::default()).expect("open");
+            fs.close(ctx, fd).expect("close");
+        }
+        (ops as u64, 0)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Data benchmarks
+// ---------------------------------------------------------------------------
+
+/// DWAL — append 4-KB blocks to private files (Fig. 7g).
+pub fn append_private(fs: &dyn FileSystem, threads: usize, appends: usize) -> BenchResult {
+    setup_private_dirs(fs, threads);
+    let block = vec![0x41u8; IO_SIZE];
+    Runner::new(threads).run(|ctx, tid| {
+        let path = format!("{}/app", private_dir(tid));
+        let fd = fs.open(ctx, &path, OpenFlags::APPEND, FileMode::default()).expect("open");
+        for _ in 0..appends {
+            fs.write(ctx, fd, &block).expect("append");
+        }
+        fs.close(ctx, fd).expect("close");
+        (appends as u64, (appends * IO_SIZE) as u64)
+    })
+}
+
+/// DWTL — fallocate 4-MB chunks into private files + fsync (Fig. 7h).
+pub fn fallocate_private(fs: &dyn FileSystem, threads: usize, chunks: usize) -> BenchResult {
+    const CHUNK: u64 = 4 << 20;
+    setup_private_dirs(fs, threads);
+    Runner::new(threads).run(|ctx, tid| {
+        let path = format!("{}/fal", private_dir(tid));
+        let fd = fs.open(ctx, &path, OpenFlags::CREATE, FileMode::default()).expect("open");
+        for i in 0..chunks {
+            fs.fallocate(ctx, fd, i as u64 * CHUNK, CHUNK).expect("fallocate");
+            fs.fsync(ctx, fd).expect("fsync");
+        }
+        fs.close(ctx, fd).expect("close");
+        (chunks as u64, chunks as u64 * CHUNK)
+    })
+}
+
+fn make_file(fs: &dyn FileSystem, path: &str, bytes: usize) {
+    let ctx = root_ctx();
+    let fd = fs.open(&ctx, path, OpenFlags::CREATE, FileMode::default()).expect("open");
+    let chunk = vec![0x5au8; 64 * 1024];
+    let mut off = 0u64;
+    while (off as usize) < bytes {
+        let n = chunk.len().min(bytes - off as usize);
+        fs.pwrite(&ctx, fd, &chunk[..n], off).expect("fill");
+        off += n as u64;
+    }
+    fs.close(&ctx, fd).expect("close");
+}
+
+/// Read pattern of the read benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPattern {
+    /// Original FxMark: every process re-reads the same few blocks, so the
+    /// CPU cache serves most requests (the "original" series of Fig. 6).
+    CachedRepeat,
+    /// The paper's adaptation: pseudo-random block addresses defeat the CPU
+    /// cache and expose NVMM bandwidth (the "adapted" series of Fig. 6).
+    PseudoRandom,
+}
+
+/// DRBM — read 4-KB blocks from one shared file (Fig. 7i / Fig. 6).
+pub fn read_shared(
+    fs: &dyn FileSystem,
+    threads: usize,
+    file_bytes: usize,
+    reads: usize,
+    pattern: ReadPattern,
+) -> BenchResult {
+    make_file(fs, "/fx-bigR", file_bytes);
+    let blocks = (file_bytes / IO_SIZE) as u64;
+    Runner::new(threads).run(|ctx, tid| {
+        let fd = fs.open(ctx, "/fx-bigR", OpenFlags::RDONLY, FileMode::default()).expect("open");
+        let mut rng = StdRng::seed_from_u64(tid as u64 + 1);
+        let mut buf = vec![0u8; IO_SIZE];
+        for i in 0..reads {
+            let block = match pattern {
+                ReadPattern::CachedRepeat => (i % 4) as u64,
+                ReadPattern::PseudoRandom => rng.random_range(0..blocks),
+            };
+            fs.pread(ctx, fd, &mut buf, block * IO_SIZE as u64).expect("pread");
+        }
+        fs.close(ctx, fd).expect("close");
+        (reads as u64, (reads * IO_SIZE) as u64)
+    })
+}
+
+/// DRBL — read 4-KB blocks from private files (Fig. 7j).
+pub fn read_private(
+    fs: &dyn FileSystem,
+    threads: usize,
+    file_bytes: usize,
+    reads: usize,
+    pattern: ReadPattern,
+) -> BenchResult {
+    setup_private_dirs(fs, threads);
+    for tid in 0..threads {
+        make_file(fs, &format!("{}/big", private_dir(tid)), file_bytes);
+    }
+    let blocks = (file_bytes / IO_SIZE) as u64;
+    Runner::new(threads).run(|ctx, tid| {
+        let path = format!("{}/big", private_dir(tid));
+        let fd = fs.open(ctx, &path, OpenFlags::RDONLY, FileMode::default()).expect("open");
+        let mut rng = StdRng::seed_from_u64(tid as u64 + 99);
+        let mut buf = vec![0u8; IO_SIZE];
+        for i in 0..reads {
+            let block = match pattern {
+                ReadPattern::CachedRepeat => (i % 4) as u64,
+                ReadPattern::PseudoRandom => rng.random_range(0..blocks),
+            };
+            fs.pread(ctx, fd, &mut buf, block * IO_SIZE as u64).expect("pread");
+        }
+        fs.close(ctx, fd).expect("close");
+        (reads as u64, (reads * IO_SIZE) as u64)
+    })
+}
+
+/// DWOM — overwrite random 4-KB blocks of one shared file (Fig. 7k).
+pub fn overwrite_shared(
+    fs: &dyn FileSystem,
+    threads: usize,
+    file_bytes: usize,
+    writes: usize,
+) -> BenchResult {
+    make_file(fs, "/fx-bigW", file_bytes);
+    let blocks = (file_bytes / IO_SIZE) as u64;
+    let block = vec![0x42u8; IO_SIZE];
+    Runner::new(threads).run(|ctx, tid| {
+        let fd = fs.open(ctx, "/fx-bigW", OpenFlags::RDWR, FileMode::default()).expect("open");
+        let mut rng = StdRng::seed_from_u64(tid as u64 + 7);
+        for _ in 0..writes {
+            let b = rng.random_range(0..blocks);
+            fs.pwrite(ctx, fd, &block, b * IO_SIZE as u64).expect("pwrite");
+        }
+        fs.close(ctx, fd).expect("close");
+        (writes as u64, (writes * IO_SIZE) as u64)
+    })
+}
+
+/// DWOL — write 4-KB blocks to growing private files (Fig. 7l).
+pub fn write_private(fs: &dyn FileSystem, threads: usize, writes: usize) -> BenchResult {
+    setup_private_dirs(fs, threads);
+    let block = vec![0x43u8; IO_SIZE];
+    Runner::new(threads).run(|ctx, tid| {
+        let path = format!("{}/w", private_dir(tid));
+        let fd = fs.open(ctx, &path, OpenFlags::CREATE, FileMode::default()).expect("open");
+        for i in 0..writes {
+            fs.pwrite(ctx, fd, &block, (i * IO_SIZE) as u64).expect("pwrite");
+        }
+        fs.close(ctx, fd).expect("close");
+        (writes as u64, (writes * IO_SIZE) as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+    use std::sync::Arc;
+
+    fn fresh() -> SimurghFs {
+        let region = Arc::new(PmemRegion::new(128 << 20));
+        SimurghFs::format(region, SimurghConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_benchmarks_count_files() {
+        let fs = fresh();
+        let r = create_private(&fs, 2, 30);
+        assert_eq!(r.ops, 60);
+        let r = create_shared(&fs, 2, 30);
+        assert_eq!(r.ops, 60);
+        let ctx = ProcCtx::root(0);
+        assert_eq!(fs.readdir(&ctx, "/fx-shared").unwrap().len(), 60);
+    }
+
+    #[test]
+    fn unlink_empties_directories() {
+        let fs = fresh();
+        let r = unlink_private(&fs, 2, 25);
+        assert_eq!(r.ops, 50);
+        let ctx = ProcCtx::root(0);
+        assert_eq!(fs.readdir(&ctx, "/fx-priv-0").unwrap().len(), 0);
+        assert_eq!(fs.readdir(&ctx, "/fx-priv-1").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rename_keeps_population() {
+        let fs = fresh();
+        let r = rename_shared(&fs, 2, 20);
+        assert_eq!(r.ops, 40);
+        let ctx = ProcCtx::root(0);
+        let entries = fs.readdir(&ctx, "/fx-ren").unwrap();
+        assert_eq!(entries.len(), 40);
+        assert!(entries.iter().all(|e| e.name.contains("-r")), "all renamed");
+    }
+
+    #[test]
+    fn resolve_benchmarks_run() {
+        let fs = fresh();
+        assert_eq!(resolve_private(&fs, 2, 5, 50).ops, 100);
+        assert_eq!(resolve_shared(&fs, 2, 5, 50).ops, 100);
+    }
+
+    #[test]
+    fn data_benchmarks_move_bytes() {
+        let fs = fresh();
+        let r = append_private(&fs, 2, 16);
+        assert_eq!(r.bytes, 2 * 16 * 4096);
+        let ctx = ProcCtx::root(0);
+        assert_eq!(fs.stat(&ctx, "/fx-priv-0/app").unwrap().size, 16 * 4096);
+        let r = read_shared(&fs, 2, 1 << 20, 64, ReadPattern::PseudoRandom);
+        assert_eq!(r.ops, 128);
+        let r = overwrite_shared(&fs, 2, 1 << 20, 32);
+        assert_eq!(r.bytes, 2 * 32 * 4096);
+        let r = write_private(&fs, 2, 32);
+        assert_eq!(r.ops, 64);
+    }
+
+    #[test]
+    fn fallocate_reserves_chunks() {
+        let fs = fresh();
+        let r = fallocate_private(&fs, 1, 4);
+        assert_eq!(r.bytes, 4 * (4 << 20));
+        let ctx = ProcCtx::root(0);
+        assert_eq!(fs.stat(&ctx, "/fx-priv-0/fal").unwrap().size, 4 * (4 << 20));
+    }
+
+    #[test]
+    fn cached_vs_random_patterns_touch_different_blocks() {
+        let fs = fresh();
+        let r1 = read_private(&fs, 1, 1 << 20, 32, ReadPattern::CachedRepeat);
+        let r2 = read_private(&fs, 1, 1 << 20, 32, ReadPattern::PseudoRandom);
+        assert_eq!(r1.ops, r2.ops);
+    }
+}

@@ -1,0 +1,220 @@
+//! The git benchmark (Fig. 12): add / commit / reset over a source tree.
+//!
+//! A minimal content-addressed object store with git's file-system
+//! footprint: `add` hashes every file and writes missing objects into
+//! fan-out directories (`.git/objects/xx/…`), `commit` re-stats the whole
+//! tree (the metadata-retrieval pass where the paper's Simurgh wins) and
+//! writes tree+commit objects, `reset` restores the working tree from the
+//! object store after the files were deleted.
+
+use simurgh_fsapi::{FileMode, FileSystem, FsError, FsResult, ProcCtx};
+
+use crate::runner::BenchResult;
+use crate::tree::TreeManifest;
+
+/// A repository rooted at `<root>/.git`.
+pub struct GitRepo<'fs> {
+    fs: &'fs dyn FileSystem,
+    ctx: ProcCtx,
+    git_dir: String,
+    /// The staged index: `(path, object id, mode)`.
+    index: Vec<(String, u128, u16)>,
+}
+
+fn fnv128(data: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for &b in data {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
+impl<'fs> GitRepo<'fs> {
+    /// `git init`: creates `.git/objects`.
+    pub fn init(fs: &'fs dyn FileSystem, root: &str) -> FsResult<Self> {
+        let ctx = ProcCtx::root(0);
+        let git_dir = format!("{root}/.git");
+        fs.mkdir(&ctx, &git_dir, FileMode::dir(0o755))?;
+        fs.mkdir(&ctx, &format!("{git_dir}/objects"), FileMode::dir(0o755))?;
+        Ok(GitRepo { fs, ctx, git_dir, index: Vec::new() })
+    }
+
+    fn object_path(&self, id: u128) -> (String, String) {
+        let hex = format!("{id:032x}");
+        let dir = format!("{}/objects/{}", self.git_dir, &hex[..2]);
+        let path = format!("{dir}/{}", &hex[2..]);
+        (dir, path)
+    }
+
+    fn write_object(&self, data: &[u8]) -> FsResult<(u128, bool)> {
+        let id = fnv128(data);
+        let (dir, path) = self.object_path(id);
+        if self.fs.stat(&self.ctx, &path).is_ok() {
+            return Ok((id, false)); // deduplicated, like git
+        }
+        match self.fs.mkdir(&self.ctx, &dir, FileMode::dir(0o755)) {
+            Ok(()) | Err(FsError::Exists) => {}
+            Err(e) => return Err(e),
+        }
+        self.fs.write_file(&self.ctx, &path, data)?;
+        Ok((id, true))
+    }
+
+    /// `git add .`: hash every file, store missing blobs, build the index.
+    pub fn add_all(&mut self, manifest: &TreeManifest) -> FsResult<BenchResult> {
+        let start = std::time::Instant::now();
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        self.index.clear();
+        for (path, _) in &manifest.files {
+            let data = self.fs.read_to_vec(&self.ctx, path)?;
+            let st = self.fs.stat(&self.ctx, path)?;
+            let (id, fresh) = self.write_object(&data)?;
+            if fresh {
+                bytes += data.len() as u64;
+            }
+            self.index.push((path.clone(), id, st.mode.perm));
+            ops += 1;
+        }
+        // Persist the index file.
+        let mut buf = Vec::new();
+        for (p, id, mode) in &self.index {
+            buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&mode.to_le_bytes());
+            buf.extend_from_slice(p.as_bytes());
+        }
+        self.fs.write_file(&self.ctx, &format!("{}/index", self.git_dir), &buf)?;
+        Ok(BenchResult { ops, bytes, seconds: start.elapsed().as_secs_f64(), threads: 1 })
+    }
+
+    /// `git commit`: re-stat every indexed file (change detection — the
+    /// pass that dominates commit time), then write tree + commit objects.
+    pub fn commit(&self, message: &str) -> FsResult<BenchResult> {
+        let start = std::time::Instant::now();
+        let mut ops = 0u64;
+        let mut tree_buf = Vec::new();
+        for (path, id, mode) in &self.index {
+            // git checks whether the working file still matches the index.
+            let _ = self.fs.stat(&self.ctx, path);
+            ops += 1;
+            tree_buf.extend_from_slice(&id.to_le_bytes());
+            tree_buf.extend_from_slice(&mode.to_le_bytes());
+            tree_buf.extend_from_slice(path.as_bytes());
+            tree_buf.push(0);
+        }
+        let (tree_id, _) = self.write_object(&tree_buf)?;
+        let commit_body = format!("tree {tree_id:032x}\n\n{message}\n");
+        let (commit_id, _) = self.write_object(commit_body.as_bytes())?;
+        self.fs.write_file(
+            &self.ctx,
+            &format!("{}/HEAD", self.git_dir),
+            format!("{commit_id:032x}").as_bytes(),
+        )?;
+        ops += 2;
+        Ok(BenchResult {
+            ops,
+            bytes: tree_buf.len() as u64,
+            seconds: start.elapsed().as_secs_f64(),
+            threads: 1,
+        })
+    }
+
+    /// Deletes every working file (the paper deletes all files between
+    /// commit and reset).
+    pub fn delete_worktree(&self, manifest: &TreeManifest) -> FsResult<u64> {
+        let mut n = 0;
+        for (path, _) in &manifest.files {
+            self.fs.unlink(&self.ctx, path)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// `git reset --hard`: restore every indexed file from its object.
+    pub fn reset_hard(&self) -> FsResult<BenchResult> {
+        let start = std::time::Instant::now();
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        for (path, id, mode) in &self.index {
+            let (_, obj) = self.object_path(*id);
+            let data = self.fs.read_to_vec(&self.ctx, &obj)?;
+            self.fs.write_file(&self.ctx, path, &data)?;
+            self.fs.chmod(&self.ctx, path, *mode)?;
+            bytes += data.len() as u64;
+            ops += 1;
+        }
+        Ok(BenchResult { ops, bytes, seconds: start.elapsed().as_secs_f64(), threads: 1 })
+    }
+
+    /// Number of staged index entries.
+    pub fn staged(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{self, TreeSpec};
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+    use std::sync::Arc;
+
+    fn setup() -> (SimurghFs, TreeManifest) {
+        let fs = SimurghFs::format(
+            Arc::new(PmemRegion::new(128 << 20)),
+            SimurghConfig::default(),
+        )
+        .unwrap();
+        let spec = TreeSpec { dirs: 8, files: 40, max_file_size: 4096, seed: 11 };
+        let m = tree::generate(&fs, "/repo", spec).unwrap();
+        (fs, m)
+    }
+
+    #[test]
+    fn add_commit_reset_cycle() {
+        let (fs, m) = setup();
+        let mut repo = GitRepo::init(&fs, "/repo").unwrap();
+        let add = repo.add_all(&m).unwrap();
+        assert_eq!(add.ops as usize, m.files.len());
+        assert_eq!(repo.staged(), m.files.len());
+
+        let commit = repo.commit("initial").unwrap();
+        assert_eq!(commit.ops as usize, m.files.len() + 2);
+
+        let deleted = repo.delete_worktree(&m).unwrap();
+        assert_eq!(deleted as usize, m.files.len());
+        let ctx = ProcCtx::root(0);
+        assert!(fs.stat(&ctx, &m.files[0].0).is_err(), "worktree gone");
+
+        let reset = repo.reset_hard().unwrap();
+        assert_eq!(reset.ops as usize, m.files.len());
+        for (p, s) in m.files.iter().take(10) {
+            let data = fs.read_to_vec(&ctx, p).unwrap();
+            assert_eq!(data.len(), *s);
+            assert_eq!(data, tree::file_content(
+                m.files.iter().position(|(q, _)| q == p).unwrap(),
+                *s
+            ), "restored content matches generator");
+        }
+    }
+
+    #[test]
+    fn objects_are_deduplicated() {
+        let (fs, _) = setup();
+        let mut repo = GitRepo::init(&fs, "/repo").unwrap();
+        // Two identical files → one object.
+        fs.write_file(&ProcCtx::root(0), "/repo/dup1", b"same-bytes").unwrap();
+        fs.write_file(&ProcCtx::root(0), "/repo/dup2", b"same-bytes").unwrap();
+        let m = TreeManifest {
+            root: "/repo".into(),
+            dirs: vec!["/repo".into()],
+            files: vec![("/repo/dup1".into(), 10), ("/repo/dup2".into(), 10)],
+        };
+        let add = repo.add_all(&m).unwrap();
+        assert_eq!(add.ops, 2);
+        assert_eq!(add.bytes, 10, "second blob deduplicated");
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generators for the Simurgh evaluation (§5).
+//!
+//! Everything here drives the common [`simurgh_fsapi::FileSystem`] trait,
+//! so the same workload runs unmodified against Simurgh and every baseline
+//! model — the property the paper's comparisons depend on.
+//!
+//! * [`fxmark`] — the ten FxMark-derived microbenchmarks of Fig. 6/7,
+//!   including the paper's "adapted" pseudo-random read variant;
+//! * [`filebench`] — varmail / webserver / webproxy / fileserver
+//!   personalities with the Table 2 parameter presets;
+//! * [`minikv`] — a from-scratch LevelDB-style LSM store (WAL, memtable,
+//!   SSTables, compaction) standing in for LevelDB under YCSB;
+//! * [`ycsb`] — YCSB workload generators A–F with zipfian key choice;
+//! * [`tree`] — synthetic Linux-source-like file trees;
+//! * [`tar`] — pack/unpack of a tree into/from one archive file;
+//! * [`git`] — a content-addressed object store modelling git add/commit/
+//!   reset;
+//! * [`runner`] — the multi-"process" measurement harness shared by all.
+
+pub mod filebench;
+pub mod fxmark;
+pub mod git;
+pub mod minikv;
+pub mod runner;
+pub mod tar;
+pub mod tree;
+pub mod ycsb;
+pub mod zipf;
+
+pub use runner::{BenchResult, Runner};

@@ -1,0 +1,455 @@
+//! MiniKV: a from-scratch LSM key-value store in the style of LevelDB.
+//!
+//! The paper's YCSB experiments use LevelDB as the backing database
+//! (§5.4); what they really measure is how the *file system* handles
+//! LevelDB's I/O pattern — appends to a write-ahead log, bulk writes of
+//! immutable sorted tables, file creates and deletes from compaction.
+//! MiniKV reproduces exactly that pattern over the common
+//! [`FileSystem`] trait:
+//!
+//! * every mutation is appended to `wal.log` (`O_APPEND`, optional fsync),
+//! * mutations accumulate in a sorted in-memory memtable,
+//! * a full memtable is flushed to an immutable `sst-NNNNNN.db` file,
+//! * when tables pile up they are merge-compacted into one and the old
+//!   files unlinked,
+//! * recovery replays the WAL and reloads table indexes from disk.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use simurgh_fsapi::{Fd, FileMode, FileSystem, FsResult, OpenFlags, ProcCtx};
+
+const TOMBSTONE: u32 = u32::MAX;
+
+/// Tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct KvOptions {
+    /// Flush the memtable when its WAL exceeds this many bytes.
+    pub memtable_bytes: usize,
+    /// Compact when more than this many tables exist.
+    pub max_tables: usize,
+    /// fsync the WAL on every mutation (YCSB runs with this off, matching
+    /// LevelDB's default asynchronous writes).
+    pub sync_wal: bool,
+}
+
+impl Default for KvOptions {
+    fn default() -> Self {
+        KvOptions { memtable_bytes: 1 << 20, max_tables: 4, sync_wal: false }
+    }
+}
+
+struct SsTable {
+    path: String,
+    /// Sorted `(key, record offset, value tag)`; tag == TOMBSTONE deletes.
+    index: Vec<(Vec<u8>, u64, u32)>,
+}
+
+impl SsTable {
+    fn get(&self, fs: &dyn FileSystem, ctx: &ProcCtx, key: &[u8]) -> FsResult<Option<Option<Vec<u8>>>> {
+        let Ok(i) = self.index.binary_search_by(|(k, _, _)| k.as_slice().cmp(key)) else {
+            return Ok(None);
+        };
+        let (_, off, tag) = &self.index[i];
+        if *tag == TOMBSTONE {
+            return Ok(Some(None));
+        }
+        let fd = fs.open(ctx, &self.path, OpenFlags::RDONLY, FileMode::default())?;
+        let hdr_len = 8 + key.len();
+        let mut val = vec![0u8; *tag as usize];
+        fs.pread(ctx, fd, &mut val, off + hdr_len as u64)?;
+        fs.close(ctx, fd)?;
+        Ok(Some(Some(val)))
+    }
+}
+
+struct KvInner {
+    mem: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    wal_fd: Fd,
+    wal_bytes: usize,
+}
+
+/// The store. Like LevelDB, one instance is one "process": internal file
+/// descriptors are owned by the store, and application threads share it.
+pub struct MiniKv<'fs> {
+    fs: &'fs dyn FileSystem,
+    ctx: ProcCtx,
+    dir: String,
+    opts: KvOptions,
+    inner: Mutex<KvInner>,
+    tables: RwLock<Vec<Arc<SsTable>>>,
+    next_id: AtomicU64,
+}
+
+fn encode_record(key: &[u8], val: Option<&[u8]>) -> Vec<u8> {
+    let vtag = val.map_or(TOMBSTONE, |v| v.len() as u32);
+    let mut rec = Vec::with_capacity(8 + key.len() + val.map_or(0, |v| v.len()));
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&vtag.to_le_bytes());
+    rec.extend_from_slice(key);
+    if let Some(v) = val {
+        rec.extend_from_slice(v);
+    }
+    rec
+}
+
+/// Parses records from a buffer, calling `f(offset, key, value)`.
+fn parse_records(buf: &[u8], mut f: impl FnMut(u64, &[u8], Option<&[u8]>)) {
+    let mut off = 0usize;
+    while off + 8 <= buf.len() {
+        let klen = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        let vtag = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+        let vlen = if vtag == TOMBSTONE { 0 } else { vtag as usize };
+        if off + 8 + klen + vlen > buf.len() {
+            break; // torn tail record (e.g. WAL cut by a crash)
+        }
+        let key = &buf[off + 8..off + 8 + klen];
+        let val = if vtag == TOMBSTONE { None } else { Some(&buf[off + 8 + klen..off + 8 + klen + vlen]) };
+        f(off as u64, key, val);
+        off += 8 + klen + vlen;
+    }
+}
+
+impl<'fs> MiniKv<'fs> {
+    /// Opens (or creates) a store under `dir`, replaying any existing WAL
+    /// and reloading table indexes — LevelDB's recovery path.
+    pub fn open(fs: &'fs dyn FileSystem, dir: &str, opts: KvOptions) -> FsResult<Self> {
+        let ctx = ProcCtx::root(4242);
+        match fs.mkdir(&ctx, dir, FileMode::dir(0o755)) {
+            Ok(()) | Err(simurgh_fsapi::FsError::Exists) => {}
+            Err(e) => return Err(e),
+        }
+        // Reload tables (oldest id first so newest ends up at index 0).
+        let mut ids: Vec<u64> = fs
+            .readdir(&ctx, dir)?
+            .into_iter()
+            .filter_map(|e| {
+                e.name.strip_prefix("sst-")?.strip_suffix(".db")?.parse::<u64>().ok()
+            })
+            .collect();
+        ids.sort_unstable();
+        let mut tables = Vec::new();
+        for id in &ids {
+            let path = format!("{dir}/sst-{id:06}.db");
+            let data = fs.read_to_vec(&ctx, &path)?;
+            let mut index = Vec::new();
+            parse_records(&data, |off, key, val| {
+                index.push((key.to_vec(), off, val.map_or(TOMBSTONE, |v| v.len() as u32)));
+            });
+            index.sort_by(|a, b| a.0.cmp(&b.0));
+            tables.insert(0, Arc::new(SsTable { path, index }));
+        }
+        // Replay the WAL.
+        let mut mem = BTreeMap::new();
+        let mut wal_bytes = 0usize;
+        let wal_path = format!("{dir}/wal.log");
+        if let Ok(data) = fs.read_to_vec(&ctx, &wal_path) {
+            wal_bytes = data.len();
+            parse_records(&data, |_, key, val| {
+                mem.insert(key.to_vec(), val.map(|v| v.to_vec()));
+            });
+        }
+        let wal_fd = fs.open(&ctx, &wal_path, OpenFlags::APPEND, FileMode::default())?;
+        Ok(MiniKv {
+            fs,
+            ctx,
+            dir: dir.to_owned(),
+            opts,
+            inner: Mutex::new(KvInner { mem, wal_fd, wal_bytes }),
+            tables: RwLock::new(tables),
+            next_id: AtomicU64::new(ids.last().map_or(1, |l| l + 1)),
+        })
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, key: &[u8], val: &[u8]) -> FsResult<()> {
+        self.mutate(key, Some(val))
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&self, key: &[u8]) -> FsResult<()> {
+        self.mutate(key, None)
+    }
+
+    fn mutate(&self, key: &[u8], val: Option<&[u8]>) -> FsResult<()> {
+        let rec = encode_record(key, val);
+        let mut inner = self.inner.lock();
+        self.fs.write(&self.ctx, inner.wal_fd, &rec)?;
+        if self.opts.sync_wal {
+            self.fs.fsync(&self.ctx, inner.wal_fd)?;
+        }
+        inner.wal_bytes += rec.len();
+        inner.mem.insert(key.to_vec(), val.map(|v| v.to_vec()));
+        if inner.wal_bytes >= self.opts.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> FsResult<Option<Vec<u8>>> {
+        {
+            let inner = self.inner.lock();
+            if let Some(v) = inner.mem.get(key) {
+                return Ok(v.clone());
+            }
+        }
+        let tables = self.tables.read().clone();
+        for t in &tables {
+            if let Some(outcome) = t.get(self.fs, &self.ctx, key)? {
+                return Ok(outcome);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan: up to `limit` live entries with key ≥ `start`.
+    pub fn scan(&self, start: &[u8], limit: usize) -> FsResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        // Merge oldest → newest → memtable so newer versions win.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let tables = self.tables.read().clone();
+        let over = limit * 4 + 16; // headroom for tombstoned/overwritten keys
+        for t in tables.iter().rev() {
+            let from = t.index.partition_point(|(k, _, _)| k.as_slice() < start);
+            for (k, _, tag) in t.index.iter().skip(from).take(over) {
+                if *tag == TOMBSTONE {
+                    merged.insert(k.clone(), None);
+                } else if let Some(Some(v)) = t.get(self.fs, &self.ctx, k)? {
+                    merged.insert(k.clone(), Some(v));
+                }
+            }
+        }
+        {
+            let inner = self.inner.lock();
+            for (k, v) in inner.mem.range(start.to_vec()..).take(over) {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .take(limit)
+            .collect())
+    }
+
+    /// Flushes the memtable to a new table file (exposed for tests).
+    pub fn flush(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut KvInner) -> FsResult<()> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = format!("{}/sst-{id:06}.db", self.dir);
+        let mut buf = Vec::with_capacity(inner.wal_bytes);
+        let mut index = Vec::with_capacity(inner.mem.len());
+        for (k, v) in &inner.mem {
+            index.push((k.clone(), buf.len() as u64, v.as_ref().map_or(TOMBSTONE, |v| v.len() as u32)));
+            buf.extend_from_slice(&encode_record(k, v.as_deref()));
+        }
+        self.fs.write_file(&self.ctx, &path, &buf)?;
+        self.tables.write().insert(0, Arc::new(SsTable { path, index }));
+        // Retire the WAL: LevelDB deletes the old log file.
+        self.fs.close(&self.ctx, inner.wal_fd)?;
+        let wal_path = format!("{}/wal.log", self.dir);
+        self.fs.unlink(&self.ctx, &wal_path)?;
+        inner.wal_fd = self.fs.open(&self.ctx, &wal_path, OpenFlags::APPEND, FileMode::default())?;
+        inner.wal_bytes = 0;
+        inner.mem.clear();
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    fn maybe_compact(&self) -> FsResult<()> {
+        let mut tables = self.tables.write();
+        if tables.len() <= self.opts.max_tables {
+            return Ok(());
+        }
+        // Merge oldest → newest; tombstones drop out of the merged table.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for t in tables.iter().rev() {
+            for (k, _, tag) in &t.index {
+                if *tag == TOMBSTONE {
+                    merged.insert(k.clone(), None);
+                } else if let Some(v) = t.get(self.fs, &self.ctx, k)? {
+                    merged.insert(k.clone(), v);
+                }
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = format!("{}/sst-{id:06}.db", self.dir);
+        let mut buf = Vec::new();
+        let mut index = Vec::new();
+        for (k, v) in &merged {
+            if let Some(v) = v {
+                index.push((k.clone(), buf.len() as u64, v.len() as u32));
+                buf.extend_from_slice(&encode_record(k, Some(v)));
+            }
+        }
+        self.fs.write_file(&self.ctx, &path, &buf)?;
+        let old: Vec<_> = tables.drain(..).collect();
+        tables.push(Arc::new(SsTable { path, index }));
+        drop(tables);
+        for t in old {
+            self.fs.unlink(&self.ctx, &t.path)?;
+        }
+        Ok(())
+    }
+
+    /// Number of table files (diagnostics).
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+
+    fn fresh() -> SimurghFs {
+        SimurghFs::format(
+            std::sync::Arc::new(PmemRegion::new(64 << 20)),
+            SimurghConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let fs = fresh();
+        let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        kv.put(b"alpha", b"1").unwrap();
+        kv.put(b"beta", b"2").unwrap();
+        assert_eq!(kv.get(b"alpha").unwrap().as_deref(), Some(&b"1"[..]));
+        kv.put(b"alpha", b"updated").unwrap();
+        assert_eq!(kv.get(b"alpha").unwrap().as_deref(), Some(&b"updated"[..]));
+        kv.delete(b"beta").unwrap();
+        assert_eq!(kv.get(b"beta").unwrap(), None);
+        assert_eq!(kv.get(b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn flush_and_read_from_sstable() {
+        let fs = fresh();
+        let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        for i in 0..100 {
+            kv.put(format!("key{i:03}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+        }
+        kv.flush().unwrap();
+        assert_eq!(kv.table_count(), 1);
+        // All reads now come from the table file.
+        for i in (0..100).step_by(7) {
+            assert_eq!(
+                kv.get(format!("key{i:03}").as_bytes()).unwrap().as_deref(),
+                Some(format!("val{i}").as_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn newest_table_wins() {
+        let fs = fresh();
+        let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        kv.put(b"k", b"old").unwrap();
+        kv.flush().unwrap();
+        kv.put(b"k", b"new").unwrap();
+        kv.flush().unwrap();
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        kv.delete(b"k").unwrap();
+        kv.flush().unwrap();
+        assert_eq!(kv.get(b"k").unwrap(), None, "tombstone in newest table wins");
+    }
+
+    #[test]
+    fn compaction_collapses_tables_and_unlinks() {
+        let fs = fresh();
+        let opts = KvOptions { memtable_bytes: 512, max_tables: 3, ..Default::default() };
+        let kv = MiniKv::open(&fs, "/db", opts).unwrap();
+        for i in 0..400 {
+            kv.put(format!("k{i:04}").as_bytes(), &[7u8; 32]).unwrap();
+        }
+        assert!(kv.table_count() <= 4, "compaction keeps table count bounded");
+        // Everything still readable after compactions.
+        for i in (0..400).step_by(41) {
+            assert!(kv.get(format!("k{i:04}").as_bytes()).unwrap().is_some());
+        }
+        let ctx = ProcCtx::root(0);
+        let tables = fs
+            .readdir(&ctx, "/db")
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.name.starts_with("sst-"))
+            .count();
+        assert_eq!(tables, kv.table_count(), "old table files unlinked");
+    }
+
+    #[test]
+    fn recovery_replays_wal_and_tables() {
+        let fs = fresh();
+        {
+            let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+            for i in 0..50 {
+                kv.put(format!("p{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            kv.flush().unwrap();
+            // These stay in the WAL only.
+            kv.put(b"wal-only", b"survived").unwrap();
+            kv.delete(b"p3").unwrap();
+        } // store dropped without clean shutdown
+        let kv2 = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        assert_eq!(kv2.get(b"wal-only").unwrap().as_deref(), Some(&b"survived"[..]));
+        assert_eq!(kv2.get(b"p3").unwrap(), None, "WAL tombstone replayed");
+        assert_eq!(kv2.get(b"p10").unwrap().as_deref(), Some(&b"v10"[..]));
+    }
+
+    #[test]
+    fn scan_merges_sources() {
+        let fs = fresh();
+        let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"c", b"3").unwrap();
+        kv.flush().unwrap();
+        kv.put(b"b", b"2").unwrap(); // memtable
+        kv.put(b"c", b"3-new").unwrap(); // overrides flushed version
+        kv.delete(b"a").unwrap(); // tombstone over flushed version
+        let out = kv.scan(b"a", 10).unwrap();
+        let keys: Vec<_> = out.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(out[1].1, b"3-new");
+        let out = kv.scan(b"b5", 10).unwrap();
+        assert_eq!(out.len(), 1, "scan start respected");
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        let fs = fresh();
+        let kv = std::sync::Arc::new(MiniKv::open(&fs, "/db", KvOptions::default()).unwrap());
+        for i in 0..100 {
+            kv.put(format!("base{i}").as_bytes(), b"x").unwrap();
+        }
+        crossbeam::thread::scope(|s| {
+            let kvw = kv.clone();
+            s.spawn(move |_| {
+                for i in 0..200 {
+                    kvw.put(format!("new{i}").as_bytes(), b"y").unwrap();
+                }
+            });
+            for _ in 0..3 {
+                let kvr = kv.clone();
+                s.spawn(move |_| {
+                    for i in 0..100 {
+                        assert!(kvr.get(format!("base{i}").as_bytes()).unwrap().is_some());
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! The multi-process measurement harness.
+//!
+//! FxMark-style benchmarks run the same operation loop on N "processes"
+//! (threads with distinct pids, like the paper's independent processes
+//! sharing the preload library) and report aggregate throughput. Setup
+//! phases run outside the timed window, as FxMark does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use simurgh_fsapi::{FileSystem, ProcCtx};
+
+/// Result of one timed benchmark phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Total operations completed across all processes.
+    pub ops: u64,
+    /// Total bytes moved (data benchmarks; 0 for metadata benchmarks).
+    pub bytes: u64,
+    /// Wall-clock seconds of the timed phase.
+    pub seconds: f64,
+    /// Number of processes.
+    pub threads: usize,
+}
+
+impl BenchResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Thousands of operations per second (the paper's metadata unit).
+    pub fn kops(&self) -> f64 {
+        self.ops_per_sec() / 1e3
+    }
+
+    /// GiB per second (the paper's data unit).
+    pub fn gibs(&self) -> f64 {
+        self.bytes as f64 / self.seconds.max(1e-12) / (1u64 << 30) as f64
+    }
+}
+
+/// Runs `threads` processes, each executing `body(ctx, tid)`, and times the
+/// whole phase. `body` returns `(ops, bytes)` it completed.
+pub struct Runner {
+    pub threads: usize,
+}
+
+impl Runner {
+    pub fn new(threads: usize) -> Self {
+        Runner { threads }
+    }
+
+    /// Executes the timed phase.
+    pub fn run<F>(&self, body: F) -> BenchResult
+    where
+        F: Fn(&ProcCtx, usize) -> (u64, u64) + Sync,
+    {
+        let ops = AtomicU64::new(0);
+        let bytes = AtomicU64::new(0);
+        let start = Instant::now();
+        if self.threads == 1 {
+            let ctx = ProcCtx::root(1);
+            let (o, b) = body(&ctx, 0);
+            ops.fetch_add(o, Ordering::Relaxed);
+            bytes.fetch_add(b, Ordering::Relaxed);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for tid in 0..self.threads {
+                    let body = &body;
+                    let ops = &ops;
+                    let bytes = &bytes;
+                    s.spawn(move |_| {
+                        let ctx = ProcCtx::root(tid as u32 + 1);
+                        let (o, b) = body(&ctx, tid);
+                        ops.fetch_add(o, Ordering::Relaxed);
+                        bytes.fetch_add(b, Ordering::Relaxed);
+                    });
+                }
+            })
+            .expect("benchmark thread panicked");
+        }
+        BenchResult {
+            ops: ops.load(Ordering::Relaxed),
+            bytes: bytes.load(Ordering::Relaxed),
+            seconds: start.elapsed().as_secs_f64(),
+            threads: self.threads,
+        }
+    }
+}
+
+/// Convenience: per-thread private directory path.
+pub fn private_dir(tid: usize) -> String {
+    format!("/fx-priv-{tid}")
+}
+
+/// Creates the per-thread private directories (setup, untimed). Idempotent
+/// so several benchmarks can share one mounted file system.
+pub fn setup_private_dirs(fs: &dyn FileSystem, threads: usize) {
+    let ctx = ProcCtx::root(0);
+    for tid in 0..threads {
+        match fs.mkdir(&ctx, &private_dir(tid), simurgh_fsapi::FileMode::dir(0o777)) {
+            Ok(()) | Err(simurgh_fsapi::FsError::Exists) => {}
+            Err(e) => panic!("setup mkdir: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_math() {
+        let r = BenchResult { ops: 10_000, bytes: 1 << 30, seconds: 2.0, threads: 4 };
+        assert!((r.ops_per_sec() - 5_000.0).abs() < 1e-9);
+        assert!((r.kops() - 5.0).abs() < 1e-9);
+        assert!((r.gibs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runner_aggregates_all_threads() {
+        let r = Runner::new(4).run(|_ctx, tid| ((tid as u64 + 1) * 10, 5));
+        assert_eq!(r.ops, 10 + 20 + 30 + 40);
+        assert_eq!(r.bytes, 20);
+        assert_eq!(r.threads, 4);
+        assert!(r.seconds > 0.0);
+    }
+
+    #[test]
+    fn single_thread_fast_path() {
+        let r = Runner::new(1).run(|ctx, tid| {
+            assert_eq!(tid, 0);
+            assert_eq!(ctx.pid, 1);
+            (7, 0)
+        });
+        assert_eq!(r.ops, 7);
+    }
+}

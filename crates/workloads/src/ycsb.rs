@@ -1,0 +1,229 @@
+//! YCSB core workloads A–F over [`MiniKv`] (Fig. 9 / Fig. 10).
+//!
+//! Generators follow the YCSB core-workload definitions: zipfian request
+//! keys (θ = 0.99, scrambled), 1-KB values by default, and the standard
+//! operation mixes — A 50/50 read/update, B 95/5, C read-only, D
+//! read-latest with inserts, E short scans with inserts, F
+//! read-modify-write. The *Load* phase inserts the initial records (the
+//! paper's "LoadA" column).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simurgh_fsapi::FsResult;
+
+use crate::minikv::MiniKv;
+use crate::runner::{BenchResult, Runner};
+use crate::zipf::Zipfian;
+
+/// The six core workloads plus the load phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    LoadA,
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+}
+
+impl Workload {
+    pub const RUNS: [Workload; 6] = [Workload::A, Workload::B, Workload::C, Workload::D, Workload::E, Workload::F];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::LoadA => "LoadA",
+            Workload::A => "RunA",
+            Workload::B => "RunB",
+            Workload::C => "RunC",
+            Workload::D => "RunD",
+            Workload::E => "RunE",
+            Workload::F => "RunF",
+        }
+    }
+}
+
+/// Parameters shared by all runs.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    pub records: usize,
+    pub ops: usize,
+    pub threads: usize,
+    pub value_size: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { records: 1000, ops: 1000, threads: 1, value_size: 1024 }
+    }
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("user{i:012}").into_bytes()
+}
+
+fn value(rng: &mut impl RngExt, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v[..]);
+    v
+}
+
+/// The load phase: insert `records` fresh rows (YCSB LoadA).
+pub fn load(kv: &MiniKv<'_>, cfg: YcsbConfig) -> FsResult<BenchResult> {
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    for i in 0..cfg.records as u64 {
+        kv.put(&key(i), &value(&mut rng, cfg.value_size))?;
+    }
+    Ok(BenchResult {
+        ops: cfg.records as u64,
+        bytes: (cfg.records * cfg.value_size) as u64,
+        seconds: start.elapsed().as_secs_f64(),
+        threads: 1,
+    })
+}
+
+/// Runs one workload against a loaded store.
+pub fn run(kv: &MiniKv<'_>, wl: Workload, cfg: YcsbConfig) -> BenchResult {
+    if wl == Workload::LoadA {
+        return load(kv, cfg).expect("load phase");
+    }
+    let zipf = Zipfian::new(cfg.records as u64, Zipfian::DEFAULT_THETA);
+    let insert_counter = AtomicU64::new(cfg.records as u64);
+    let per_thread = cfg.ops / cfg.threads.max(1);
+    Runner::new(cfg.threads).run(|_ctx, tid| {
+        let mut rng = StdRng::seed_from_u64(tid as u64 * 977 + 13);
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        for _ in 0..per_thread {
+            let r: f64 = rng.random();
+            match wl {
+                Workload::A | Workload::B | Workload::C => {
+                    let read_ratio = match wl {
+                        Workload::A => 0.5,
+                        Workload::B => 0.95,
+                        _ => 1.0,
+                    };
+                    let k = key(zipf.next_scrambled(&mut rng));
+                    if r < read_ratio {
+                        if let Ok(Some(v)) = kv.get(&k) {
+                            bytes += v.len() as u64;
+                        }
+                    } else {
+                        let v = value(&mut rng, cfg.value_size);
+                        kv.put(&k, &v).expect("update");
+                        bytes += v.len() as u64;
+                    }
+                }
+                Workload::D => {
+                    // 95% read-latest / 5% insert.
+                    if r < 0.95 {
+                        let newest = insert_counter.load(Ordering::Relaxed);
+                        let back = zipf.next(&mut rng).min(newest - 1);
+                        let k = key(newest - 1 - back);
+                        if let Ok(Some(v)) = kv.get(&k) {
+                            bytes += v.len() as u64;
+                        }
+                    } else {
+                        let i = insert_counter.fetch_add(1, Ordering::Relaxed);
+                        let v = value(&mut rng, cfg.value_size);
+                        kv.put(&key(i), &v).expect("insert");
+                        bytes += v.len() as u64;
+                    }
+                }
+                Workload::E => {
+                    // 95% short scans / 5% insert.
+                    if r < 0.95 {
+                        let start = key(zipf.next_scrambled(&mut rng));
+                        let len = rng.random_range(1..=100);
+                        if let Ok(rows) = kv.scan(&start, len) {
+                            bytes += rows.iter().map(|(_, v)| v.len() as u64).sum::<u64>();
+                        }
+                    } else {
+                        let i = insert_counter.fetch_add(1, Ordering::Relaxed);
+                        let v = value(&mut rng, cfg.value_size);
+                        kv.put(&key(i), &v).expect("insert");
+                        bytes += v.len() as u64;
+                    }
+                }
+                Workload::F => {
+                    // Read-modify-write.
+                    let k = key(zipf.next_scrambled(&mut rng));
+                    if let Ok(Some(mut v)) = kv.get(&k) {
+                        bytes += v.len() as u64;
+                        if !v.is_empty() {
+                            v[0] = v[0].wrapping_add(1);
+                        }
+                        kv.put(&k, &v).expect("rmw put");
+                        bytes += v.len() as u64;
+                    }
+                }
+                Workload::LoadA => unreachable!(),
+            }
+            ops += 1;
+        }
+        (ops, bytes)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minikv::KvOptions;
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+    use std::sync::Arc;
+
+    fn db() -> SimurghFs {
+        SimurghFs::format(
+            Arc::new(PmemRegion::new(256 << 20)),
+            SimurghConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_then_all_workloads() {
+        let fs = db();
+        let kv = MiniKv::open(&fs, "/ycsb", KvOptions::default()).unwrap();
+        let cfg = YcsbConfig { records: 200, ops: 100, threads: 1, value_size: 128 };
+        let loaded = load(&kv, cfg).unwrap();
+        assert_eq!(loaded.ops, 200);
+        for wl in Workload::RUNS {
+            let r = run(&kv, wl, cfg);
+            assert_eq!(r.ops, 100, "{}", wl.label());
+            assert!(r.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn read_only_workload_moves_read_bytes() {
+        let fs = db();
+        let kv = MiniKv::open(&fs, "/ycsb", KvOptions::default()).unwrap();
+        let cfg = YcsbConfig { records: 100, ops: 200, threads: 1, value_size: 64 };
+        load(&kv, cfg).unwrap();
+        let r = run(&kv, Workload::C, cfg);
+        assert_eq!(r.ops, 200);
+        assert_eq!(r.bytes, 200 * 64, "every C op reads one value");
+    }
+
+    #[test]
+    fn multithreaded_run() {
+        let fs = db();
+        let kv = MiniKv::open(&fs, "/ycsb", KvOptions::default()).unwrap();
+        let cfg = YcsbConfig { records: 100, ops: 120, threads: 3, value_size: 64 };
+        load(&kv, cfg).unwrap();
+        let r = run(&kv, Workload::A, cfg);
+        assert_eq!(r.ops, 120);
+        assert_eq!(r.threads, 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::LoadA.label(), "LoadA");
+        assert_eq!(Workload::F.label(), "RunF");
+        assert_eq!(Workload::RUNS.len(), 6);
+    }
+}

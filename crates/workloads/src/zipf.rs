@@ -1,0 +1,136 @@
+//! Zipfian and scrambled-zipfian request generators (YCSB's defaults).
+//!
+//! Implements the Gray et al. rejection-free zipfian generator used by the
+//! original YCSB client, with θ = 0.99, plus the scrambled variant that
+//! spreads the hot keys over the whole key space.
+
+use rand::RngExt;
+
+/// Zipfian generator over `[0, n)` with exponent `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; n is at most a few million in our workloads.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Next rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn next(&self, rng: &mut impl RngExt) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Scrambled zipfian: hot ranks spread over the key space via FNV.
+    pub fn next_scrambled(&self, rng: &mut impl RngExt) -> u64 {
+        let rank = self.next(rng);
+        fnv64(rank) % self.n
+    }
+
+    /// Item count.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Used internally; exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn fnv64(mut x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _ in 0..8 {
+        h ^= x & 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        x >>= 8;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipfian::new(1000, Zipfian::DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 1000);
+            assert!(z.next_scrambled(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let z = Zipfian::new(1000, Zipfian::DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // Rank 0 should dominate; the hot 10% should take well over half.
+        assert!(counts[0] > counts[500] * 10, "head much hotter than tail");
+        let hot: u32 = counts[..100].iter().sum();
+        let total: u32 = counts.iter().sum();
+        assert!(hot as f64 / total as f64 > 0.5, "top-10% gets >50% of traffic");
+    }
+
+    #[test]
+    fn scrambled_spreads_the_head() {
+        let z = Zipfian::new(1000, Zipfian::DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next_scrambled(&mut rng) as usize] += 1;
+        }
+        // Still skewed overall, but the single hottest key is not key 0.
+        let hottest = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_ne!(hottest, 0, "scrambling moved the head");
+    }
+
+    #[test]
+    fn uniform_theta_zero() {
+        // theta → 0 degenerates towards uniform; sanity only.
+        let z = Zipfian::new(100, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 5.0, "near-uniform at tiny theta");
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload-level integration tests: the generators must drive any
+//! `FileSystem` implementation identically, and their populations must
+//! match their manifests.
+
+use std::sync::Arc;
+
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_fsapi::{FileSystem, ProcCtx};
+use simurgh_pmem::PmemRegion;
+use simurgh_workloads::minikv::{KvOptions, MiniKv};
+use simurgh_workloads::tree::TreeSpec;
+use simurgh_workloads::{filebench, fxmark, git, tar, tree};
+
+fn simurgh(bytes: usize) -> SimurghFs {
+    SimurghFs::format(Arc::new(PmemRegion::new(bytes)), SimurghConfig::default()).unwrap()
+}
+
+#[test]
+fn fxmark_kernels_run_on_baselines_too() {
+    for make in [
+        simurgh_baselines::nova as fn(Arc<PmemRegion>) -> simurgh_baselines::KernelFs,
+        simurgh_baselines::pmfs,
+        simurgh_baselines::ext4dax,
+        simurgh_baselines::splitfs,
+    ] {
+        let fs = make(Arc::new(PmemRegion::new(128 << 20)));
+        assert_eq!(fxmark::create_private(&fs, 2, 20).ops, 40, "{}", fs.name());
+        assert_eq!(fxmark::unlink_private(&fs, 2, 20).ops, 40, "{}", fs.name());
+        assert_eq!(fxmark::rename_shared(&fs, 2, 10).ops, 20, "{}", fs.name());
+        let r = fxmark::append_private(&fs, 2, 8);
+        assert_eq!(r.bytes, 2 * 8 * 4096, "{}", fs.name());
+        let r = fxmark::read_shared(&fs, 2, 1 << 20, 16, fxmark::ReadPattern::PseudoRandom);
+        assert_eq!(r.ops, 32, "{}", fs.name());
+    }
+}
+
+#[test]
+fn filebench_runs_on_baselines() {
+    for make in [
+        simurgh_baselines::nova as fn(Arc<PmemRegion>) -> simurgh_baselines::KernelFs,
+        simurgh_baselines::splitfs,
+    ] {
+        let fs = make(Arc::new(PmemRegion::new(128 << 20)));
+        let mut cfg = filebench::varmail(0.02);
+        cfg.threads = 2;
+        let r = filebench::run(&fs, cfg, 3);
+        assert!(r.ops > 0, "{}", fs.name());
+    }
+}
+
+#[test]
+fn tar_roundtrip_identical_across_filesystems() {
+    // The same deterministic tree, packed on Simurgh and unpacked on NOVA,
+    // must reproduce the files byte for byte (the archive is portable).
+    let spec = TreeSpec { dirs: 6, files: 30, max_file_size: 4096, seed: 77 };
+    let ctx = ProcCtx::root(0);
+
+    let src_fs = simurgh(64 << 20);
+    let manifest = tree::generate(&src_fs, "/src", spec).unwrap();
+    tar::pack(&src_fs, &manifest, "/a.tar").unwrap();
+    let archive = src_fs.read_to_vec(&ctx, "/a.tar").unwrap();
+
+    let dst_fs = simurgh_baselines::nova(Arc::new(PmemRegion::new(64 << 20)));
+    dst_fs.write_file(&ctx, "/a.tar", &archive).unwrap();
+    tar::unpack(&dst_fs, "/a.tar", "/out").unwrap();
+
+    for (path, size) in &manifest.files {
+        let orig = src_fs.read_to_vec(&ctx, path).unwrap();
+        let copy = dst_fs.read_to_vec(&ctx, &format!("/out{path}")).unwrap();
+        assert_eq!(orig.len(), *size);
+        assert_eq!(orig, copy, "mismatch at {path}");
+    }
+}
+
+#[test]
+fn git_status_quo_after_two_commits() {
+    let fs = simurgh(64 << 20);
+    let spec = TreeSpec { dirs: 4, files: 15, max_file_size: 2048, seed: 5 };
+    let m = tree::generate(&fs, "/repo", spec).unwrap();
+    let mut repo = git::GitRepo::init(&fs, "/repo").unwrap();
+    repo.add_all(&m).unwrap();
+    repo.commit("first").unwrap();
+    // Second add of unchanged files dedups all blobs.
+    let second = repo.add_all(&m).unwrap();
+    assert_eq!(second.bytes, 0, "no new objects on identical content");
+    repo.commit("second").unwrap();
+    repo.delete_worktree(&m).unwrap();
+    repo.reset_hard().unwrap();
+    let ctx = ProcCtx::root(0);
+    for (p, s) in &m.files {
+        assert_eq!(fs.stat(&ctx, p).unwrap().size, *s as u64);
+    }
+}
+
+#[test]
+fn minikv_survives_fs_crash_via_wal() {
+    // End-to-end: the KV's WAL on a tracked Simurgh region survives a
+    // simulated power failure of the underlying file system.
+    let region = Arc::new(PmemRegion::new_tracked(64 << 20));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).unwrap();
+    {
+        let kv = MiniKv::open(&fs, "/db", KvOptions::default()).unwrap();
+        for i in 0..40 {
+            kv.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+    }
+    let crashed = Arc::new(fs.region().simulate_crash());
+    let fs2 = SimurghFs::mount(crashed, SimurghConfig::default()).unwrap();
+    let kv2 = MiniKv::open(&fs2, "/db", KvOptions::default()).unwrap();
+    for i in 0..40 {
+        assert_eq!(
+            kv2.get(format!("k{i}").as_bytes()).unwrap().as_deref(),
+            Some(format!("v{i}").as_bytes()),
+            "k{i} lost across fs crash"
+        );
+    }
+}
+
+#[test]
+fn tree_generation_is_deterministic_across_filesystems() {
+    let spec = TreeSpec { dirs: 5, files: 20, max_file_size: 1024, seed: 42 };
+    let a = tree::generate(&simurgh(32 << 20), "/t", spec).unwrap();
+    let b = tree::generate(
+        &simurgh_baselines::ext4dax(Arc::new(PmemRegion::new(32 << 20))),
+        "/t",
+        spec,
+    )
+    .unwrap();
+    assert_eq!(a.files, b.files, "same manifest regardless of backing fs");
+    assert_eq!(a.dirs, b.dirs);
+}

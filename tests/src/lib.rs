@@ -1,0 +1,50 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::sync::Arc;
+
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_fsapi::{FileSystem, FsResult, ProcCtx};
+use simurgh_pmem::PmemRegion;
+
+/// A fresh Simurgh mount on a raw (fast) region.
+pub fn simurgh(bytes: usize) -> SimurghFs {
+    SimurghFs::format(Arc::new(PmemRegion::new(bytes)), SimurghConfig::default())
+        .expect("format")
+}
+
+/// A fresh Simurgh mount on a crash-tracked region.
+pub fn simurgh_tracked(bytes: usize) -> SimurghFs {
+    SimurghFs::format(Arc::new(PmemRegion::new_tracked(bytes)), SimurghConfig::default())
+        .expect("format tracked")
+}
+
+/// Power-cut + remount: only flushed-and-fenced state survives.
+pub fn crash_and_remount(fs: &SimurghFs) -> SimurghFs {
+    let image = Arc::new(fs.region().simulate_crash());
+    SimurghFs::mount(image, SimurghConfig::default()).expect("recovery mount")
+}
+
+/// Collects the full tree as sorted `(path, kind, size)` rows — used to
+/// compare two file systems structurally.
+pub fn snapshot_tree(fs: &dyn FileSystem) -> Vec<(String, simurgh_fsapi::FileType, u64)> {
+    fn walk(
+        fs: &dyn FileSystem,
+        ctx: &ProcCtx,
+        dir: &str,
+        out: &mut Vec<(String, simurgh_fsapi::FileType, u64)>,
+    ) -> FsResult<()> {
+        for e in fs.readdir(ctx, dir)? {
+            let path = if dir == "/" { format!("/{}", e.name) } else { format!("{dir}/{}", e.name) };
+            let st = fs.stat(ctx, &path)?;
+            out.push((path.clone(), e.ftype, if st.is_dir() { 0 } else { st.size }));
+            if e.ftype == simurgh_fsapi::FileType::Directory {
+                walk(fs, ctx, &path, out)?;
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(fs, &ProcCtx::root(0), "/", &mut out).expect("snapshot walk");
+    out.sort();
+    out
+}

@@ -1,0 +1,124 @@
+//! API-surface integration tests: statfs, descriptor semantics, convenience
+//! helpers — behaviour that must be identical across the implementations.
+
+use std::sync::Arc;
+
+use simurgh_fsapi::{FileMode, FileSystem, FsError, OpenFlags, ProcCtx, SeekFrom};
+use simurgh_pmem::PmemRegion;
+use simurgh_tests::simurgh;
+
+const CTX: ProcCtx = ProcCtx::root(1);
+
+#[test]
+fn statfs_reports_capacity_and_shrinks_with_use() {
+    let fs = simurgh(64 << 20);
+    let before = fs.statfs(&CTX).unwrap();
+    assert_eq!(before.total_bytes, 64 << 20);
+    assert_eq!(before.block_size, 4096);
+    assert!(before.free_bytes > 0 && before.free_bytes < before.total_bytes);
+    fs.write_file(&CTX, "/big", &vec![1u8; 8 << 20]).unwrap();
+    let after = fs.statfs(&CTX).unwrap();
+    assert!(
+        before.free_bytes - after.free_bytes >= 8 << 20,
+        "at least the file size disappeared from free space"
+    );
+    fs.unlink(&CTX, "/big").unwrap();
+    let freed = fs.statfs(&CTX).unwrap();
+    assert!(freed.free_bytes > after.free_bytes, "unlink returns space");
+}
+
+#[test]
+fn statfs_works_on_all_baselines() {
+    for make in [
+        simurgh_baselines::nova as fn(Arc<PmemRegion>) -> _,
+        simurgh_baselines::pmfs,
+        simurgh_baselines::ext4dax,
+        simurgh_baselines::splitfs,
+    ] {
+        let fs = make(Arc::new(PmemRegion::new(32 << 20)));
+        let s = fs.statfs(&CTX).unwrap();
+        assert_eq!(s.total_bytes, 32 << 20, "{}", fs.name());
+        assert!(s.free_bytes > 0);
+    }
+}
+
+#[test]
+fn reference_fs_reports_unsupported_statfs() {
+    let fs = simurgh_fsapi::reffs::RefFs::new();
+    assert_eq!(fs.statfs(&CTX).unwrap_err(), FsError::Unsupported);
+}
+
+#[test]
+fn descriptor_positions_are_independent() {
+    let fs = simurgh(32 << 20);
+    fs.write_file(&CTX, "/f", b"0123456789").unwrap();
+    let a = fs.open(&CTX, "/f", OpenFlags::RDONLY, FileMode::default()).unwrap();
+    let b = fs.open(&CTX, "/f", OpenFlags::RDONLY, FileMode::default()).unwrap();
+    let mut buf = [0u8; 4];
+    fs.read(&CTX, a, &mut buf).unwrap();
+    assert_eq!(&buf, b"0123");
+    fs.lseek(&CTX, b, SeekFrom::Start(6)).unwrap();
+    fs.read(&CTX, b, &mut buf).unwrap();
+    assert_eq!(&buf, b"6789");
+    // Descriptor a unaffected by b's seek.
+    fs.read(&CTX, a, &mut buf).unwrap();
+    assert_eq!(&buf, b"4567");
+    fs.close(&CTX, a).unwrap();
+    fs.close(&CTX, b).unwrap();
+}
+
+#[test]
+fn double_close_is_badf() {
+    let fs = simurgh(32 << 20);
+    let fd = fs.open(&CTX, "/x", OpenFlags::CREATE, FileMode::default()).unwrap();
+    fs.close(&CTX, fd).unwrap();
+    assert_eq!(fs.close(&CTX, fd).unwrap_err(), FsError::BadFd);
+    let mut b = [0u8; 1];
+    assert_eq!(fs.pread(&CTX, fd, &mut b, 0).unwrap_err(), FsError::BadFd);
+}
+
+#[test]
+fn write_to_readonly_fd_is_badf() {
+    let fs = simurgh(32 << 20);
+    fs.write_file(&CTX, "/ro", b"x").unwrap();
+    let fd = fs.open(&CTX, "/ro", OpenFlags::RDONLY, FileMode::default()).unwrap();
+    assert_eq!(fs.pwrite(&CTX, fd, b"y", 0).unwrap_err(), FsError::BadFd);
+    assert_eq!(fs.ftruncate(&CTX, fd, 0).unwrap_err(), FsError::BadFd);
+    assert_eq!(fs.fallocate(&CTX, fd, 0, 4096).unwrap_err(), FsError::BadFd);
+    fs.close(&CTX, fd).unwrap();
+    assert_eq!(fs.read_to_vec(&CTX, "/ro").unwrap(), b"x", "file untouched");
+}
+
+#[test]
+fn name_length_limits() {
+    let fs = simurgh(32 << 20);
+    let ok = "a".repeat(simurgh_fsapi::NAME_MAX);
+    fs.write_file(&CTX, &format!("/{ok}"), b"x").unwrap();
+    assert_eq!(fs.read_to_vec(&CTX, &format!("/{ok}")).unwrap(), b"x");
+    let too_long = "a".repeat(simurgh_fsapi::NAME_MAX + 1);
+    assert_eq!(
+        fs.write_file(&CTX, &format!("/{too_long}"), b"x").unwrap_err(),
+        FsError::NameTooLong
+    );
+}
+
+#[test]
+fn dot_and_dotdot_resolve_lexically() {
+    let fs = simurgh(32 << 20);
+    fs.mkdir(&CTX, "/a", FileMode::dir(0o755)).unwrap();
+    fs.mkdir(&CTX, "/a/b", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/a/b/f", b"deep").unwrap();
+    assert_eq!(fs.read_to_vec(&CTX, "/a/./b/./f").unwrap(), b"deep");
+    assert_eq!(fs.read_to_vec(&CTX, "/a/b/../b/f").unwrap(), b"deep");
+    assert_eq!(fs.read_to_vec(&CTX, "/x/../a/b/f").unwrap(), b"deep", "lexical resolution");
+}
+
+#[test]
+fn large_file_roundtrip_through_helpers() {
+    let fs = simurgh(128 << 20);
+    let payload: Vec<u8> = (0..6 << 20).map(|i| (i % 251) as u8).collect();
+    fs.write_file(&CTX, "/blob", &payload).unwrap();
+    assert_eq!(fs.read_to_vec(&CTX, "/blob").unwrap(), payload);
+    let st = fs.stat(&CTX, "/blob").unwrap();
+    assert_eq!(st.size, payload.len() as u64);
+}

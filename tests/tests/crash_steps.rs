@@ -1,0 +1,268 @@
+//! Crash injection at the individual persist steps of the Fig. 5 protocols.
+//!
+//! Runs on crash-tracked NVMM: each test reproduces the exact prefix of a
+//! protocol a dying process would have persisted, cuts the power, remounts
+//! and checks that recovery lands in the paper's prescribed state — roll
+//! forward after the commit point, roll back (reclaim) before it.
+
+use simurgh_core::hash::dir_line;
+use simurgh_core::obj::dirblock::NLINES;
+use simurgh_core::obj::fentry::FileEntry;
+use simurgh_core::obj::{self};
+use simurgh_core::super_block::PoolKind;
+use simurgh_core::{dir, SimurghConfig, SimurghFs};
+use simurgh_fsapi::{FileMode, FileSystem, FileType, ProcCtx};
+use simurgh_tests::{crash_and_remount, simurgh_tracked, snapshot_tree};
+
+const CTX: ProcCtx = ProcCtx::root(1);
+
+fn setup() -> SimurghFs {
+    let fs = simurgh_tracked(32 << 20);
+    fs.mkdir(&CTX, "/dir", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/dir/existing", b"keep me").unwrap();
+    fs
+}
+
+/// The recovered file system must contain `/dir/existing` intact and accept
+/// new work; returns it for extra assertions.
+fn recover_and_check(fs: &SimurghFs) -> SimurghFs {
+    let fs2 = crash_and_remount(fs);
+    assert!(!fs2.recovery_report().was_clean);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/existing").unwrap(), b"keep me");
+    fs2.write_file(&CTX, "/dir/new-after-recovery", b"works").unwrap();
+    fs2
+}
+
+#[test]
+fn create_crash_before_publish_reclaims_objects() {
+    let fs = setup();
+    // Fig. 5a steps 1–2 only: inode + file entry allocated, initialized and
+    // persisted, but the hash-line pointer never written.
+    let env = fs.testing_dir_env();
+    let ino = env.meta.alloc(PoolKind::Inode).unwrap();
+    simurgh_core::obj::inode::Inode(ino).init(
+        fs.region(),
+        FileMode::file(0o644),
+        0,
+        0,
+        1,
+        1,
+    );
+    fs.region().persist(ino, 128);
+    let fe = env.meta.alloc(PoolKind::FileEntry).unwrap();
+    FileEntry(fe).init(fs.region(), "orphan", FileType::Regular, ino);
+    fs.region().persist(fe, 256);
+
+    let fs2 = recover_and_check(&fs);
+    assert!(fs2.stat(&CTX, "/dir/orphan").is_err(), "unpublished create must vanish");
+    assert!(
+        fs2.recovery_report().reclaimed_objects >= 2,
+        "inode + entry reclaimed, got {}",
+        fs2.recovery_report().reclaimed_objects
+    );
+}
+
+#[test]
+fn create_crash_after_publish_rolls_forward() {
+    let fs = setup();
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    // Full create via the protocol, then re-mark dirty as if the crash hit
+    // between step 5 (publish) and step 6 (clear dirty bits).
+    let ino = env.meta.alloc(PoolKind::Inode).unwrap();
+    simurgh_core::obj::inode::Inode(ino).init(fs.region(), FileMode::file(0o644), 0, 0, 1, 1);
+    fs.region().persist(ino, 128);
+    let fe = dir::insert(&env, first, "half-created", FileType::Regular, ino).unwrap();
+    obj::set_dirty(fs.region(), fe.ptr());
+    obj::set_dirty(fs.region(), ino);
+
+    let fs2 = recover_and_check(&fs);
+    let st = fs2.stat(&CTX, "/dir/half-created").expect("published create rolls forward");
+    assert!(st.is_file());
+    // The dirty bits were cleared by recovery.
+    let h = obj::header(fs2.region(), simurgh_pmem::PPtr::new(st.ino));
+    assert!(obj::is_valid(h) && !obj::is_dirty(h));
+}
+
+#[test]
+fn delete_crash_after_invalidate_completes() {
+    let fs = setup();
+    fs.write_file(&CTX, "/dir/doomed", b"bye").unwrap();
+    // Fig. 5b step 2 only: entry invalidated, slot still pointing at it.
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    let fe = dir::lookup(&env, first, "doomed").unwrap();
+    obj::invalidate(fs.region(), fe.ptr());
+
+    let fs2 = recover_and_check(&fs);
+    assert!(fs2.stat(&CTX, "/dir/doomed").is_err(), "interrupted delete completes");
+    assert!(fs2.recovery_report().reclaimed_objects >= 1);
+}
+
+#[test]
+fn delete_crash_after_entry_zero_completes() {
+    let fs = setup();
+    fs.write_file(&CTX, "/dir/doomed2", b"bye").unwrap();
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    let fe = dir::lookup(&env, first, "doomed2").unwrap();
+    // Steps 2–4: invalidate and zero the entry; the slot still points at
+    // the zeroed object ("the pointer needs to be zeroed" case).
+    obj::invalidate(fs.region(), fe.ptr());
+    env.meta.free_no_recycle(PoolKind::FileEntry, fe.ptr());
+
+    let fs2 = recover_and_check(&fs);
+    assert!(fs2.stat(&CTX, "/dir/doomed2").is_err());
+    // The slot was nulled by recovery: creating the same name works.
+    fs2.write_file(&CTX, "/dir/doomed2", b"again").unwrap();
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/doomed2").unwrap(), b"again");
+}
+
+#[test]
+fn rename_crash_mid_protocol_resolves_exactly_once() {
+    let fs = setup();
+    fs.write_file(&CTX, "/dir/old-name", b"payload").unwrap();
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    // Reproduce Fig. 5c up to step 5: shadow entry created, directory
+    // rename flag set, old line pointing at the *new* entry (hash
+    // mismatch), nothing published at the new line yet.
+    let old_fe = dir::lookup(&env, first, "old-name").unwrap();
+    let ino = old_fe.inode(fs.region());
+    let nfe = env.meta.alloc(PoolKind::FileEntry).unwrap();
+    FileEntry(nfe).init(fs.region(), "new-name", FileType::Regular, ino);
+    fs.region().persist(nfe, 256);
+    first.set_flag(fs.region(), simurgh_core::obj::dirblock::DF_RENAME);
+    let old_line = dir_line("old-name", NLINES);
+    // Find the block whose slot holds the old entry and redirect it.
+    let blk = dir::chain(fs.region(), first)
+        .find(|b| b.line(fs.region(), old_line) == old_fe.ptr())
+        .expect("old entry block");
+    blk.set_line(fs.region(), old_line, nfe);
+
+    let fs2 = recover_and_check(&fs);
+    // Roll forward: reachable under the new name, not under the old.
+    assert!(fs2.stat(&CTX, "/dir/old-name").is_err(), "old name gone");
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/new-name").unwrap(), b"payload");
+    // Exactly one entry for the payload file.
+    let tree = snapshot_tree(&fs2);
+    let hits = tree.iter().filter(|(p, _, _)| p.contains("name")).count();
+    assert_eq!(hits, 1, "exactly one name for the renamed file: {tree:?}");
+}
+
+#[test]
+fn cross_rename_crash_after_publish_rolls_forward() {
+    let fs = setup();
+    fs.mkdir(&CTX, "/dst", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/dir/mover", b"cargo").unwrap();
+    let env = fs.testing_dir_env();
+    let (_, src) = fs.testing_dir_block("/dir").unwrap();
+    let (_, dst) = fs.testing_dir_block("/dst").unwrap();
+    let old_fe = dir::lookup(&env, src, "mover").unwrap();
+    let ino = old_fe.inode(fs.region());
+    // Arm the log, publish at the destination, then "crash" before the
+    // source entry is retired.
+    let nfe = env.meta.alloc(PoolKind::FileEntry).unwrap();
+    FileEntry(nfe).init(fs.region(), "moved", FileType::Regular, ino);
+    fs.region().persist(nfe, 256);
+    let old_line = dir_line("mover", NLINES);
+    let new_line = dir_line("moved", NLINES);
+    src.write_log(
+        fs.region(),
+        &simurgh_core::obj::dirblock::RenameLog {
+            op: simurgh_core::obj::dirblock::logop::CROSS_RENAME,
+            src_dir: src.ptr().off(),
+            dst_dir: dst.ptr().off(),
+            inode: ino.off(),
+            old_fentry: old_fe.ptr().off(),
+            new_fentry: nfe.off(),
+            old_line: old_line as u64,
+            new_line: new_line as u64,
+        },
+    );
+    src.set_flag(fs.region(), simurgh_core::obj::dirblock::DF_RENAME);
+    dst.set_line(fs.region(), new_line, nfe);
+
+    let fs2 = recover_and_check(&fs);
+    assert!(fs2.stat(&CTX, "/dir/mover").is_err(), "source retired by log replay");
+    assert_eq!(fs2.read_to_vec(&CTX, "/dst/moved").unwrap(), b"cargo");
+}
+
+#[test]
+fn cross_rename_crash_before_publish_rolls_back() {
+    let fs = setup();
+    fs.mkdir(&CTX, "/dst", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/dir/stayer", b"luggage").unwrap();
+    let env = fs.testing_dir_env();
+    let (_, src) = fs.testing_dir_block("/dir").unwrap();
+    let (_, dst) = fs.testing_dir_block("/dst").unwrap();
+    let old_fe = dir::lookup(&env, src, "stayer").unwrap();
+    let ino = old_fe.inode(fs.region());
+    let nfe = env.meta.alloc(PoolKind::FileEntry).unwrap();
+    FileEntry(nfe).init(fs.region(), "gone", FileType::Regular, ino);
+    fs.region().persist(nfe, 256);
+    // Log armed, but nothing published at the destination.
+    src.write_log(
+        fs.region(),
+        &simurgh_core::obj::dirblock::RenameLog {
+            op: simurgh_core::obj::dirblock::logop::CROSS_RENAME,
+            src_dir: src.ptr().off(),
+            dst_dir: dst.ptr().off(),
+            inode: ino.off(),
+            old_fentry: old_fe.ptr().off(),
+            new_fentry: nfe.off(),
+            old_line: dir_line("stayer", NLINES) as u64,
+            new_line: dir_line("gone", NLINES) as u64,
+        },
+    );
+    src.set_flag(fs.region(), simurgh_core::obj::dirblock::DF_RENAME);
+
+    let fs2 = recover_and_check(&fs);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/stayer").unwrap(), b"luggage", "rollback keeps source");
+    assert!(fs2.stat(&CTX, "/dst/gone").is_err(), "never-published name absent");
+}
+
+#[test]
+fn unflushed_data_does_not_corrupt_metadata() {
+    let fs = setup();
+    // Write a file, then scribble into its data blocks WITHOUT flushing:
+    // the scribble must die with the crash while metadata stays intact.
+    fs.write_file(&CTX, "/dir/stable", b"AAAA").unwrap();
+    let st = fs.stat(&CTX, "/dir/stable").unwrap();
+    let ino = simurgh_core::obj::inode::Inode(simurgh_pmem::PPtr::new(st.ino));
+    let ext = ino.extent(fs.region(), 0);
+    fs.region().write(simurgh_pmem::PPtr::new(ext.start), *b"ZZZZ"); // no flush
+
+    let fs2 = recover_and_check(&fs);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/stable").unwrap(), b"AAAA");
+}
+
+#[test]
+fn repeated_crashes_converge() {
+    // Crash, recover, do work, crash again — five times; the tree stays
+    // consistent throughout.
+    let mut fs = setup();
+    for round in 0..5 {
+        fs.write_file(&CTX, &format!("/dir/round-{round}"), b"r").unwrap();
+        fs = crash_and_remount(&fs);
+        for prior in 0..=round {
+            assert!(
+                fs.stat(&CTX, &format!("/dir/round-{prior}")).is_ok(),
+                "round {prior} survived crash {round}"
+            );
+        }
+    }
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/existing").unwrap(), b"keep me");
+}
+
+#[test]
+fn clean_unmount_skips_repairs() {
+    let fs = setup();
+    let region = fs.region().clone();
+    fs.unmount();
+    let fs2 = SimurghFs::mount(region, SimurghConfig::default()).unwrap();
+    let r = fs2.recovery_report();
+    assert!(r.was_clean);
+    assert_eq!(r.reclaimed_objects, 0);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/existing").unwrap(), b"keep me");
+}

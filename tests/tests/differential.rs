@@ -1,0 +1,154 @@
+//! Differential testing: Simurgh and every baseline model must agree with
+//! the in-memory reference file system over identical operation sequences.
+
+use std::sync::Arc;
+
+use simurgh_fsapi::reffs::RefFs;
+use simurgh_fsapi::{FileMode, FileSystem, OpenFlags, ProcCtx};
+use simurgh_pmem::PmemRegion;
+use simurgh_tests::{simurgh, snapshot_tree};
+
+/// A deterministic mixed workload exercising every namespace operation.
+fn drive(fs: &dyn FileSystem) {
+    let ctx = ProcCtx::root(1);
+    for d in 0..4 {
+        fs.mkdir(&ctx, &format!("/d{d}"), FileMode::dir(0o755)).unwrap();
+    }
+    for i in 0..40 {
+        let path = format!("/d{}/f{}", i % 4, i);
+        fs.write_file(&ctx, &path, format!("content-{i}").as_bytes()).unwrap();
+    }
+    // Deletes.
+    for i in (0..40).step_by(5) {
+        fs.unlink(&ctx, &format!("/d{}/f{}", i % 4, i)).unwrap();
+    }
+    // Intra- and cross-directory renames.
+    for i in (1..40).step_by(7) {
+        let from = format!("/d{}/f{}", i % 4, i);
+        let to = format!("/d{}/renamed-{}", (i + 1) % 4, i);
+        if fs.stat(&ctx, &from).is_ok() {
+            fs.rename(&ctx, &from, &to).unwrap();
+        }
+    }
+    // Links.
+    fs.link(&ctx, "/d2/f2", "/d0/hard-link").unwrap();
+    fs.symlink(&ctx, "/d2/f2", "/d0/soft-link").unwrap();
+    // Overwrites & appends.
+    let fd = fs.open(&ctx, "/d2/f2", OpenFlags::APPEND, FileMode::default()).unwrap();
+    fs.write(&ctx, fd, b"-appended").unwrap();
+    fs.close(&ctx, fd).unwrap();
+    let fd = fs.open(&ctx, "/d3/f3", OpenFlags::RDWR, FileMode::default()).unwrap();
+    fs.pwrite(&ctx, fd, b"XYZ", 2).unwrap();
+    fs.close(&ctx, fd).unwrap();
+    // Directory shuffle.
+    fs.mkdir(&ctx, "/d0/sub", FileMode::dir(0o755)).unwrap();
+    fs.rename(&ctx, "/d0/sub", "/d1/sub-moved").unwrap();
+    fs.rmdir(&ctx, "/d1/sub-moved").unwrap();
+}
+
+fn diff_against_ref(fs: &dyn FileSystem) {
+    let reference = RefFs::new();
+    drive(&reference);
+    drive(fs);
+    let expected = snapshot_tree(&reference);
+    let actual = snapshot_tree(fs);
+    assert_eq!(actual, expected, "{} diverged from the reference fs", fs.name());
+    // Content equality for every regular file.
+    let ctx = ProcCtx::root(1);
+    for (path, ftype, _) in &expected {
+        if *ftype == simurgh_fsapi::FileType::Regular {
+            assert_eq!(
+                fs.read_to_vec(&ctx, path).unwrap(),
+                reference.read_to_vec(&ctx, path).unwrap(),
+                "content mismatch at {path} on {}",
+                fs.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn simurgh_matches_reference() {
+    diff_against_ref(&simurgh(64 << 20));
+}
+
+#[test]
+fn nova_matches_reference() {
+    diff_against_ref(&simurgh_baselines::nova(Arc::new(PmemRegion::new(64 << 20))));
+}
+
+#[test]
+fn pmfs_matches_reference() {
+    diff_against_ref(&simurgh_baselines::pmfs(Arc::new(PmemRegion::new(64 << 20))));
+}
+
+#[test]
+fn ext4dax_matches_reference() {
+    diff_against_ref(&simurgh_baselines::ext4dax(Arc::new(PmemRegion::new(64 << 20))));
+}
+
+#[test]
+fn splitfs_matches_reference() {
+    diff_against_ref(&simurgh_baselines::splitfs(Arc::new(PmemRegion::new(64 << 20))));
+}
+
+#[test]
+fn simurgh_matches_reference_across_remount() {
+    let fs = simurgh(64 << 20);
+    let reference = RefFs::new();
+    drive(&reference);
+    drive(&fs);
+    let region = fs.region().clone();
+    fs.unmount();
+    let fs2 = simurgh_core::SimurghFs::mount(region, simurgh_core::SimurghConfig::default())
+        .expect("remount");
+    assert_eq!(snapshot_tree(&fs2), snapshot_tree(&reference));
+}
+
+#[test]
+fn error_paths_match_reference() {
+    let fs = simurgh(32 << 20);
+    let reference = RefFs::new();
+    let ctx = ProcCtx::root(1);
+    for f in [&fs as &dyn FileSystem, &reference as &dyn FileSystem] {
+        f.mkdir(&ctx, "/dir", FileMode::dir(0o755)).unwrap();
+        f.write_file(&ctx, "/dir/file", b"x").unwrap();
+    }
+    type Case = Box<dyn Fn(&dyn FileSystem) -> String>;
+    let cases: Vec<(&str, Case)> = vec![
+        ("stat missing", Box::new(|f| format!("{:?}", f.stat(&ProcCtx::root(1), "/nope")))),
+        ("unlink dir", Box::new(|f| format!("{:?}", f.unlink(&ProcCtx::root(1), "/dir")))),
+        ("rmdir file", Box::new(|f| format!("{:?}", f.rmdir(&ProcCtx::root(1), "/dir/file")))),
+        ("rmdir nonempty", Box::new(|f| format!("{:?}", f.rmdir(&ProcCtx::root(1), "/dir")))),
+        (
+            "mkdir exists",
+            Box::new(|f| format!("{:?}", f.mkdir(&ProcCtx::root(1), "/dir", FileMode::dir(0o755)))),
+        ),
+        (
+            "open dir for write",
+            Box::new(|f| {
+                format!(
+                    "{:?}",
+                    f.open(&ProcCtx::root(1), "/dir", OpenFlags::WRONLY, FileMode::default())
+                        .map(|_| ())
+                )
+            }),
+        ),
+        (
+            "rename missing",
+            Box::new(|f| format!("{:?}", f.rename(&ProcCtx::root(1), "/ghost", "/dir/x"))),
+        ),
+        ("readlink non-symlink", Box::new(|f| format!("{:?}", f.readlink(&ProcCtx::root(1), "/dir/file")))),
+        (
+            "link directory",
+            Box::new(|f| format!("{:?}", f.link(&ProcCtx::root(1), "/dir", "/dir2"))),
+        ),
+        (
+            "relative path",
+            Box::new(|f| format!("{:?}", f.stat(&ProcCtx::root(1), "not/absolute"))),
+        ),
+    ];
+    for (name, case) in cases {
+        assert_eq!(case(&fs), case(&reference), "error mismatch for: {name}");
+    }
+}

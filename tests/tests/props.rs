@@ -1,0 +1,157 @@
+//! Property-based tests: random operation sequences against the reference
+//! file system, random crash points, and allocator invariants.
+
+use proptest::prelude::*;
+use simurgh_core::super_block::PoolKind;
+use simurgh_fsapi::reffs::RefFs;
+use simurgh_fsapi::{FileMode, FileSystem, ProcCtx};
+use simurgh_tests::{crash_and_remount, simurgh, simurgh_tracked, snapshot_tree};
+
+const CTX: ProcCtx = ProcCtx::root(1);
+
+/// A randomly generated namespace operation over a small name universe.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8, Vec<u8>),
+    Unlink(u8),
+    Mkdir(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Write(u8, u64, Vec<u8>),
+    Truncate(u8, u64),
+    Link(u8, u8),
+}
+
+fn name(i: u8) -> String {
+    format!("/n{}", i % 12)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(n, d)| Op::Create(n, d)),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), 0u64..5000, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(n, o, d)| Op::Write(n, o, d)),
+        (any::<u8>(), 0u64..5000).prop_map(|(n, l)| Op::Truncate(n, l)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+    ]
+}
+
+/// Applies an op; both systems must return the same ok/error outcome class.
+fn apply(fs: &dyn FileSystem, op: &Op) -> String {
+    match op {
+        Op::Create(n, data) => format!("{:?}", fs.write_file(&CTX, &name(*n), data)),
+        Op::Unlink(n) => format!("{:?}", fs.unlink(&CTX, &name(*n))),
+        Op::Mkdir(n) => format!("{:?}", fs.mkdir(&CTX, &name(*n), FileMode::dir(0o755))),
+        Op::Rmdir(n) => format!("{:?}", fs.rmdir(&CTX, &name(*n))),
+        Op::Rename(a, b) => format!("{:?}", fs.rename(&CTX, &name(*a), &name(*b))),
+        Op::Write(n, off, data) => {
+            let r = fs
+                .open(&CTX, &name(*n), simurgh_fsapi::OpenFlags::WRONLY, FileMode::default())
+                .and_then(|fd| {
+                    let out = fs.pwrite(&CTX, fd, data, *off);
+                    fs.close(&CTX, fd)?;
+                    out
+                });
+            format!("{r:?}")
+        }
+        Op::Truncate(n, len) => {
+            let r = fs
+                .open(&CTX, &name(*n), simurgh_fsapi::OpenFlags::WRONLY, FileMode::default())
+                .and_then(|fd| {
+                    let out = fs.ftruncate(&CTX, fd, *len);
+                    fs.close(&CTX, fd)?;
+                    out
+                });
+            format!("{r:?}")
+        }
+        Op::Link(a, b) => format!("{:?}", fs.link(&CTX, &name(*a), &name(*b))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Simurgh behaves exactly like the reference over random sequences.
+    #[test]
+    fn random_ops_match_reference(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let fs = simurgh(32 << 20);
+        let reference = RefFs::new();
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&fs, op);
+            let b = apply(&reference, op);
+            prop_assert_eq!(&a, &b, "op #{} {:?} diverged", i, op);
+        }
+        prop_assert_eq!(snapshot_tree(&fs), snapshot_tree(&reference));
+        // Full content check.
+        for (path, ftype, _) in snapshot_tree(&reference) {
+            if ftype == simurgh_fsapi::FileType::Regular {
+                prop_assert_eq!(
+                    fs.read_to_vec(&CTX, &path).unwrap(),
+                    reference.read_to_vec(&CTX, &path).unwrap(),
+                    "content at {}", path
+                );
+            }
+        }
+    }
+
+    /// After a crash at a random op boundary, recovery yields exactly the
+    /// prefix state (all completed ops durable, tree consistent).
+    #[test]
+    fn crash_at_random_boundary_preserves_prefix(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        cut in 0usize..30,
+    ) {
+        let fs = simurgh_tracked(32 << 20);
+        let reference = RefFs::new();
+        let cut = cut.min(ops.len());
+        for op in &ops[..cut] {
+            apply(&fs, op);
+            apply(&reference, op);
+        }
+        let fs2 = crash_and_remount(&fs);
+        prop_assert_eq!(snapshot_tree(&fs2), snapshot_tree(&reference));
+    }
+
+    /// The metadata allocator never double-allocates and free/alloc
+    /// round-trips preserve the free count.
+    #[test]
+    fn meta_allocator_invariants(script in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let fs = simurgh(32 << 20);
+        let env = fs.testing_dir_env();
+        let mut held: Vec<simurgh_pmem::PPtr> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for alloc in script {
+            if alloc || held.is_empty() {
+                let p = env.meta.alloc(PoolKind::FileEntry).unwrap();
+                prop_assert!(seen.insert(p.off()), "double allocation of {:?}", p);
+                held.push(p);
+            } else {
+                let p = held.pop().unwrap();
+                env.meta.free(PoolKind::FileEntry, p);
+                seen.remove(&p.off());
+            }
+        }
+    }
+
+    /// Persistent-pointer arithmetic never aliases distinct pool objects.
+    #[test]
+    fn pool_objects_are_disjoint(count in 1usize..300) {
+        let fs = simurgh(32 << 20);
+        let env = fs.testing_dir_env();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for kind in [PoolKind::Inode, PoolKind::FileEntry, PoolKind::DirBlock] {
+            for _ in 0..count.min(40) {
+                let p = env.meta.alloc(kind).unwrap();
+                ranges.push((p.off(), p.off() + kind.obj_size()));
+            }
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping objects {:?}", w);
+        }
+    }
+}

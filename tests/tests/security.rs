@@ -1,0 +1,172 @@
+//! End-to-end security tests: the full §3.2 bootstrap with protected
+//! functions enforced against a kernel-paged NVMM region.
+
+use std::sync::Arc;
+
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_fsapi::{Credentials, FileMode, FileSystem, FsError, OpenFlags, ProcCtx};
+use simurgh_pmem::prot::PageTable;
+use simurgh_pmem::{PPtr, PmemRegion, RegionBuilder, PAGE_SIZE};
+use simurgh_protfn::{cpl, EntryPoint, Fault, KernelPagePolicy, ProtectedDomain, Ring};
+
+fn enforced_fs(bytes: usize) -> (SimurghFs, Arc<ProtectedDomain>, Arc<PmemRegion>) {
+    let table = Arc::new(PageTable::new(bytes / PAGE_SIZE));
+    let policy = Arc::new(KernelPagePolicy::new(table));
+    policy.protect_all();
+    let region = Arc::new(RegionBuilder::new(bytes).policy(policy).build().unwrap());
+    let domain = Arc::new(ProtectedDomain::new(8));
+    let fs = SimurghFs::format(region.clone(), SimurghConfig::default())
+        .unwrap()
+        .with_enforcement(domain.clone());
+    (fs, domain, region)
+}
+
+#[test]
+fn full_stack_works_under_enforcement() {
+    let (fs, domain, _) = enforced_fs(32 << 20);
+    let ctx = ProcCtx::root(1);
+    let before = domain.jmpp_count();
+    fs.mkdir(&ctx, "/a", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&ctx, "/a/f", b"payload").unwrap();
+    assert_eq!(fs.read_to_vec(&ctx, "/a/f").unwrap(), b"payload");
+    fs.rename(&ctx, "/a/f", "/a/g").unwrap();
+    fs.unlink(&ctx, "/a/g").unwrap();
+    fs.rmdir(&ctx, "/a").unwrap();
+    assert!(domain.jmpp_count() > before, "operations crossed through jmpp");
+    assert_eq!(cpl::current(), Ring::User, "no privilege leak after the ops");
+}
+
+#[test]
+fn user_mode_cannot_touch_nvmm() {
+    let (_fs, _domain, region) = enforced_fs(16 << 20);
+    // Reads and writes of any file-system page fault from user mode.
+    for page in [0u64, 1, 100] {
+        let p = PPtr::new(page * PAGE_SIZE as u64);
+        assert!(region.check_access(p, 8, false).is_err(), "read page {page}");
+        assert!(region.check_access(p, 8, true).is_err(), "write page {page}");
+    }
+    // From kernel mode (inside a protected function) the same access works.
+    let _k = cpl::KernelGuard::enter();
+    assert!(region.check_access(PPtr::new(0), 8, false).is_ok());
+}
+
+#[test]
+fn jmpp_requires_registered_entry() {
+    let (_fs, domain, _) = enforced_fs(16 << 20);
+    let ep = domain.resolve("simurgh_data").unwrap();
+    // Arbitrary offsets fault.
+    assert!(matches!(
+        domain.jmpp(EntryPoint { page: ep.page, offset: ep.offset + 4 }),
+        Err(Fault::BadEntryOffset { .. })
+    ));
+    // Unprotected pages fault.
+    assert!(matches!(
+        domain.jmpp(EntryPoint { page: 7, offset: 0 }),
+        Err(Fault::EpNotSet { .. })
+    ));
+}
+
+#[test]
+fn permissions_enforced_through_protected_path() {
+    let (fs, _domain, _) = enforced_fs(32 << 20);
+    let root = ProcCtx::root(1);
+    fs.mkdir(&root, "/vault", FileMode::dir(0o700)).unwrap();
+    fs.write_file(&root, "/vault/secret", b"classified").unwrap();
+    fs.write_file(&root, "/world", b"readable").unwrap();
+    fs.chmod(&root, "/world", 0o644).unwrap();
+
+    let mallory = ProcCtx::new(66, Credentials::user(1000, 1000));
+    // Path walk denies X on the 0700 directory.
+    assert_eq!(fs.read_to_vec(&mallory, "/vault/secret").unwrap_err(), FsError::Access);
+    // Write denied by mode bits even though the protected function ran.
+    assert_eq!(
+        fs.open(&mallory, "/world", OpenFlags::WRONLY, FileMode::default()).unwrap_err(),
+        FsError::Access
+    );
+    // Reading the world-readable file is fine.
+    assert_eq!(fs.read_to_vec(&mallory, "/world").unwrap(), b"readable");
+    // Mallory cannot chmod or unlink root's file.
+    assert_eq!(fs.chmod(&mallory, "/world", 0o777).unwrap_err(), FsError::Access);
+    assert_eq!(fs.unlink(&mallory, "/world").unwrap_err(), FsError::Access);
+}
+
+#[test]
+fn nested_protected_calls_keep_privilege_balanced() {
+    let (fs, domain, _) = enforced_fs(32 << 20);
+    let ctx = ProcCtx::root(1);
+    // write_file internally performs several protected calls (open, pwrite,
+    // fsync, close); afterwards the thread must be back in user mode.
+    fs.write_file(&ctx, "/f", b"x").unwrap();
+    assert_eq!(cpl::current(), Ring::User);
+    // A manual nested enter also balances.
+    let ep = domain.resolve("simurgh_ctl").unwrap();
+    domain
+        .enter(ep, || {
+            assert_eq!(cpl::current(), Ring::Kernel);
+            fs.stat(&ctx, "/f").unwrap();
+            assert_eq!(cpl::current(), Ring::Kernel, "still nested");
+        })
+        .unwrap();
+    assert_eq!(cpl::current(), Ring::User);
+}
+
+#[test]
+fn enforcement_survives_concurrency() {
+    let (fs, _domain, _) = enforced_fs(64 << 20);
+    let fs = Arc::new(fs);
+    fs.mkdir(&ProcCtx::root(0), "/shared", FileMode::dir(0o777)).unwrap();
+    crossbeam::thread::scope(|s| {
+        for t in 0..4u32 {
+            let fs = &fs;
+            s.spawn(move |_| {
+                let ctx = ProcCtx::root(t + 1);
+                for i in 0..40 {
+                    fs.write_file(&ctx, &format!("/shared/t{t}-{i}"), b"d").unwrap();
+                }
+                assert_eq!(cpl::current(), Ring::User, "thread-local CPL balanced");
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(fs.readdir(&ProcCtx::root(0), "/shared").unwrap().len(), 160);
+}
+
+#[test]
+fn cost_charging_orders_modes_by_latency() {
+    // A gem5-syscall-charged stat (1176 extra cycles/op) must be slower
+    // than a zero-charged one. Interleave the two measurements in rounds so
+    // scheduler drift on this shared single-core box cancels out.
+    use simurgh_protfn::SecurityMode;
+    use std::time::{Duration, Instant};
+    let build = |mode| {
+        let cfg = SimurghConfig {
+            security: mode,
+            charge_security_cost: true,
+            ..SimurghConfig::default()
+        };
+        let fs = SimurghFs::format(Arc::new(PmemRegion::new(32 << 20)), cfg).unwrap();
+        fs.write_file(&ProcCtx::root(1), "/probe", b"x").unwrap();
+        fs
+    };
+    let zero = build(SecurityMode::Zero);
+    let gem5 = build(SecurityMode::SyscallGem5);
+    let ctx = ProcCtx::root(1);
+    let mut t_zero = Duration::ZERO;
+    let mut t_gem5 = Duration::ZERO;
+    for _ in 0..6 {
+        let s = Instant::now();
+        for _ in 0..2000 {
+            zero.stat(&ctx, "/probe").unwrap();
+        }
+        t_zero += s.elapsed();
+        let s = Instant::now();
+        for _ in 0..2000 {
+            gem5.stat(&ctx, "/probe").unwrap();
+        }
+        t_gem5 += s.elapsed();
+    }
+    assert!(
+        t_gem5 > t_zero,
+        "syscall-charged stat not slower: gem5={t_gem5:?} zero={t_zero:?}"
+    );
+}
