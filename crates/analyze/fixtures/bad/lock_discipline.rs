@@ -1,0 +1,16 @@
+//! BAD fixture: busy flag / rename log held across early exits.
+
+fn leak_on_question_mark(env: &DirEnv, blk: DirBlock, line: usize) -> FsResult<()> {
+    if !blk.try_busy(env.region, line) {
+        return Err(FsError::Busy);
+    }
+    let slot = env.meta.alloc(PoolKind::FileEntry)?; // escapes while busy
+    blk.release_busy(env.region, line);
+    let _ = slot;
+    Ok(())
+}
+
+fn journal_never_cleared(env: &DirEnv, src: DirBlock) {
+    src.write_log(env.region, &entry);
+    finish(env);
+}

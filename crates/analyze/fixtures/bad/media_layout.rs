@@ -1,0 +1,10 @@
+//! BAD fixture: Pod media struct without #[repr(C)] and not in the manifest.
+
+#[derive(Clone, Copy)]
+struct RogueHeader {
+    tag: u64,
+    len: u64,
+}
+
+// SAFETY: fixture only — and still wrong: no repr(C), not in layout.golden.
+unsafe impl Pod for RogueHeader {}

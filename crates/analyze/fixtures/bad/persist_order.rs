@@ -1,0 +1,13 @@
+//! BAD fixture: store published by a release with no fence in between.
+//! Not compiled — scanned by `simurgh-analyze --path crates/analyze/fixtures/bad`.
+
+fn publish_without_fence(r: &PmemRegion, blk: DirBlock, line: usize) {
+    r.write(blk.line_ptr(line), 0x1234_5678_u64);
+    // missing: r.persist(...) / r.fence()
+    blk.release_busy(r, line);
+}
+
+fn invalidate_unfenced_zero(r: &PmemRegion, p: PPtr) {
+    r.zero(p, 64);
+    obj::invalidate(r, p);
+}

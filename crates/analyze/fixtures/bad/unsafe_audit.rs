@@ -1,0 +1,9 @@
+//! BAD fixture: unsafe without a SAFETY justification.
+
+fn raw_read(p: *const u64) -> u64 {
+    unsafe { p.read_unaligned() }
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

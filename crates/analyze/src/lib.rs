@@ -1,0 +1,1076 @@
+//! Static checker for Simurgh's NVMM invariants.
+//!
+//! The Fig. 5 protocols and the §4 persistence rules only hold if every
+//! function in the tree follows a handful of mechanical conventions:
+//! stores are fenced before publication points, busy flags and rename
+//! journals are released on every exit path, `unsafe` is justified, and
+//! every struct copied to/from the media has a pinned `#[repr(C)]` layout.
+//! Those conventions are invisible to `rustc`, so this crate enforces them
+//! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
+//! must build in offline containers) over the workspace sources.
+//!
+//! Four rule families:
+//!
+//! * **persist-order** — in a function that issues raw region stores
+//!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
+//!   busy flag / valid bit / rename flag, a `persist`/`fence` call must sit
+//!   between the last store and the release (§4.3: "metadata updates occur
+//!   after the data has been persisted").
+//! * **lock-discipline** — a raw `try_busy` acquire, an armed rename log
+//!   (`write_log`) or a set `DF_RENAME` flag must be matched by a release
+//!   on every exit path; `?`/`return` while held is flagged. Returning an
+//!   RAII `*Guard` value is the sanctioned hand-off.
+//! * **unsafe-audit** — every `unsafe` block/fn/impl/trait must be
+//!   preceded by a `// SAFETY:` (or `/// # Safety`) comment; the full
+//!   inventory is reported either way.
+//! * **media-layout** — every non-primitive type with an `unsafe impl Pod`
+//!   (i.e. passed to `PmemRegion::read::<T>`/`write::<T>`) must be
+//!   `#[repr(C)]` and listed in the checked-in `layout.golden` manifest,
+//!   whose offsets a companion test pins with `core::mem::offset_of!`.
+//!
+//! False positives are suppressed in place with a justified
+//! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
+//! comment block directly above it; see DESIGN.md "Enforced invariants".
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The four rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    PersistOrder,
+    LockDiscipline,
+    UnsafeAudit,
+    MediaLayout,
+}
+
+impl Rule {
+    /// Stable identifier used in reports and `analyze:allow(...)` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PersistOrder => "persist-order",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::MediaLayout => "media-layout",
+        }
+    }
+
+    pub const ALL: [Rule; 4] =
+        [Rule::PersistOrder, Rule::LockDiscipline, Rule::UnsafeAudit, Rule::MediaLayout];
+}
+
+/// One violation. `line` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+    }
+}
+
+/// One `unsafe` site (documented or not) for the audit inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    pub kind: String,
+    pub documented: bool,
+}
+
+/// Scan output: violations plus the informational inventories.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Names of non-primitive `Pod` media types found in the tree.
+    pub pod_types: Vec<String>,
+    pub files_scanned: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Source model: stripped lines
+// ---------------------------------------------------------------------------
+
+struct Line {
+    /// Original text (comments intact) — used for SAFETY/allow markers.
+    raw: String,
+    /// Comments and string/char-literal bodies blanked to spaces.
+    code: String,
+    /// Inside a `#[cfg(test)]` item: protocol half-states are deliberate
+    /// there, so every rule skips these lines.
+    skip: bool,
+}
+
+struct SourceFile {
+    label: String,
+    lines: Vec<Line>,
+}
+
+/// Blanks comments and literal bodies while preserving line structure, so
+/// token matching never fires inside a string or comment.
+fn strip(src: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut code = String::with_capacity(src.len());
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    code.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    st = St::Block(1);
+                    code.push(' ');
+                }
+                '"' => {
+                    // Raw-string prefix? (r"", r#""#, br#""#)
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && bytes[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let is_raw = j > 0 && (bytes[j - 1] == 'r');
+                    st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    code.push('"');
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        code.push('\'');
+                    } else {
+                        st = St::Char;
+                        code.push('\'');
+                    }
+                }
+                _ => code.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+            }
+            St::Block(d) => {
+                if c == '*' && next == Some('/') {
+                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(d + 1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '\n' {
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+            }
+            St::Str => match c {
+                '\\' => {
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Code;
+                    code.push('"');
+                }
+                '\n' => code.push('\n'),
+                _ => code.push(' '),
+            },
+            St::RawStr(h) => {
+                if c == '"' {
+                    let mut k = 0u32;
+                    while k < h && bytes.get(i + 1 + k as usize).copied() == Some('#') {
+                        k += 1;
+                    }
+                    if k == h {
+                        st = St::Code;
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        i += 1 + h as usize;
+                        continue;
+                    }
+                }
+                code.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            St::Char => match c {
+                '\\' => {
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    st = St::Code;
+                    code.push('\'');
+                }
+                _ => code.push(' '),
+            },
+        }
+        i += 1;
+    }
+    let raw_lines: Vec<String> = src.lines().map(str::to_owned).collect();
+    let mut code_lines: Vec<String> = code.lines().map(str::to_owned).collect();
+    code_lines.resize(raw_lines.len(), String::new());
+    (raw_lines, code_lines)
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item as skipped.
+fn mark_cfg_test(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut started = false;
+        let mut j = i;
+        while j < lines.len() {
+            let mut done = false;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if started && depth <= 0 {
+                            done = true;
+                        }
+                    }
+                    ';' if !started => done = true, // attribute on a braceless item
+                    _ => {}
+                }
+            }
+            lines[j].skip = true;
+            if done {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+fn load(label: &str, src: &str) -> SourceFile {
+    let (raw, code) = strip(src);
+    let mut lines: Vec<Line> = raw
+        .into_iter()
+        .zip(code)
+        .map(|(raw, code)| Line { raw, code, skip: false })
+        .collect();
+    mark_cfg_test(&mut lines);
+    SourceFile { label: label.to_owned(), lines }
+}
+
+// ---------------------------------------------------------------------------
+// Token matching
+// ---------------------------------------------------------------------------
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `code` invokes `name` as a qualified call: `.name(`, `::name(`
+/// or the turbofish forms. Definitions (`fn name(`) do not match.
+fn has_call(code: &str, name: &str) -> bool {
+    for (pos, _) in code.match_indices(name) {
+        let before = code[..pos].chars().next_back();
+        if !matches!(before, Some('.') | Some(':')) {
+            continue;
+        }
+        let after = &code[pos + name.len()..];
+        if after.starts_with('(') || after.starts_with("::<") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the line contains bare keyword `word`.
+fn has_word(code: &str, word: &str) -> bool {
+    for (pos, _) in code.match_indices(word) {
+        let before_ok = code[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = code[pos + word.len()..].chars().next().is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `?` operator (excluding `?Sized` bounds).
+fn has_try_op(code: &str) -> bool {
+    for (pos, _) in code.match_indices('?') {
+        if !code[pos + 1..].starts_with("Sized") {
+            return true;
+        }
+    }
+    false
+}
+
+/// An `analyze:allow(<id>)` marker on the line itself or anywhere in the
+/// contiguous comment/attribute block directly above it.
+fn allowed(file: &SourceFile, line_idx: usize, rule: Rule) -> bool {
+    let marker = format!("analyze:allow({})", rule.id());
+    if file.lines[line_idx].raw.contains(&marker) {
+        return true;
+    }
+    let mut k = line_idx;
+    while k > 0 {
+        k -= 1;
+        let t = file.lines[k].raw.trim();
+        if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![")) {
+            break;
+        }
+        if t.contains(&marker) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction
+// ---------------------------------------------------------------------------
+
+/// `(start, end)` inclusive 0-based line ranges of every `fn` body
+/// (signature line included). Nested functions yield nested ranges.
+fn function_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    struct OpenFn {
+        start: usize,
+        body_depth: Option<i64>,
+    }
+    let mut ranges = Vec::new();
+    let mut open: Vec<OpenFn> = Vec::new();
+    let mut depth = 0i64;
+    for (ln, line) in file.lines.iter().enumerate() {
+        if line.skip {
+            continue;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == 'f'
+                && chars.get(i + 1) == Some(&'n')
+                && (i == 0 || !is_ident(chars[i - 1]))
+                && chars.get(i + 2).is_none_or(|&n| !is_ident(n))
+            {
+                open.push(OpenFn { start: ln, body_depth: None });
+                i += 2;
+                continue;
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(f) = open.last_mut() {
+                        if f.body_depth.is_none() {
+                            f.body_depth = Some(depth);
+                        }
+                    }
+                }
+                '}' => {
+                    if let Some(f) = open.last() {
+                        if f.body_depth == Some(depth) {
+                            ranges.push((f.start, ln));
+                            open.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                ';' => {
+                    if let Some(f) = open.last() {
+                        if f.body_depth.is_none() {
+                            open.pop(); // trait-method declaration, no body
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    ranges
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: persistence ordering
+// ---------------------------------------------------------------------------
+
+const STORE_CALLS: [&str; 4] = ["write", "write_from", "nt_write_from", "zero"];
+const FENCE_CALLS: [&str; 2] = ["persist", "fence"];
+const RELEASE_CALLS: [&str; 4] = ["release_busy", "clear_flag", "clear_log", "invalidate"];
+
+fn rule_persist_order(file: &SourceFile, report: &mut Report) {
+    for &(start, end) in &function_ranges(file) {
+        let mut pending: Option<usize> = None;
+        for ln in start..=end {
+            let line = &file.lines[ln];
+            if line.skip {
+                continue;
+            }
+            if STORE_CALLS.iter().any(|s| has_call(&line.code, s)) {
+                pending = Some(ln);
+            }
+            if FENCE_CALLS.iter().any(|s| has_call(&line.code, s)) {
+                pending = None;
+            }
+            if RELEASE_CALLS.iter().any(|s| has_call(&line.code, s)) {
+                if let Some(store_ln) = pending {
+                    if !allowed(file, ln, Rule::PersistOrder) {
+                        report.findings.push(Finding {
+                            rule: Rule::PersistOrder,
+                            file: file.label.clone(),
+                            line: ln + 1,
+                            message: format!(
+                                "release without a fence after the store on line {}",
+                                store_ln + 1
+                            ),
+                        });
+                    }
+                    pending = None; // one finding per unfenced store
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: lock discipline
+// ---------------------------------------------------------------------------
+
+const ACQUIRE_CALLS: [&str; 2] = ["try_busy", "write_log"];
+const LOCK_RELEASES: [&str; 3] = ["release_busy", "clear_flag", "clear_log"];
+
+fn rule_lock_discipline(file: &SourceFile, report: &mut Report) {
+    for &(start, end) in &function_ranges(file) {
+        let mut open = 0usize;
+        let mut acquire_ln = 0usize;
+        for ln in start..=end {
+            let line = &file.lines[ln];
+            if line.skip {
+                continue;
+            }
+            let acq = ACQUIRE_CALLS.iter().any(|s| has_call(&line.code, s))
+                || (has_call(&line.code, "set_flag") && line.code.contains("DF_RENAME"));
+            if acq {
+                open += 1;
+                acquire_ln = ln;
+            }
+            if LOCK_RELEASES.iter().any(|s| has_call(&line.code, s)) {
+                open = 0;
+            }
+            // The acquire line itself is exempt: `if !try_busy { return ... }`
+            // is the canonical not-acquired bail-out, not a leak.
+            if open > 0 && ln != acquire_ln {
+                let escapes = if has_word(&line.code, "return") {
+                    // Returning an RAII guard hands the release to the
+                    // caller; returning Err(..Busy) is the multi-line form
+                    // of the failed-acquire bail-out.
+                    let after = line.code.split("return").nth(1).unwrap_or("");
+                    !(after.contains("Guard") || after.contains("Busy"))
+                } else {
+                    has_try_op(&line.code)
+                };
+                if escapes && !allowed(file, ln, Rule::LockDiscipline) {
+                    report.findings.push(Finding {
+                        rule: Rule::LockDiscipline,
+                        file: file.label.clone(),
+                        line: ln + 1,
+                        message: format!(
+                            "early exit while holding the acquire from line {} \
+                             (busy flag / rename log not released)",
+                            acquire_ln + 1
+                        ),
+                    });
+                    open = 0; // one finding per leaked acquire
+                }
+            }
+        }
+        if open > 0 && !allowed(file, acquire_ln, Rule::LockDiscipline) {
+            report.findings.push(Finding {
+                rule: Rule::LockDiscipline,
+                file: file.label.clone(),
+                line: acquire_ln + 1,
+                message: "acquire is never released on the fall-through path".to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unsafe audit
+// ---------------------------------------------------------------------------
+
+fn unsafe_kind(code: &str) -> Option<&'static str> {
+    if !has_word(code, "unsafe") {
+        return None;
+    }
+    if code.contains("unsafe impl") {
+        Some("unsafe impl")
+    } else if code.contains("unsafe fn") {
+        Some("unsafe fn")
+    } else if code.contains("unsafe trait") {
+        Some("unsafe trait")
+    } else {
+        Some("unsafe block")
+    }
+}
+
+fn safety_documented(file: &SourceFile, ln: usize, kind: &str) -> bool {
+    let mentions = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
+    if mentions(&file.lines[ln].raw) {
+        return true;
+    }
+    let mut k = ln;
+    while k > 0 {
+        k -= 1;
+        let t = file.lines[k].raw.trim();
+        if t.starts_with("//") {
+            if mentions(t) {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.starts_with("#![") {
+            // attributes sit between the comment and the item
+        } else if kind == "unsafe impl" && t.starts_with("unsafe impl") {
+            // one SAFETY comment may cover an adjacent group of one-line impls
+            if mentions(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn rule_unsafe_audit(file: &SourceFile, report: &mut Report) {
+    for ln in 0..file.lines.len() {
+        let line = &file.lines[ln];
+        if line.skip {
+            continue;
+        }
+        let Some(kind) = unsafe_kind(&line.code) else {
+            continue;
+        };
+        let documented = safety_documented(file, ln, kind);
+        report.unsafe_sites.push(UnsafeSite {
+            file: file.label.clone(),
+            line: ln + 1,
+            kind: kind.to_owned(),
+            documented,
+        });
+        if !documented && !allowed(file, ln, Rule::UnsafeAudit) {
+            report.findings.push(Finding {
+                rule: Rule::UnsafeAudit,
+                file: file.label.clone(),
+                line: ln + 1,
+                message: format!("{kind} without a preceding `// SAFETY:` comment"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: media-layout guard
+// ---------------------------------------------------------------------------
+
+const POD_PRIMITIVES: [&str; 12] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// `(type name, file index, line)` of every non-primitive `unsafe impl Pod`.
+fn pod_impls(files: &[SourceFile]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ln, line) in file.lines.iter().enumerate() {
+            if line.skip || !line.code.contains("unsafe impl") {
+                continue;
+            }
+            let Some(rest) = line.code.split(" Pod for ").nth(1) else {
+                continue;
+            };
+            let target = rest.trim();
+            if target.starts_with('[') {
+                continue; // byte arrays: layout is trivially defined
+            }
+            let name: String = target.chars().take_while(|&c| is_ident(c)).collect();
+            if name.is_empty() || POD_PRIMITIVES.contains(&name.as_str()) {
+                continue;
+            }
+            out.push((name, fi, ln));
+        }
+    }
+    out
+}
+
+/// Whether `struct name` is declared with `#[repr(C)]` somewhere in `files`.
+fn struct_is_repr_c(files: &[SourceFile], name: &str) -> bool {
+    let needle = format!("struct {name}");
+    for file in files {
+        for (ln, line) in file.lines.iter().enumerate() {
+            let Some(pos) = line.code.find(&needle) else {
+                continue;
+            };
+            let after = &line.code[pos + needle.len()..];
+            if after.chars().next().is_some_and(is_ident) {
+                continue; // prefix of a longer name
+            }
+            // Walk attributes and comments above the declaration.
+            let mut k = ln;
+            while k > 0 {
+                k -= 1;
+                let t = file.lines[k].raw.trim();
+                if t.starts_with("#[") {
+                    if t.contains("repr(C") {
+                        return true;
+                    }
+                } else if !(t.starts_with("//") || t.starts_with("#![")) {
+                    break;
+                }
+            }
+            if line.code.contains("repr(C") {
+                return true; // attribute on the same line
+            }
+        }
+    }
+    false
+}
+
+fn rule_media_layout(files: &[SourceFile], manifest: &[String], report: &mut Report) {
+    for (name, fi, ln) in pod_impls(files) {
+        let file = &files[fi];
+        report.pod_types.push(name.clone());
+        if allowed(file, ln, Rule::MediaLayout) {
+            continue;
+        }
+        if !struct_is_repr_c(files, &name) {
+            report.findings.push(Finding {
+                rule: Rule::MediaLayout,
+                file: file.label.clone(),
+                line: ln + 1,
+                message: format!("`{name}` implements Pod but is not `#[repr(C)]`"),
+            });
+        }
+        if !manifest.iter().any(|m| m == &name) {
+            report.findings.push(Finding {
+                rule: Rule::MediaLayout,
+                file: file.label.clone(),
+                line: ln + 1,
+                message: format!("`{name}` implements Pod but is missing from layout.golden"),
+            });
+        }
+    }
+    report.pod_types.sort();
+    report.pod_types.dedup();
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Scans in-memory `(label, source)` pairs against a manifest name list.
+pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
+    let files: Vec<SourceFile> = sources.iter().map(|(l, s)| load(l, s)).collect();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for file in &files {
+        rule_persist_order(file, &mut report);
+        rule_lock_discipline(file, &mut report);
+        rule_unsafe_audit(file, &mut report);
+    }
+    rule_media_layout(&files, manifest, &mut report);
+    report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.findings.dedup();
+    report
+}
+
+/// Parses `layout.golden`: one struct per line, name first, `#` comments.
+pub fn parse_manifest(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next().map(str::to_owned))
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let with_path = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", dir.display()));
+    for entry in fs::read_dir(dir).map_err(with_path)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under the given roots.
+pub fn scan_dirs(roots: &[PathBuf], manifest: &[String]) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    for root in roots {
+        collect_rs(root, &mut paths)?;
+    }
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in &paths {
+        sources.push((p.display().to_string(), fs::read_to_string(p)?));
+    }
+    let borrowed: Vec<(&str, &str)> =
+        sources.iter().map(|(l, s)| (l.as_str(), s.as_str())).collect();
+    Ok(scan_files(&borrowed, manifest))
+}
+
+/// Scans the Simurgh workspace rooted at `root`: every crate's `src/` tree
+/// (vendored third-party stand-ins under `vendor/` and the integration
+/// `tests/` crate are intentionally out of scope), with the golden layout
+/// manifest at `crates/analyze/layout.golden`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let manifest_path = root.join("crates/analyze/layout.golden");
+    let manifest = match fs::read_to_string(&manifest_path) {
+        Ok(text) => parse_manifest(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut roots = Vec::new();
+    for entry in fs::read_dir(root.join("crates"))? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            roots.push(src);
+        }
+    }
+    roots.sort();
+    scan_dirs(&roots, &manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_of(src: &str, rule: Rule) -> Vec<Finding> {
+        let report = scan_files(&[("fixture.rs", src)], &["Known".to_owned()]);
+        report.findings.into_iter().filter(|f| f.rule == rule).collect()
+    }
+
+    // ----- persist-order ---------------------------------------------------
+
+    #[test]
+    fn persist_order_good_fenced_release() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                r.write(p, 7u64);
+                r.persist(p, 8);
+                b.release_busy(r, 3);
+            }
+        ";
+        assert!(findings_of(src, Rule::PersistOrder).is_empty());
+    }
+
+    #[test]
+    fn persist_order_bad_store_then_release() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                r.write(p, 7u64);
+                b.release_busy(r, 3);
+            }
+        ";
+        let f = findings_of(src, Rule::PersistOrder);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn persist_order_bad_nt_store_then_clear_flag() {
+        let src = "
+            fn finish(r: &R, d: D) {
+                r.nt_write_from(p, &buf);
+                d.clear_flag(r, DF_RENAME);
+            }
+        ";
+        assert_eq!(findings_of(src, Rule::PersistOrder).len(), 1);
+    }
+
+    #[test]
+    fn persist_order_bad_zero_then_invalidate() {
+        let src = "
+            fn wipe(r: &R) {
+                r.zero(p, 64);
+                obj::invalidate(r, q);
+            }
+        ";
+        assert_eq!(findings_of(src, Rule::PersistOrder).len(), 1);
+    }
+
+    #[test]
+    fn persist_order_respects_allow_marker() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                r.write(p, 7u64);
+                // analyze:allow(persist-order): volatile scratch line
+                b.release_busy(r, 3);
+            }
+        ";
+        assert!(findings_of(src, Rule::PersistOrder).is_empty());
+    }
+
+    #[test]
+    fn persist_order_ignores_unrelated_writes() {
+        // `write_log(` must not be read as a raw `write(` store.
+        let src = "
+            fn log(r: &R, d: D) {
+                d.write_log(r, &entry);
+                d.clear_flag(r, DF_RENAME);
+            }
+        ";
+        assert!(findings_of(src, Rule::PersistOrder).is_empty());
+    }
+
+    // ----- lock-discipline -------------------------------------------------
+
+    #[test]
+    fn lock_discipline_good_paired() {
+        let src = "
+            fn op(r: &R, b: B) -> FsResult<()> {
+                if !b.try_busy(r, 3) { return Err(FsError::Busy); }
+                work(r)
+                b.release_busy(r, 3);
+                Ok(())
+            }
+        ";
+        assert!(findings_of(src, Rule::LockDiscipline).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_bad_question_mark_while_held() {
+        let src = "
+            fn op(r: &R, b: B) -> FsResult<()> {
+                b.set_flag(r, DF_RENAME);
+                let x = alloc(r)?;
+                b.clear_flag(r, DF_RENAME);
+                Ok(())
+            }
+        ";
+        let f = findings_of(src, Rule::LockDiscipline);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn lock_discipline_bad_return_while_held() {
+        let src = "
+            fn op(r: &R, b: B) -> FsResult<()> {
+                if b.try_busy(r, 3) {
+                    if bad() { return Err(FsError::NoSpace); }
+                    b.release_busy(r, 3);
+                }
+                Ok(())
+            }
+        ";
+        assert_eq!(findings_of(src, Rule::LockDiscipline).len(), 1);
+    }
+
+    #[test]
+    fn lock_discipline_bad_never_released() {
+        let src = "
+            fn op(r: &R, d: D) {
+                d.write_log(r, &entry);
+                finish(r);
+            }
+        ";
+        let f = findings_of(src, Rule::LockDiscipline);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never released"));
+    }
+
+    #[test]
+    fn lock_discipline_guard_return_is_raii_handoff() {
+        let src = "
+            fn lock(r: &R, b: B) -> LineGuard {
+                loop {
+                    if b.try_busy(r, 3) {
+                        return LineGuard { b, line: 3 };
+                    }
+                    b.release_busy(r, 3);
+                }
+            }
+        ";
+        assert!(findings_of(src, Rule::LockDiscipline).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_respects_allow_marker() {
+        let src = "
+            fn crash_while_held(r: &R, b: B) {
+                // analyze:allow(lock-discipline): simulates a crashed holder
+                b.try_busy(r, 3);
+            }
+        ";
+        assert!(findings_of(src, Rule::LockDiscipline).is_empty());
+    }
+
+    // ----- unsafe-audit ----------------------------------------------------
+
+    #[test]
+    fn unsafe_audit_good_documented_block() {
+        let src = "
+            fn read(p: *const u8) -> u8 {
+                // SAFETY: caller guarantees p is live.
+                unsafe { *p }
+            }
+        ";
+        assert!(findings_of(src, Rule::UnsafeAudit).is_empty());
+        let report = scan_files(&[("fixture.rs", src)], &[]);
+        assert_eq!(report.unsafe_sites.len(), 1);
+        assert!(report.unsafe_sites[0].documented);
+    }
+
+    #[test]
+    fn unsafe_audit_bad_undocumented_block() {
+        let src = "
+            fn read(p: *const u8) -> u8 {
+                unsafe { *p }
+            }
+        ";
+        let f = findings_of(src, Rule::UnsafeAudit);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_audit_bad_undocumented_impl() {
+        let src = "
+            struct S;
+            unsafe impl Sync for S {}
+        ";
+        assert_eq!(findings_of(src, Rule::UnsafeAudit).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_audit_comment_covers_impl_group() {
+        let src = "
+            // SAFETY: plain integers have no invalid bit patterns.
+            unsafe impl Pod for u8 {}
+            unsafe impl Pod for u16 {}
+            unsafe impl Pod for u32 {}
+        ";
+        assert!(findings_of(src, Rule::UnsafeAudit).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_ignores_comments_strings_and_tests() {
+        let src = "
+            fn f() -> &'static str {
+                // this mentions unsafe in a comment only
+                \"unsafe in a string\"
+            }
+            #[cfg(test)]
+            mod tests {
+                fn g(p: *const u8) -> u8 { unsafe { *p } }
+            }
+        ";
+        let report = scan_files(&[("fixture.rs", src)], &[]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.unsafe_sites.is_empty());
+    }
+
+    // ----- media-layout ----------------------------------------------------
+
+    #[test]
+    fn media_layout_good_repr_c_and_in_manifest() {
+        let src = "
+            #[repr(C)]
+            #[derive(Clone, Copy)]
+            struct Known { a: u64 }
+            // SAFETY: repr(C), integers only.
+            unsafe impl Pod for Known {}
+        ";
+        assert!(findings_of(src, Rule::MediaLayout).is_empty());
+        let report = scan_files(&[("fixture.rs", src)], &["Known".to_owned()]);
+        assert_eq!(report.pod_types, vec!["Known".to_owned()]);
+    }
+
+    #[test]
+    fn media_layout_bad_missing_repr_c() {
+        let src = "
+            #[derive(Clone, Copy)]
+            struct Known { a: u64 }
+            // SAFETY: fixture.
+            unsafe impl Pod for Known {}
+        ";
+        let f = findings_of(src, Rule::MediaLayout);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("repr(C)"));
+    }
+
+    #[test]
+    fn media_layout_bad_missing_from_manifest() {
+        let src = "
+            #[repr(C)]
+            struct Rogue { a: u64 }
+            // SAFETY: fixture.
+            unsafe impl Pod for Rogue {}
+        ";
+        let f = findings_of(src, Rule::MediaLayout);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("layout.golden"));
+    }
+
+    #[test]
+    fn media_layout_allows_primitives_and_arrays() {
+        let src = "
+            // SAFETY: primitives.
+            unsafe impl Pod for u64 {}
+            unsafe impl<const N: usize> Pod for [u8; N] {}
+        ";
+        assert!(findings_of(src, Rule::MediaLayout).is_empty());
+    }
+
+    // ----- plumbing --------------------------------------------------------
+
+    #[test]
+    fn manifest_parsing_skips_comments() {
+        let names = parse_manifest("# header\nRenameLog size=64\n\nPoolSeg size=16\n");
+        assert_eq!(names, vec!["RenameLog".to_owned(), "PoolSeg".to_owned()]);
+    }
+
+    #[test]
+    fn stripper_blanks_strings_and_nested_comments() {
+        let (_, code) = strip("let a = \"x.write(\"; /* outer /* inner */ b.zero( */ c();");
+        assert!(!code[0].contains("write("));
+        assert!(!code[0].contains("zero("));
+        assert!(code[0].contains("c();"));
+    }
+}

@@ -1,0 +1,149 @@
+//! `simurgh-analyze` — command-line front end for the static checker.
+//!
+//! Usage:
+//!   simurgh-analyze --workspace [--root <dir>]   scan every crate's src/
+//!   simurgh-analyze --path <dir> [...]           scan specific directories
+//!   simurgh-analyze --manifest <file>            override layout.golden
+//!   simurgh-analyze --ci                         also print the wider CI
+//!                                                checklist (clippy command)
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simurgh_analyze::{parse_manifest, scan_dirs, scan_workspace, Report};
+
+struct Opts {
+    workspace: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+    manifest: Option<PathBuf>,
+    ci: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simurgh-analyze (--workspace [--root <dir>] | --path <dir>...) \
+         [--manifest <file>] [--ci]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut opts = Opts {
+        workspace: false,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        manifest: None,
+        ci: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--root" => opts.root = PathBuf::from(args.next().ok_or_else(usage)?),
+            "--path" => opts.paths.push(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--manifest" => opts.manifest = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--ci" => opts.ci = true,
+            _ => return Err(usage()),
+        }
+    }
+    // Exactly one of --workspace / --path must be given.
+    if opts.workspace != opts.paths.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn print_report(report: &Report, ci: bool) {
+    let documented = report.unsafe_sites.iter().filter(|s| s.documented).count();
+    println!(
+        "scanned {} files: {} unsafe sites ({} documented), {} Pod media types",
+        report.files_scanned,
+        report.unsafe_sites.len(),
+        documented,
+        report.pod_types.len(),
+    );
+    for site in &report.unsafe_sites {
+        let mark = if site.documented { "ok " } else { "!! " };
+        println!("  {mark}{}:{} {}", site.file, site.line, site.kind);
+    }
+    if report.findings.is_empty() {
+        println!("no violations");
+    } else {
+        println!("{} violation(s):", report.findings.len());
+        for f in &report.findings {
+            println!("  {f}");
+        }
+    }
+    if ci {
+        // The analyzer covers the domain-specific invariants; lint-level
+        // hygiene is clippy's job. CI runs both — keep the commands in sync
+        // with README.md "Verifying".
+        println!();
+        println!("CI checklist (run all of):");
+        println!("  cargo run -p simurgh-analyze -- --workspace");
+        println!("  cargo clippy --workspace --all-targets -- -D warnings");
+        println!("  cargo test -q");
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let manifest = match &opts.manifest {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => Some(parse_manifest(&text)),
+            Err(e) => {
+                eprintln!("simurgh-analyze: cannot read {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let result = if opts.workspace {
+        match manifest {
+            // --manifest overrides the workspace's checked-in golden file.
+            Some(m) => {
+                let crates = opts.root.join("crates");
+                let roots = match std::fs::read_dir(&crates) {
+                    Ok(rd) => {
+                        let mut v: Vec<PathBuf> = rd
+                            .filter_map(|e| e.ok())
+                            .map(|e| e.path().join("src"))
+                            .filter(|p| p.is_dir())
+                            .collect();
+                        v.sort();
+                        v
+                    }
+                    Err(e) => {
+                        eprintln!("simurgh-analyze: cannot read {}: {e}", crates.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                scan_dirs(&roots, &m)
+            }
+            None => scan_workspace(&opts.root),
+        }
+    } else {
+        scan_dirs(&opts.paths, &manifest.unwrap_or_default())
+    };
+    match result {
+        Ok(report) => {
+            print_report(&report, opts.ci);
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("simurgh-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -135,7 +135,7 @@ impl RwSem {
             }
             std::hint::spin_loop();
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             }
         }
@@ -153,7 +153,7 @@ impl RwSem {
             }
             std::hint::spin_loop();
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             }
         }

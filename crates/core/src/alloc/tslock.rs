@@ -84,7 +84,7 @@ impl TsLock {
             }
             std::hint::spin_loop();
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now(); // oversubscribed-host courtesy
             }
         }

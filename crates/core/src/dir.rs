@@ -81,7 +81,7 @@ pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuar
         }
         std::hint::spin_loop();
         spins += 1;
-        if spins % 64 == 0 {
+        if spins.is_multiple_of(64) {
             // The paper's busy-wait assumes a core per process; on
             // oversubscribed hosts, give the holder a chance to run.
             std::thread::yield_now();
@@ -364,6 +364,21 @@ pub fn rename_same_dir(
     let nfe = FileEntry(nfe_ptr);
     nfe.init(env.region, new_name, ftype, inode);
     env.region.persist(nfe_ptr, crate::obj::fentry::FENTRY_SIZE as usize);
+    // Reserve the destination slot BEFORE step 3: find_or_extend_slot can
+    // fail (DirBlock pool exhausted), and once DF_RENAME is set and the old
+    // line redirected there is no clean exit. An unused reservation is
+    // harmless — the slot simply stays NULL.
+    let dest = if replaced.is_some() {
+        None
+    } else {
+        match find_or_extend_slot(env, first, new_line) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                env.meta.free(PoolKind::FileEntry, nfe_ptr);
+                return Err(e);
+            }
+        }
+    };
     // Step 3: mark the directory as rename-in-progress.
     first.set_flag(env.region, DF_RENAME);
     // Step 5: point the old line at the new entry — the hash mismatch is the
@@ -383,7 +398,7 @@ pub fn rename_same_dir(
             ix.insert(first.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
         }
     } else {
-        let (nblk, fresh) = find_or_extend_slot(env, first, new_line)?;
+        let (nblk, fresh) = dest.expect("slot reserved before DF_RENAME was set");
         nblk.set_line(env.region, new_line, nfe_ptr);
         if fresh {
             obj::clear_dirty(env.region, nblk.ptr());
@@ -430,6 +445,21 @@ pub fn rename_cross_dir(
     let nfe = FileEntry(nfe_ptr);
     nfe.init(env.region, new_name, ftype, inode);
     env.region.persist(nfe_ptr, crate::obj::fentry::FENTRY_SIZE as usize);
+    // Reserve the destination slot BEFORE arming the log: find_or_extend_slot
+    // can fail (DirBlock pool exhausted), and bailing out with the journal
+    // armed and DF_RENAME set would leave the source directory in a repair
+    // state for an operation that never happened.
+    let dest = if replaced.is_some() {
+        None
+    } else {
+        match find_or_extend_slot(env, dst, new_line) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                env.meta.free(PoolKind::FileEntry, nfe_ptr);
+                return Err(e);
+            }
+        }
+    };
     // Steps 1–2: arm the log in the source directory and set its dirty flag.
     src.write_log(
         env.region,
@@ -457,7 +487,7 @@ pub fn rename_cross_dir(
             ix.insert(dst.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
         }
     } else {
-        let (nblk, fresh) = find_or_extend_slot(env, dst, new_line)?;
+        let (nblk, fresh) = dest.expect("slot reserved before the log was armed");
         nblk.set_line(env.region, new_line, nfe_ptr);
         if fresh {
             obj::clear_dirty(env.region, nblk.ptr());

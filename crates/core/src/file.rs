@@ -91,7 +91,7 @@ pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
         }
         std::hint::spin_loop();
         spins += 1;
-        if spins % 64 == 0 {
+        if spins.is_multiple_of(64) {
             std::thread::yield_now(); // oversubscribed-host courtesy
         }
     }
@@ -115,7 +115,7 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
         }
         std::hint::spin_loop();
         spins += 1;
-        if spins % 64 == 0 {
+        if spins.is_multiple_of(64) {
             std::thread::yield_now(); // oversubscribed-host courtesy
         }
     }

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::Ordering;
 
-use simurgh_pmem::{PPtr, PmemRegion};
+use simurgh_pmem::{PPtr, PmemRegion, Pod};
 
 /// Size of one directory hash block.
 pub const DIRBLOCK_SIZE: u64 = 4096;
@@ -36,6 +36,7 @@ pub struct DirBlock(pub PPtr);
 /// The per-directory log entry (stored in the first block). One entry is
 /// enough because the busy flags serialize rename operations per directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
 pub struct RenameLog {
     /// 0 = idle, 1 = cross-directory rename (this dir is the source).
     pub op: u64,
@@ -47,6 +48,11 @@ pub struct RenameLog {
     pub old_line: u64,
     pub new_line: u64,
 }
+
+// SAFETY: repr(C) with only u64 fields — no padding, valid for any bit
+// pattern. The field order IS the media layout at O_LOG, pinned by
+// `layout.golden` and the offset test in tests/tests/static_analysis.rs.
+unsafe impl Pod for RenameLog {}
 
 /// Log operation codes.
 pub mod logop {
@@ -158,17 +164,7 @@ impl DirBlock {
     // ----- rename log (first block only) --------------------------------------
 
     pub fn read_log(self, r: &PmemRegion) -> RenameLog {
-        let b = self.0.add(O_LOG);
-        RenameLog {
-            op: r.read(b),
-            src_dir: r.read(b.add(8)),
-            dst_dir: r.read(b.add(16)),
-            inode: r.read(b.add(24)),
-            old_fentry: r.read(b.add(32)),
-            new_fentry: r.read(b.add(40)),
-            old_line: r.read(b.add(48)),
-            new_line: r.read(b.add(56)),
-        }
+        r.read::<RenameLog>(self.0.add(O_LOG))
     }
 
     /// Writes and persists the log entry; the `op` field is persisted last

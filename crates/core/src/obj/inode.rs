@@ -8,7 +8,7 @@
 //! operations"), which is logically volatile and reset at mount.
 
 use simurgh_fsapi::types::{FileMode, FileType};
-use simurgh_pmem::{PPtr, PmemRegion};
+use simurgh_pmem::{PPtr, PmemRegion, Pod};
 
 /// Size of one inode object.
 pub const INODE_SIZE: u64 = 128;
@@ -32,12 +32,18 @@ const O_EXT_NEXT: u64 = 120;
 
 /// One extent: a contiguous run of file bytes in the data area.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
 pub struct Extent {
     /// Byte offset of the run in the region (block aligned), or 0 if unset.
     pub start: u64,
     /// Length in bytes.
     pub len: u64,
 }
+
+// SAFETY: repr(C) with only u64 fields — no padding, valid for any bit
+// pattern. The field order IS the media layout of the inline extent table
+// (O_EXTENTS) and of extent blocks, pinned by `layout.golden`.
+unsafe impl Pod for Extent {}
 
 impl Extent {
     pub fn is_empty(&self) -> bool {
@@ -147,7 +153,7 @@ impl Inode {
     pub fn extent(self, r: &PmemRegion, i: usize) -> Extent {
         debug_assert!(i < INLINE_EXTENTS);
         let base = self.0.add(O_EXTENTS + (i as u64) * 16);
-        Extent { start: r.read(base), len: r.read(base.add(8)) }
+        r.read::<Extent>(base)
     }
 
     pub fn set_extent(self, r: &PmemRegion, i: usize, e: Extent) {

@@ -7,7 +7,7 @@
 //! metadata objects live without trusting any volatile state.
 
 use simurgh_pmem::layout::Extent;
-use simurgh_pmem::{PPtr, PmemRegion};
+use simurgh_pmem::{PPtr, PmemRegion, Pod};
 
 use crate::obj::Tag;
 
@@ -61,10 +61,16 @@ impl PoolKind {
 
 /// One pool segment: `count` objects starting at byte offset `start`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct PoolSeg {
     pub start: u64,
     pub count: u64,
 }
+
+// SAFETY: repr(C) with only u64 fields — no padding, valid for any bit
+// pattern. The field order IS the media layout of the superblock's pool
+// segment table (O_POOLS), pinned by `layout.golden`.
+unsafe impl Pod for PoolSeg {}
 
 /// Typed view over the superblock.
 #[derive(Debug, Clone, Copy)]
@@ -144,11 +150,11 @@ impl Superblock {
             return None;
         }
         let a = Self::seg_addr(kind, idx);
-        let count: u64 = r.read(a.add(8));
-        if count == 0 {
+        let seg = r.read::<PoolSeg>(a);
+        if seg.count == 0 {
             return None;
         }
-        Some(PoolSeg { start: r.read(a), count })
+        Some(seg)
     }
 
     /// All segments of a pool.

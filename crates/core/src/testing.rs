@@ -25,6 +25,8 @@ pub fn crash_mid_unlink(fs: &SimurghFs, dir_path: &str, name: &str) {
     assert!(st.is_dir(), "{dir_path} is a directory");
     let (region, first) = fs.testing_dir_block(dir_path).expect("resolve dir block");
     let line = dir_line(name, NLINES);
+    // analyze:allow(lock-discipline): deliberately leaks the busy flag to
+    // simulate the crashed holder (waiters must repair the line).
     assert!(first.try_busy(&region, line), "line not busy before the crash");
     let env = fs.testing_dir_env();
     let fe = dir::lookup(&env, first, name).expect("entry exists");
@@ -38,6 +40,8 @@ pub fn crash_mid_unlink(fs: &SimurghFs, dir_path: &str, name: &str) {
 pub fn crash_holding_line(fs: &SimurghFs, dir_path: &str, name: &str) {
     let (region, first) = fs.testing_dir_block(dir_path).expect("resolve dir block");
     let line = dir_line(name, NLINES);
+    // analyze:allow(lock-discipline): deliberately leaks the busy flag to
+    // simulate the crashed holder (waiters must repair the line).
     assert!(first.try_busy(&region, line), "line not busy before the crash");
 }
 

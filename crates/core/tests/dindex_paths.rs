@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use simurgh_core::dindex::{DirIndex, IndexHit};
+use simurgh_core::dindex::IndexHit;
 use simurgh_core::hash::fnv1a;
 use simurgh_core::obj;
 use simurgh_core::{dir, SimurghConfig, SimurghFs};

@@ -55,6 +55,8 @@ impl std::error::Error for PmemError {}
 /// whose content matters (padding bytes are copied verbatim).
 pub unsafe trait Pod: Copy + 'static {}
 
+// SAFETY: plain integers and byte arrays are valid for every bit pattern
+// and contain no padding.
 unsafe impl Pod for u8 {}
 unsafe impl Pod for u16 {}
 unsafe impl Pod for u32 {}

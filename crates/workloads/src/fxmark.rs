@@ -24,6 +24,17 @@ fn root_ctx() -> ProcCtx {
     ProcCtx::root(0)
 }
 
+/// Setup helper: makes sure `path` exists as an empty-ish file. Idempotent,
+/// like `setup_private_dirs`, so kernels can share one mounted file system
+/// (e.g. unlink after create reuses the same population).
+fn ensure_file(fs: &dyn FileSystem, ctx: &ProcCtx, path: &str) {
+    match fs.create(ctx, path, FileMode::default()) {
+        Ok(fd) => fs.close(ctx, fd).expect("close"),
+        Err(simurgh_fsapi::FsError::Exists) => {}
+        Err(e) => panic!("setup create {path}: {e}"),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Metadata benchmarks
 // ---------------------------------------------------------------------------
@@ -62,10 +73,7 @@ pub fn unlink_private(fs: &dyn FileSystem, threads: usize, files: usize) -> Benc
     let ctx = root_ctx();
     for tid in 0..threads {
         for i in 0..files {
-            let fd = fs
-                .create(&ctx, &format!("{}/f{i}", private_dir(tid)), FileMode::default())
-                .expect("setup create");
-            fs.close(&ctx, fd).expect("close");
+            ensure_file(fs, &ctx, &format!("{}/f{i}", private_dir(tid)));
         }
     }
     Runner::new(threads).run(|ctx, tid| {
@@ -80,13 +88,13 @@ pub fn unlink_private(fs: &dyn FileSystem, threads: usize, files: usize) -> Benc
 /// MWRM — rename empty files within one shared directory (Fig. 7d).
 pub fn rename_shared(fs: &dyn FileSystem, threads: usize, files: usize) -> BenchResult {
     let ctx = root_ctx();
-    fs.mkdir(&ctx, "/fx-ren", FileMode::dir(0o777)).expect("setup");
+    match fs.mkdir(&ctx, "/fx-ren", FileMode::dir(0o777)) {
+        Ok(()) | Err(simurgh_fsapi::FsError::Exists) => {}
+        Err(e) => panic!("setup mkdir: {e}"),
+    }
     for tid in 0..threads {
         for i in 0..files {
-            let fd = fs
-                .create(&ctx, &format!("/fx-ren/t{tid}-f{i}"), FileMode::default())
-                .expect("setup create");
-            fs.close(&ctx, fd).expect("close");
+            ensure_file(fs, &ctx, &format!("/fx-ren/t{tid}-f{i}"));
         }
     }
     Runner::new(threads).run(|ctx, tid| {

@@ -63,9 +63,10 @@ pub fn file_content(idx: usize, len: usize) -> Vec<u8> {
 
 /// Skewed source-file size: mostly small, occasionally tens of KB.
 fn draw_size(rng: &mut impl RngExt, max: usize) -> usize {
-    let exp = rng.random_range(6..=14); // 64 B .. 16 KB typical
+    let exp = rng.random_range(6..=14u32); // 64 B .. 16 KB typical
     let base = 1usize << exp;
-    (base + rng.random_range(0..base)).min(max).max(16)
+    let jitter: usize = rng.random_range(0..base);
+    (base + jitter).min(max).max(16)
 }
 
 /// Generates the tree under `root` on `fs`. Returns the manifest.

@@ -223,6 +223,67 @@ fn cross_rename_crash_before_publish_rolls_back() {
 }
 
 #[test]
+fn same_dir_rename_nospace_leaves_directory_consistent() {
+    // Regression: rename_same_dir used to reserve its destination slot
+    // *after* setting DF_RENAME and redirecting the old line, so a DirBlock
+    // pool exhaustion mid-protocol returned early with the directory marked
+    // rename-in-progress and the file unreachable by name. The slot is now
+    // reserved before any destructive step.
+    let fs = setup();
+    fs.write_file(&CTX, "/dir/mover", b"payload").unwrap();
+    let env = fs.testing_dir_env();
+    let (region, first) = fs.testing_dir_block("/dir").unwrap();
+    // A destination name whose line collides with "existing": the first
+    // block's slot is taken, so the rename must extend the chain.
+    let clash = simurgh_core::testing::colliding_name("existing", "clash");
+    let clash_path = format!("/dir/{clash}");
+    // Exhaust the DirBlock pool so the chain extension cannot be served.
+    while env.meta.alloc(PoolKind::DirBlock).is_ok() {}
+
+    assert!(fs.rename(&CTX, "/dir/mover", &clash_path).is_err(), "rename must report NoSpace");
+    // No half-state: flag clear, both names in their pre-rename state.
+    assert_eq!(first.flags(&region) & simurgh_core::obj::dirblock::DF_RENAME, 0);
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/mover").unwrap(), b"payload");
+    assert!(fs.stat(&CTX, &clash_path).is_err());
+
+    // And the failed attempt leaves nothing for recovery to trip over.
+    let fs2 = crash_and_remount(&fs);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/mover").unwrap(), b"payload");
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/existing").unwrap(), b"keep me");
+    assert!(fs2.stat(&CTX, &clash_path).is_err());
+}
+
+#[test]
+fn cross_dir_rename_nospace_leaves_journal_idle() {
+    // Regression: rename_cross_dir used to arm the source directory's
+    // rename log and set DF_RENAME before reserving the destination slot; a
+    // pool exhaustion then bailed out with the journal armed for an
+    // operation that never happened, sending the next mount into a bogus
+    // log replay. The slot is now reserved before the log is written.
+    let fs = setup();
+    fs.mkdir(&CTX, "/dst", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/dst/anchor", b"here first").unwrap();
+    fs.write_file(&CTX, "/dir/mover2", b"cargo").unwrap();
+    let env = fs.testing_dir_env();
+    let (region, src) = fs.testing_dir_block("/dir").unwrap();
+    let clash = simurgh_core::testing::colliding_name("anchor", "xclash");
+    let clash_path = format!("/dst/{clash}");
+    while env.meta.alloc(PoolKind::DirBlock).is_ok() {}
+
+    assert!(fs.rename(&CTX, "/dir/mover2", &clash_path).is_err(), "rename must report NoSpace");
+    // The journal was never armed and the source directory is not flagged.
+    assert_eq!(src.read_log(&region).op, simurgh_core::obj::dirblock::logop::IDLE);
+    assert_eq!(src.flags(&region) & simurgh_core::obj::dirblock::DF_RENAME, 0);
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/mover2").unwrap(), b"cargo");
+    assert!(fs.stat(&CTX, &clash_path).is_err());
+
+    let fs2 = crash_and_remount(&fs);
+    assert_eq!(fs2.read_to_vec(&CTX, "/dir/mover2").unwrap(), b"cargo");
+    assert_eq!(fs2.read_to_vec(&CTX, "/dst/anchor").unwrap(), b"here first");
+    assert!(fs2.stat(&CTX, &clash_path).is_err());
+}
+
+#[test]
 fn unflushed_data_does_not_corrupt_metadata() {
     let fs = setup();
     // Write a file, then scribble into its data blocks WITHOUT flushing:

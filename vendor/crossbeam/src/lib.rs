@@ -1,0 +1,136 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces the workspace uses — `crossbeam::thread::scope`
+//! and `crossbeam::queue::SegQueue` — implemented over the standard library.
+//! `thread::scope` delegates to `std::thread::scope` (stable since 1.63),
+//! which gives the same structured-concurrency guarantee crossbeam's scoped
+//! threads do: no spawned thread outlives the scope. One behavioural
+//! difference: a panic in an unjoined child makes `std::thread::scope` panic
+//! rather than return `Err`, so the `Result` returned here is `Err` only for
+//! panics that escape the scope closure itself. Tests treat both as failure.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`. Spawn closures
+    /// receive a `&Scope` so they can spawn nested siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+
+        pub fn thread(&self) -> &std::thread::Thread {
+            self.inner.thread()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the environment
+    /// can be spawned; all of them are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC queue with the `crossbeam::queue::SegQueue` API,
+    /// backed by a mutexed `VecDeque` instead of a lock-free segment list.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all_threads() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = super::queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}
