@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-1faa0cebf6aad956.d: tests/tests/api.rs
+
+/root/repo/target/debug/deps/api-1faa0cebf6aad956: tests/tests/api.rs
+
+tests/tests/api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-8e1d8ef7392c9510.d: tests/tests/api.rs
+
+/root/repo/target/debug/deps/api-8e1d8ef7392c9510: tests/tests/api.rs
+
+tests/tests/api.rs:

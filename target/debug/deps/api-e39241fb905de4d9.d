@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api-e39241fb905de4d9.d: tests/tests/api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi-e39241fb905de4d9.rmeta: tests/tests/api.rs Cargo.toml
+
+tests/tests/api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-392e8227313366ad.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-392e8227313366ad: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

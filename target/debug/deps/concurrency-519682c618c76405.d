@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-519682c618c76405.d: tests/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-519682c618c76405.rmeta: tests/tests/concurrency.rs Cargo.toml
+
+tests/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-7064ee24948e2f6b.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-7064ee24948e2f6b: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_steps-52e203b911e5e380.d: tests/tests/crash_steps.rs
+
+/root/repo/target/debug/deps/crash_steps-52e203b911e5e380: tests/tests/crash_steps.rs
+
+tests/tests/crash_steps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_steps-9dcbefc64ee49b05.d: tests/tests/crash_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_steps-9dcbefc64ee49b05.rmeta: tests/tests/crash_steps.rs Cargo.toml
+
+tests/tests/crash_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

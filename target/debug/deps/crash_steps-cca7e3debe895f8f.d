@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_steps-cca7e3debe895f8f.d: tests/tests/crash_steps.rs
+
+/root/repo/target/debug/deps/crash_steps-cca7e3debe895f8f: tests/tests/crash_steps.rs
+
+tests/tests/crash_steps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crashlab-0375e46971e570c7.d: examples/src/bin/crashlab.rs
+
+/root/repo/target/debug/deps/crashlab-0375e46971e570c7: examples/src/bin/crashlab.rs
+
+examples/src/bin/crashlab.rs:

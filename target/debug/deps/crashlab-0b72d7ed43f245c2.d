@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crashlab-0b72d7ed43f245c2.d: examples/src/bin/crashlab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrashlab-0b72d7ed43f245c2.rmeta: examples/src/bin/crashlab.rs Cargo.toml
+
+examples/src/bin/crashlab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crashlab-647adeda402c6abe.d: examples/src/bin/crashlab.rs
+
+/root/repo/target/debug/deps/crashlab-647adeda402c6abe: examples/src/bin/crashlab.rs
+
+examples/src/bin/crashlab.rs:

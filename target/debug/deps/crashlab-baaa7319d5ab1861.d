@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crashlab-baaa7319d5ab1861.d: examples/src/bin/crashlab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrashlab-baaa7319d5ab1861.rmeta: examples/src/bin/crashlab.rs Cargo.toml
+
+examples/src/bin/crashlab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

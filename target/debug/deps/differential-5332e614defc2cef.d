@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-5332e614defc2cef.d: tests/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-5332e614defc2cef: tests/tests/differential.rs
+
+tests/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-81a40f38ffaaecf7.d: tests/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-81a40f38ffaaecf7.rmeta: tests/tests/differential.rs Cargo.toml
+
+tests/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-827b540ce5994ed2.d: tests/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-827b540ce5994ed2: tests/tests/differential.rs
+
+tests/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dindex_paths-6c04b284632c342f.d: crates/core/tests/dindex_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdindex_paths-6c04b284632c342f.rmeta: crates/core/tests/dindex_paths.rs Cargo.toml
+
+crates/core/tests/dindex_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

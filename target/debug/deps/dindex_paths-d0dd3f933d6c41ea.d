@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dindex_paths-d0dd3f933d6c41ea.d: crates/core/tests/dindex_paths.rs
+
+/root/repo/target/debug/deps/dindex_paths-d0dd3f933d6c41ea: crates/core/tests/dindex_paths.rs
+
+crates/core/tests/dindex_paths.rs:

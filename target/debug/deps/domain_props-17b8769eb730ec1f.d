@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domain_props-17b8769eb730ec1f.d: crates/protfn/tests/domain_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomain_props-17b8769eb730ec1f.rmeta: crates/protfn/tests/domain_props.rs Cargo.toml
+
+crates/protfn/tests/domain_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/domain_props-3abe954cd0041063.d: crates/protfn/tests/domain_props.rs
+
+/root/repo/target/debug/deps/domain_props-3abe954cd0041063: crates/protfn/tests/domain_props.rs
+
+crates/protfn/tests/domain_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-09eca754ce15c8bf.d: tests/tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-09eca754ce15c8bf: tests/tests/experiments_smoke.rs
+
+tests/tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-8ad3e88e5ae5652b.d: tests/tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-8ad3e88e5ae5652b: tests/tests/experiments_smoke.rs
+
+tests/tests/experiments_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/filebench-fd2a017ff8e71372.d: crates/bench/benches/filebench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfilebench-fd2a017ff8e71372.rmeta: crates/bench/benches/filebench.rs Cargo.toml
+
+crates/bench/benches/filebench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

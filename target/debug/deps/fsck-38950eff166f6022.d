@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsck-38950eff166f6022.d: tests/tests/fsck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsck-38950eff166f6022.rmeta: tests/tests/fsck.rs Cargo.toml
+
+tests/tests/fsck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsck-da8dd4c98031edd9.d: tests/tests/fsck.rs
+
+/root/repo/target/debug/deps/fsck-da8dd4c98031edd9: tests/tests/fsck.rs
+
+tests/tests/fsck.rs:

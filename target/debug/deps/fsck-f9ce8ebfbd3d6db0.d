@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsck-f9ce8ebfbd3d6db0.d: tests/tests/fsck.rs
+
+/root/repo/target/debug/deps/fsck-f9ce8ebfbd3d6db0: tests/tests/fsck.rs
+
+tests/tests/fsck.rs:

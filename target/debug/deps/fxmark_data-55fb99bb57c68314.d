@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fxmark_data-55fb99bb57c68314.d: crates/bench/benches/fxmark_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfxmark_data-55fb99bb57c68314.rmeta: crates/bench/benches/fxmark_data.rs Cargo.toml
+
+crates/bench/benches/fxmark_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fxmark_meta-2f36e95f31678bfa.d: crates/bench/benches/fxmark_meta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfxmark_meta-2f36e95f31678bfa.rmeta: crates/bench/benches/fxmark_meta.rs Cargo.toml
+
+crates/bench/benches/fxmark_meta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fxmark_path-d1730fa1cb41c125.d: crates/bench/benches/fxmark_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfxmark_path-d1730fa1cb41c125.rmeta: crates/bench/benches/fxmark_path.rs Cargo.toml
+
+crates/bench/benches/fxmark_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fxmark_read-368eebcb35d612d9.d: crates/bench/benches/fxmark_read.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfxmark_read-368eebcb35d612d9.rmeta: crates/bench/benches/fxmark_read.rs Cargo.toml
+
+crates/bench/benches/fxmark_read.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvstore-019b32b642b65b8e.d: examples/src/bin/kvstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-019b32b642b65b8e.rmeta: examples/src/bin/kvstore.rs Cargo.toml
+
+examples/src/bin/kvstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

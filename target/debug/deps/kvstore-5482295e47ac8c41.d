@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvstore-5482295e47ac8c41.d: examples/src/bin/kvstore.rs
+
+/root/repo/target/debug/deps/kvstore-5482295e47ac8c41: examples/src/bin/kvstore.rs
+
+examples/src/bin/kvstore.rs:

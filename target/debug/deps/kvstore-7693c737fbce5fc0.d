@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvstore-7693c737fbce5fc0.d: examples/src/bin/kvstore.rs
+
+/root/repo/target/debug/deps/kvstore-7693c737fbce5fc0: examples/src/bin/kvstore.rs
+
+examples/src/bin/kvstore.rs:

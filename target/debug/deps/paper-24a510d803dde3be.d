@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper-24a510d803dde3be.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/debug/deps/paper-24a510d803dde3be: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper-4a1994e980d9dae6.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/debug/deps/paper-4a1994e980d9dae6: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

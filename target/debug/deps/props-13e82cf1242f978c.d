@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-13e82cf1242f978c.d: tests/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-13e82cf1242f978c.rmeta: tests/tests/props.rs Cargo.toml
+
+tests/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-79ddf0fc3bc228bb.d: tests/tests/props.rs
+
+/root/repo/target/debug/deps/props-79ddf0fc3bc228bb: tests/tests/props.rs
+
+tests/tests/props.rs:

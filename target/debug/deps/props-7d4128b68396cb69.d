@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7d4128b68396cb69.d: tests/tests/props.rs
+
+/root/repo/target/debug/deps/props-7d4128b68396cb69: tests/tests/props.rs
+
+tests/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protfn_cycles-bd5dd1c5347bebdb.d: crates/bench/benches/protfn_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotfn_cycles-bd5dd1c5347bebdb.rmeta: crates/bench/benches/protfn_cycles.rs Cargo.toml
+
+crates/bench/benches/protfn_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

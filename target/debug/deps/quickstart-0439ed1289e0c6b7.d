@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-0439ed1289e0c6b7.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-0439ed1289e0c6b7: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

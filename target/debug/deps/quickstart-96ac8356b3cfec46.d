@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-96ac8356b3cfec46.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-96ac8356b3cfec46: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-eccedd7085eefbef.d: examples/src/bin/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-eccedd7085eefbef.rmeta: examples/src/bin/quickstart.rs Cargo.toml
+
+examples/src/bin/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

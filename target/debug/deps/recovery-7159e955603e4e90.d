@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-7159e955603e4e90.d: crates/bench/benches/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-7159e955603e4e90.rmeta: crates/bench/benches/recovery.rs Cargo.toml
+
+crates/bench/benches/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

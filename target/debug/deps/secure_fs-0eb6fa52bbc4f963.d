@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_fs-0eb6fa52bbc4f963.d: examples/src/bin/secure_fs.rs
+
+/root/repo/target/debug/deps/secure_fs-0eb6fa52bbc4f963: examples/src/bin/secure_fs.rs
+
+examples/src/bin/secure_fs.rs:

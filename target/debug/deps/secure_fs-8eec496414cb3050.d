@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_fs-8eec496414cb3050.d: examples/src/bin/secure_fs.rs
+
+/root/repo/target/debug/deps/secure_fs-8eec496414cb3050: examples/src/bin/secure_fs.rs
+
+examples/src/bin/secure_fs.rs:

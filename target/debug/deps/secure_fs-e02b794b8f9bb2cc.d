@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secure_fs-e02b794b8f9bb2cc.d: examples/src/bin/secure_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecure_fs-e02b794b8f9bb2cc.rmeta: examples/src/bin/secure_fs.rs Cargo.toml
+
+examples/src/bin/secure_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

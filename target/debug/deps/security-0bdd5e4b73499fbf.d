@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-0bdd5e4b73499fbf.d: tests/tests/security.rs
+
+/root/repo/target/debug/deps/security-0bdd5e4b73499fbf: tests/tests/security.rs
+
+tests/tests/security.rs:

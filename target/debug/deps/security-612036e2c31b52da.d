@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-612036e2c31b52da.d: tests/tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-612036e2c31b52da.rmeta: tests/tests/security.rs Cargo.toml
+
+tests/tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

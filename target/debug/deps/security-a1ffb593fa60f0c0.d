@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-a1ffb593fa60f0c0.d: tests/tests/security.rs
+
+/root/repo/target/debug/deps/security-a1ffb593fa60f0c0: tests/tests/security.rs
+
+tests/tests/security.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simurgh_analyze-9d50fd3f92fb68fe.d: crates/analyze/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_analyze-9d50fd3f92fb68fe.rlib: crates/analyze/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_analyze-9d50fd3f92fb68fe.rmeta: crates/analyze/src/lib.rs
+
+crates/analyze/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simurgh_analyze-a4855b7b47b1097b.d: crates/analyze/src/lib.rs
+
+/root/repo/target/debug/deps/simurgh_analyze-a4855b7b47b1097b: crates/analyze/src/lib.rs
+
+crates/analyze/src/lib.rs:

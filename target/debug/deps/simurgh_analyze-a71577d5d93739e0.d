@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simurgh_analyze-a71577d5d93739e0.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/simurgh_analyze-a71577d5d93739e0: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_analyze-b7e2efb2d2bc1987.d: crates/analyze/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_analyze-b7e2efb2d2bc1987.rmeta: crates/analyze/src/main.rs Cargo.toml
+
+crates/analyze/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_analyze-d6bf533d87e9133a.d: crates/analyze/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_analyze-d6bf533d87e9133a.rmeta: crates/analyze/src/main.rs Cargo.toml
+
+crates/analyze/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_analyze-e98d62d240d08dda.d: crates/analyze/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_analyze-e98d62d240d08dda.rmeta: crates/analyze/src/lib.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

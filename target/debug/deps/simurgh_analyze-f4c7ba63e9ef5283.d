@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simurgh_analyze-f4c7ba63e9ef5283.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/simurgh_analyze-f4c7ba63e9ef5283: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_analyze-fd21a0ab507a6719.d: crates/analyze/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_analyze-fd21a0ab507a6719.rmeta: crates/analyze/src/lib.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simurgh_baselines-49b5e40dbc4c6fa3.d: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+/root/repo/target/debug/deps/simurgh_baselines-49b5e40dbc4c6fa3: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kernelfs.rs:
+crates/baselines/src/profile.rs:
+crates/baselines/src/vfs.rs:

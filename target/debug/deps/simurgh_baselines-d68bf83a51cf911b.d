@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simurgh_baselines-d68bf83a51cf911b.d: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_baselines-d68bf83a51cf911b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kernelfs.rs:
+crates/baselines/src/profile.rs:
+crates/baselines/src/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

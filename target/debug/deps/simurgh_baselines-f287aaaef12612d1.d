@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simurgh_baselines-f287aaaef12612d1.d: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+/root/repo/target/debug/deps/libsimurgh_baselines-f287aaaef12612d1.rlib: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+/root/repo/target/debug/deps/libsimurgh_baselines-f287aaaef12612d1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kernelfs.rs:
+crates/baselines/src/profile.rs:
+crates/baselines/src/vfs.rs:

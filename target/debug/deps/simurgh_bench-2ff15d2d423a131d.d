@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/simurgh_bench-2ff15d2d423a131d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/simurgh_bench-2ff15d2d423a131d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

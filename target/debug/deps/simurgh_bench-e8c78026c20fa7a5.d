@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simurgh_bench-e8c78026c20fa7a5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libsimurgh_bench-e8c78026c20fa7a5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libsimurgh_bench-e8c78026c20fa7a5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

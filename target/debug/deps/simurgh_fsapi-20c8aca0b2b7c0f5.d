@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simurgh_fsapi-20c8aca0b2b7c0f5.d: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+/root/repo/target/debug/deps/libsimurgh_fsapi-20c8aca0b2b7c0f5.rlib: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+/root/repo/target/debug/deps/libsimurgh_fsapi-20c8aca0b2b7c0f5.rmeta: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+crates/fsapi/src/lib.rs:
+crates/fsapi/src/error.rs:
+crates/fsapi/src/fs.rs:
+crates/fsapi/src/path.rs:
+crates/fsapi/src/profile.rs:
+crates/fsapi/src/reffs.rs:
+crates/fsapi/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simurgh_fsapi-4d9c9dcd5a76bc47.d: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+/root/repo/target/debug/deps/simurgh_fsapi-4d9c9dcd5a76bc47: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+crates/fsapi/src/lib.rs:
+crates/fsapi/src/error.rs:
+crates/fsapi/src/fs.rs:
+crates/fsapi/src/path.rs:
+crates/fsapi/src/profile.rs:
+crates/fsapi/src/reffs.rs:
+crates/fsapi/src/types.rs:

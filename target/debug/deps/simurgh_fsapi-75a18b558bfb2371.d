@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simurgh_fsapi-75a18b558bfb2371.d: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_fsapi-75a18b558bfb2371.rmeta: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs Cargo.toml
+
+crates/fsapi/src/lib.rs:
+crates/fsapi/src/error.rs:
+crates/fsapi/src/fs.rs:
+crates/fsapi/src/path.rs:
+crates/fsapi/src/profile.rs:
+crates/fsapi/src/reffs.rs:
+crates/fsapi/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simurgh_pmem-113a5e5b7ba55ccb.d: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_pmem-113a5e5b7ba55ccb.rmeta: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/clock.rs:
+crates/pmem/src/layout.rs:
+crates/pmem/src/pptr.rs:
+crates/pmem/src/prot.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

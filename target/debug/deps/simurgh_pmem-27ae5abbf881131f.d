@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simurgh_pmem-27ae5abbf881131f.d: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+/root/repo/target/debug/deps/simurgh_pmem-27ae5abbf881131f: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/clock.rs:
+crates/pmem/src/layout.rs:
+crates/pmem/src/pptr.rs:
+crates/pmem/src/prot.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/tracker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simurgh_pmem-4c6bfc0a75b053f6.d: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+/root/repo/target/debug/deps/libsimurgh_pmem-4c6bfc0a75b053f6.rlib: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+/root/repo/target/debug/deps/libsimurgh_pmem-4c6bfc0a75b053f6.rmeta: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/clock.rs:
+crates/pmem/src/layout.rs:
+crates/pmem/src/pptr.rs:
+crates/pmem/src/prot.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/tracker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simurgh_protfn-3635a8f85ebfaf6e.d: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+/root/repo/target/debug/deps/simurgh_protfn-3635a8f85ebfaf6e: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+crates/protfn/src/lib.rs:
+crates/protfn/src/cost.rs:
+crates/protfn/src/cpl.rs:
+crates/protfn/src/domain.rs:
+crates/protfn/src/gem5.rs:
+crates/protfn/src/page.rs:
+crates/protfn/src/policy.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simurgh_protfn-7571227e4215b3c8.d: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_protfn-7571227e4215b3c8.rmeta: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs Cargo.toml
+
+crates/protfn/src/lib.rs:
+crates/protfn/src/cost.rs:
+crates/protfn/src/cpl.rs:
+crates/protfn/src/domain.rs:
+crates/protfn/src/gem5.rs:
+crates/protfn/src/page.rs:
+crates/protfn/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simurgh_protfn-f92e35205f6db33c.d: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+/root/repo/target/debug/deps/libsimurgh_protfn-f92e35205f6db33c.rlib: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+/root/repo/target/debug/deps/libsimurgh_protfn-f92e35205f6db33c.rmeta: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+crates/protfn/src/lib.rs:
+crates/protfn/src/cost.rs:
+crates/protfn/src/cpl.rs:
+crates/protfn/src/domain.rs:
+crates/protfn/src/gem5.rs:
+crates/protfn/src/page.rs:
+crates/protfn/src/policy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simurgh_tests-0567fa94a306984d.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_tests-0567fa94a306984d.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_tests-0567fa94a306984d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simurgh_tests-28f0194f01428caf.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/simurgh_tests-28f0194f01428caf: tests/src/lib.rs
+
+tests/src/lib.rs:

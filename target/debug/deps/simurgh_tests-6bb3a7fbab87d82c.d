@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simurgh_tests-6bb3a7fbab87d82c.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_tests-6bb3a7fbab87d82c.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimurgh_tests-6bb3a7fbab87d82c.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

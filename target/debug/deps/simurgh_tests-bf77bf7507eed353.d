@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_tests-bf77bf7507eed353.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_tests-bf77bf7507eed353.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

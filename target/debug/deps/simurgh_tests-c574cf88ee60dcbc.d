@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simurgh_tests-c574cf88ee60dcbc.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/simurgh_tests-c574cf88ee60dcbc: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simurgh_tests-c9aad5a6be48ea46.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_tests-c9aad5a6be48ea46.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

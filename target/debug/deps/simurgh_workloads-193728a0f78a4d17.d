@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simurgh_workloads-193728a0f78a4d17.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libsimurgh_workloads-193728a0f78a4d17.rlib: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libsimurgh_workloads-193728a0f78a4d17.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fxmark.rs:
+crates/workloads/src/git.rs:
+crates/workloads/src/minikv.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/tar.rs:
+crates/workloads/src/tree.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

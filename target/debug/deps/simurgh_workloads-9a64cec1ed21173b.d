@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simurgh_workloads-9a64cec1ed21173b.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/simurgh_workloads-9a64cec1ed21173b: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fxmark.rs:
+crates/workloads/src/git.rs:
+crates/workloads/src/minikv.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/tar.rs:
+crates/workloads/src/tree.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

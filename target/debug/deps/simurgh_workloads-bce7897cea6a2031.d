@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/simurgh_workloads-bce7897cea6a2031.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimurgh_workloads-bce7897cea6a2031.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fxmark.rs:
+crates/workloads/src/git.rs:
+crates/workloads/src/minikv.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/tar.rs:
+crates/workloads/src/tree.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/static_analysis-2c51b1eeceda8cf9.d: tests/tests/static_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_analysis-2c51b1eeceda8cf9.rmeta: tests/tests/static_analysis.rs Cargo.toml
+
+tests/tests/static_analysis.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/static_analysis-54a2773119724377.d: tests/tests/static_analysis.rs
+
+/root/repo/target/debug/deps/static_analysis-54a2773119724377: tests/tests/static_analysis.rs
+
+tests/tests/static_analysis.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests

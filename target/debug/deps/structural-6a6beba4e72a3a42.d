@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structural-6a6beba4e72a3a42.d: crates/baselines/tests/structural.rs
+
+/root/repo/target/debug/deps/structural-6a6beba4e72a3a42: crates/baselines/tests/structural.rs
+
+crates/baselines/tests/structural.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structural-bab832fc813f255c.d: crates/baselines/tests/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructural-bab832fc813f255c.rmeta: crates/baselines/tests/structural.rs Cargo.toml
+
+crates/baselines/tests/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracker_props-b2136b830ae1406e.d: crates/pmem/tests/tracker_props.rs
+
+/root/repo/target/debug/deps/tracker_props-b2136b830ae1406e: crates/pmem/tests/tracker_props.rs
+
+crates/pmem/tests/tracker_props.rs:

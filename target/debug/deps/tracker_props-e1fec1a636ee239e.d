@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracker_props-e1fec1a636ee239e.d: crates/pmem/tests/tracker_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracker_props-e1fec1a636ee239e.rmeta: crates/pmem/tests/tracker_props.rs Cargo.toml
+
+crates/pmem/tests/tracker_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_integration-437405bcd87e41d2.d: crates/workloads/tests/workload_integration.rs
+
+/root/repo/target/debug/deps/workload_integration-437405bcd87e41d2: crates/workloads/tests/workload_integration.rs
+
+crates/workloads/tests/workload_integration.rs:

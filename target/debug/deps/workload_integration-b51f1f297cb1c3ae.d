@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_integration-b51f1f297cb1c3ae.d: crates/workloads/tests/workload_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_integration-b51f1f297cb1c3ae.rmeta: crates/workloads/tests/workload_integration.rs Cargo.toml
+
+crates/workloads/tests/workload_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ycsb-5a9ac44fdfc71b9f.d: crates/bench/benches/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libycsb-5a9ac44fdfc71b9f.rmeta: crates/bench/benches/ycsb.rs Cargo.toml
+
+crates/bench/benches/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

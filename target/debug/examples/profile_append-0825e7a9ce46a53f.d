@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_append-0825e7a9ce46a53f.d: crates/bench/examples/profile_append.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_append-0825e7a9ce46a53f.rmeta: crates/bench/examples/profile_append.rs Cargo.toml
+
+crates/bench/examples/profile_append.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

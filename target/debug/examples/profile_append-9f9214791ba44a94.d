@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_append-9f9214791ba44a94.d: crates/bench/examples/profile_append.rs
+
+/root/repo/target/debug/examples/profile_append-9f9214791ba44a94: crates/bench/examples/profile_append.rs
+
+crates/bench/examples/profile_append.rs:

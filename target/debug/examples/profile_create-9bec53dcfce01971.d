@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_create-9bec53dcfce01971.d: crates/bench/examples/profile_create.rs
+
+/root/repo/target/debug/examples/profile_create-9bec53dcfce01971: crates/bench/examples/profile_create.rs
+
+crates/bench/examples/profile_create.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_create-bd566805addadd5c.d: crates/bench/examples/profile_create.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_create-bd566805addadd5c.rmeta: crates/bench/examples/profile_create.rs Cargo.toml
+
+crates/bench/examples/profile_create.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_ycsb-391cbbc816791f66.d: crates/bench/examples/profile_ycsb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_ycsb-391cbbc816791f66.rmeta: crates/bench/examples/profile_ycsb.rs Cargo.toml
+
+crates/bench/examples/profile_ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_ycsb-98fdc503c15d6858.d: crates/bench/examples/profile_ycsb.rs
+
+/root/repo/target/debug/examples/profile_ycsb-98fdc503c15d6858: crates/bench/examples/profile_ycsb.rs
+
+crates/bench/examples/profile_ycsb.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/simurgh-analyze: /root/repo/crates/analyze/src/lib.rs /root/repo/crates/analyze/src/main.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crashlab-6e9d818577d21b6c.d: examples/src/bin/crashlab.rs
+
+/root/repo/target/release/deps/crashlab-6e9d818577d21b6c: examples/src/bin/crashlab.rs
+
+examples/src/bin/crashlab.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-67efa3814c6a5aa1.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-67efa3814c6a5aa1.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-67efa3814c6a5aa1.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-52e6e9ff8fad01b7.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-52e6e9ff8fad01b7.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-52e6e9ff8fad01b7.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kvstore-c9a08ceaa9ce1dab.d: examples/src/bin/kvstore.rs
+
+/root/repo/target/release/deps/kvstore-c9a08ceaa9ce1dab: examples/src/bin/kvstore.rs
+
+examples/src/bin/kvstore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper-b26a77b8b95b364c.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/release/deps/paper-b26a77b8b95b364c: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

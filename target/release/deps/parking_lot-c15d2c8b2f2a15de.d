@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-c15d2c8b2f2a15de.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c15d2c8b2f2a15de.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c15d2c8b2f2a15de.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e9f993f15501dd85.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e9f993f15501dd85.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e9f993f15501dd85.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-926b59dc3b4f7748.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-926b59dc3b4f7748: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

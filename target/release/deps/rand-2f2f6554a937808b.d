@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2f2f6554a937808b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2f2f6554a937808b.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2f2f6554a937808b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

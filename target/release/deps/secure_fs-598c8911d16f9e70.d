@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/secure_fs-598c8911d16f9e70.d: examples/src/bin/secure_fs.rs
+
+/root/repo/target/release/deps/secure_fs-598c8911d16f9e70: examples/src/bin/secure_fs.rs
+
+examples/src/bin/secure_fs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simurgh_analyze-2cca1a6a78b0c20a.d: crates/analyze/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_analyze-2cca1a6a78b0c20a.rlib: crates/analyze/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_analyze-2cca1a6a78b0c20a.rmeta: crates/analyze/src/lib.rs
+
+crates/analyze/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simurgh_analyze-ae20d471032e25bc.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/simurgh_analyze-ae20d471032e25bc: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simurgh_baselines-d05e14b04b357a60.d: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+/root/repo/target/release/deps/libsimurgh_baselines-d05e14b04b357a60.rlib: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+/root/repo/target/release/deps/libsimurgh_baselines-d05e14b04b357a60.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kernelfs.rs crates/baselines/src/profile.rs crates/baselines/src/vfs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kernelfs.rs:
+crates/baselines/src/profile.rs:
+crates/baselines/src/vfs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/simurgh_bench-eb6884fb920d5566.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libsimurgh_bench-eb6884fb920d5566.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libsimurgh_bench-eb6884fb920d5566.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

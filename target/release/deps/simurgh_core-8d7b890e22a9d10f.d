@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/simurgh_core-8d7b890e22a9d10f.d: crates/core/src/lib.rs crates/core/src/alloc/mod.rs crates/core/src/alloc/blocks.rs crates/core/src/alloc/meta.rs crates/core/src/alloc/tslock.rs crates/core/src/check.rs crates/core/src/dindex.rs crates/core/src/dir.rs crates/core/src/file.rs crates/core/src/fs.rs crates/core/src/hash.rs crates/core/src/obj/mod.rs crates/core/src/obj/dirblock.rs crates/core/src/obj/fentry.rs crates/core/src/obj/inode.rs crates/core/src/recovery.rs crates/core/src/security.rs crates/core/src/super_block.rs crates/core/src/testing.rs
+
+/root/repo/target/release/deps/libsimurgh_core-8d7b890e22a9d10f.rlib: crates/core/src/lib.rs crates/core/src/alloc/mod.rs crates/core/src/alloc/blocks.rs crates/core/src/alloc/meta.rs crates/core/src/alloc/tslock.rs crates/core/src/check.rs crates/core/src/dindex.rs crates/core/src/dir.rs crates/core/src/file.rs crates/core/src/fs.rs crates/core/src/hash.rs crates/core/src/obj/mod.rs crates/core/src/obj/dirblock.rs crates/core/src/obj/fentry.rs crates/core/src/obj/inode.rs crates/core/src/recovery.rs crates/core/src/security.rs crates/core/src/super_block.rs crates/core/src/testing.rs
+
+/root/repo/target/release/deps/libsimurgh_core-8d7b890e22a9d10f.rmeta: crates/core/src/lib.rs crates/core/src/alloc/mod.rs crates/core/src/alloc/blocks.rs crates/core/src/alloc/meta.rs crates/core/src/alloc/tslock.rs crates/core/src/check.rs crates/core/src/dindex.rs crates/core/src/dir.rs crates/core/src/file.rs crates/core/src/fs.rs crates/core/src/hash.rs crates/core/src/obj/mod.rs crates/core/src/obj/dirblock.rs crates/core/src/obj/fentry.rs crates/core/src/obj/inode.rs crates/core/src/recovery.rs crates/core/src/security.rs crates/core/src/super_block.rs crates/core/src/testing.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc/mod.rs:
+crates/core/src/alloc/blocks.rs:
+crates/core/src/alloc/meta.rs:
+crates/core/src/alloc/tslock.rs:
+crates/core/src/check.rs:
+crates/core/src/dindex.rs:
+crates/core/src/dir.rs:
+crates/core/src/file.rs:
+crates/core/src/fs.rs:
+crates/core/src/hash.rs:
+crates/core/src/obj/mod.rs:
+crates/core/src/obj/dirblock.rs:
+crates/core/src/obj/fentry.rs:
+crates/core/src/obj/inode.rs:
+crates/core/src/recovery.rs:
+crates/core/src/security.rs:
+crates/core/src/super_block.rs:
+crates/core/src/testing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simurgh_fsapi-e22d8003947bcb4a.d: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+/root/repo/target/release/deps/libsimurgh_fsapi-e22d8003947bcb4a.rlib: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+/root/repo/target/release/deps/libsimurgh_fsapi-e22d8003947bcb4a.rmeta: crates/fsapi/src/lib.rs crates/fsapi/src/error.rs crates/fsapi/src/fs.rs crates/fsapi/src/path.rs crates/fsapi/src/profile.rs crates/fsapi/src/reffs.rs crates/fsapi/src/types.rs
+
+crates/fsapi/src/lib.rs:
+crates/fsapi/src/error.rs:
+crates/fsapi/src/fs.rs:
+crates/fsapi/src/path.rs:
+crates/fsapi/src/profile.rs:
+crates/fsapi/src/reffs.rs:
+crates/fsapi/src/types.rs:

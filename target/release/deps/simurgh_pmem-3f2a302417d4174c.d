@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simurgh_pmem-3f2a302417d4174c.d: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+/root/repo/target/release/deps/libsimurgh_pmem-3f2a302417d4174c.rlib: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+/root/repo/target/release/deps/libsimurgh_pmem-3f2a302417d4174c.rmeta: crates/pmem/src/lib.rs crates/pmem/src/clock.rs crates/pmem/src/layout.rs crates/pmem/src/pptr.rs crates/pmem/src/prot.rs crates/pmem/src/region.rs crates/pmem/src/stats.rs crates/pmem/src/tracker.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/clock.rs:
+crates/pmem/src/layout.rs:
+crates/pmem/src/pptr.rs:
+crates/pmem/src/prot.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/tracker.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simurgh_protfn-3fa04bb28698898f.d: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+/root/repo/target/release/deps/libsimurgh_protfn-3fa04bb28698898f.rlib: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+/root/repo/target/release/deps/libsimurgh_protfn-3fa04bb28698898f.rmeta: crates/protfn/src/lib.rs crates/protfn/src/cost.rs crates/protfn/src/cpl.rs crates/protfn/src/domain.rs crates/protfn/src/gem5.rs crates/protfn/src/page.rs crates/protfn/src/policy.rs
+
+crates/protfn/src/lib.rs:
+crates/protfn/src/cost.rs:
+crates/protfn/src/cpl.rs:
+crates/protfn/src/domain.rs:
+crates/protfn/src/gem5.rs:
+crates/protfn/src/page.rs:
+crates/protfn/src/policy.rs:

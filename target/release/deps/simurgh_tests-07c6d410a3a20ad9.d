@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simurgh_tests-07c6d410a3a20ad9.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_tests-07c6d410a3a20ad9.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_tests-07c6d410a3a20ad9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

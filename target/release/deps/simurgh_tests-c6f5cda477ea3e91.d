@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simurgh_tests-c6f5cda477ea3e91.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_tests-c6f5cda477ea3e91.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimurgh_tests-c6f5cda477ea3e91.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

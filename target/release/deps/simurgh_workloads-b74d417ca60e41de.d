@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/simurgh_workloads-b74d417ca60e41de.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libsimurgh_workloads-b74d417ca60e41de.rlib: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libsimurgh_workloads-b74d417ca60e41de.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fxmark.rs crates/workloads/src/git.rs crates/workloads/src/minikv.rs crates/workloads/src/runner.rs crates/workloads/src/tar.rs crates/workloads/src/tree.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fxmark.rs:
+crates/workloads/src/git.rs:
+crates/workloads/src/minikv.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/tar.rs:
+crates/workloads/src/tree.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsimurgh_analyze.rlib: /root/repo/crates/analyze/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/simurgh-analyze: /root/repo/crates/analyze/src/lib.rs /root/repo/crates/analyze/src/main.rs
