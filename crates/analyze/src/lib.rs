@@ -698,6 +698,96 @@ fn rule_media_layout(files: &[SourceFile], manifest: &[String], report: &mut Rep
 }
 
 // ---------------------------------------------------------------------------
+// Tolerance-factor guard (comparative benchmark assertions)
+// ---------------------------------------------------------------------------
+
+/// Whether a line multiplies something by a fractional numeric literal
+/// (`other * 0.85`, `0.9 * baseline`) — the shape of a tolerance factor
+/// softening a comparative assertion.
+fn has_fractional_scale(code: &str) -> bool {
+    let b: Vec<char> = code.chars().collect();
+    let is_num = |c: char| c.is_ascii_digit() || c == '.' || c == '_';
+    for (i, &c) in b.iter().enumerate() {
+        if c != '*' {
+            continue;
+        }
+        // `**` or `*/` never appear in stripped numeric code; a deref `*x`
+        // is filtered below because idents aren't numeric.
+        let mut j = i + 1;
+        while j < b.len() && b[j] == ' ' {
+            j += 1;
+        }
+        let start = j;
+        while j < b.len() && is_num(b[j]) {
+            j += 1;
+        }
+        if j > start && b[start..j].contains(&'.') {
+            return true;
+        }
+        let mut k = i;
+        while k > 0 && b[k - 1] == ' ' {
+            k -= 1;
+        }
+        let end = k;
+        while k > 0 && is_num(b[k - 1]) {
+            k -= 1;
+        }
+        if end > k && b[k..end].contains(&'.') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans the body of `fn fn_name` in `src` for tolerance factors and
+/// returns the offending `(1-based line, text)` pairs. Used by the tier-1
+/// guard that keeps `experiments_smoke.rs` asserting *strict* dominance on
+/// the Fig. 7 metadata panels: once the O(1) metadata path made the strict
+/// comparison hold, reintroducing a `* 0.85`-style deficit allowance is a
+/// regression this catches at test time. Comments and string literals are
+/// ignored; returns an empty list if the function is not found.
+pub fn tolerance_findings(src: &str, fn_name: &str) -> Vec<(usize, String)> {
+    let file = load("src", src);
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_fn = false;
+    let mut entered = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !in_fn {
+            let code = &line.code;
+            if let Some(pos) = code.find(fn_name) {
+                let is_def = code[..pos].trim_end().ends_with("fn")
+                    && code[pos + fn_name.len()..].starts_with('(');
+                if is_def {
+                    in_fn = true;
+                    entered = false;
+                    depth = 0;
+                }
+            }
+        }
+        if in_fn {
+            if has_fractional_scale(&line.code) {
+                out.push((idx + 1, line.raw.trim().to_owned()));
+            }
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if entered && depth <= 0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Drivers
 // ---------------------------------------------------------------------------
 
@@ -783,6 +873,41 @@ mod tests {
     fn findings_of(src: &str, rule: Rule) -> Vec<Finding> {
         let report = scan_files(&[("fixture.rs", src)], &["Known".to_owned()]);
         report.findings.into_iter().filter(|f| f.rule == rule).collect()
+    }
+
+    // ----- tolerance guard -------------------------------------------------
+
+    #[test]
+    fn tolerance_factor_detected_in_target_fn_only() {
+        let src = "
+            fn fig7_strict() {
+                assert!(simurgh > other);
+            }
+            fn fig7_soft() {
+                // a comment mentioning 0.85 * other is fine
+                assert!(simurgh > other * 0.85, \"within 15% of {}\", other);
+            }
+            fn elsewhere() {
+                let x = y * 0.5;
+            }
+        ";
+        assert!(tolerance_findings(src, "fig7_strict").is_empty());
+        let hits = tolerance_findings(src, "fig7_soft");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].1.contains("0.85"));
+        // Unknown function: nothing to report.
+        assert!(tolerance_findings(src, "no_such_fn").is_empty());
+    }
+
+    #[test]
+    fn tolerance_factor_shapes() {
+        assert!(has_fractional_scale("simurgh > other * 0.85"));
+        assert!(has_fractional_scale("simurgh > 0.9*other"));
+        assert!(has_fractional_scale("a >= b * 1.15"));
+        assert!(!has_fractional_scale("simurgh > other"));
+        assert!(!has_fractional_scale("x * 2"));
+        assert!(!has_fractional_scale("let p = *ptr;"));
+        assert!(!has_fractional_scale("n * factor"));
     }
 
     // ----- persist-order ---------------------------------------------------

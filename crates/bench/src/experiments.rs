@@ -232,6 +232,54 @@ pub fn fig7(panel: char, scale: &Scale) -> Vec<Series> {
 }
 
 // ---------------------------------------------------------------------------
+// Directory probe accounting
+// ---------------------------------------------------------------------------
+
+/// Runs the metadata phases (create / stat / unlink of `meta_files` names in
+/// one shared directory) on a fresh Simurgh mount and reports the per-phase
+/// probe-counter deltas as a JSON object — the machine-readable form of the
+/// O(1) metadata-path claim asserted by `tests/tests/scaling.rs`.
+pub fn dir_probe_stats(scale: &Scale) -> String {
+    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
+
+    let region = Arc::new(PmemRegion::new(scale.meta_region));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let ctx = ProcCtx::root(1);
+    fs.mkdir(&ctx, "/probe", FileMode::dir(0o777)).expect("mkdir");
+
+    let mut phases = Vec::new();
+    let mut base = fs.dir_stats();
+    let phase = |fs: &SimurghFs, name: &str, base: &mut simurgh_core::dir::DirStatsSnapshot| {
+        let now = fs.dir_stats();
+        let delta = now.since(base);
+        *base = now;
+        format!(
+            "\"{name}\":{{\"stats\":{},\"probes_per_lookup\":{:.3}}}",
+            delta.to_json(),
+            delta.probes_per_lookup()
+        )
+    };
+
+    for i in 0..scale.meta_files {
+        let fd = fs
+            .open(&ctx, &format!("/probe/f{i}"), OpenFlags::CREATE, FileMode::default())
+            .expect("create");
+        fs.close(&ctx, fd).expect("close");
+    }
+    phases.push(phase(&fs, "create", &mut base));
+    for i in 0..scale.meta_files {
+        fs.stat(&ctx, &format!("/probe/f{i}")).expect("stat");
+    }
+    phases.push(phase(&fs, "stat", &mut base));
+    for i in 0..scale.meta_files {
+        fs.unlink(&ctx, &format!("/probe/f{i}")).expect("unlink");
+    }
+    phases.push(phase(&fs, "unlink", &mut base));
+
+    format!("{{\"meta_files\":{},{}}}", scale.meta_files, phases.join(","))
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 8 — Filebench
 // ---------------------------------------------------------------------------
 

@@ -11,6 +11,7 @@
 //! decentralized as in the paper, by any process that times out waiting on
 //! a busy flag (the previous holder is presumed crashed).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use simurgh_fsapi::types::FileType;
@@ -29,6 +30,115 @@ use crate::super_block::PoolKind;
 /// repairs the line itself.
 pub const DEFAULT_LINE_MAX_HOLD: Duration = Duration::from_millis(200);
 
+/// Probe accounting for the directory hot paths. Counters are bumped with
+/// relaxed atomics (negligible cost, exact under a quiescent snapshot) and
+/// exist so the O(1) claim of the shared-DRAM index is *asserted* by tests
+/// and exported by the bench harness, not eyeballed.
+#[derive(Default)]
+pub struct DirStats {
+    /// `find_entry` calls (every lookup-by-name, including internal ones).
+    pub lookups: AtomicU64,
+    /// Lookups answered by a verified index hit.
+    pub index_hits: AtomicU64,
+    /// Misses answered authoritatively by per-line completeness.
+    pub index_absent: AtomicU64,
+    /// Stale index entries evicted after failing verification.
+    pub stale_evicted: AtomicU64,
+    /// Fallback chain walks (no index, incomplete line, or stale hit).
+    pub chain_walks: AtomicU64,
+    /// Blocks probed during fallback chain walks.
+    pub chain_probes: AtomicU64,
+    /// Insert-path slot searches resolved by a free-slot hint.
+    pub hint_hits: AtomicU64,
+    /// Stale free-slot hints dropped (slot re-taken before the pop).
+    pub hint_stale: AtomicU64,
+    /// Blocks probed while searching for / extending to a free slot.
+    pub slot_probes: AtomicU64,
+    /// Chain extensions (a new hash block was linked).
+    pub extends: AtomicU64,
+}
+
+impl DirStats {
+    pub fn snapshot(&self) -> DirStatsSnapshot {
+        let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        DirStatsSnapshot {
+            lookups: r(&self.lookups),
+            index_hits: r(&self.index_hits),
+            index_absent: r(&self.index_absent),
+            stale_evicted: r(&self.stale_evicted),
+            chain_walks: r(&self.chain_walks),
+            chain_probes: r(&self.chain_probes),
+            hint_hits: r(&self.hint_hits),
+            hint_stale: r(&self.hint_stale),
+            slot_probes: r(&self.slot_probes),
+            extends: r(&self.extends),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DirStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStatsSnapshot {
+    pub lookups: u64,
+    pub index_hits: u64,
+    pub index_absent: u64,
+    pub stale_evicted: u64,
+    pub chain_walks: u64,
+    pub chain_probes: u64,
+    pub hint_hits: u64,
+    pub hint_stale: u64,
+    pub slot_probes: u64,
+    pub extends: u64,
+}
+
+impl DirStatsSnapshot {
+    /// Counter deltas since `base` (a snapshot taken earlier).
+    pub fn since(&self, base: &DirStatsSnapshot) -> DirStatsSnapshot {
+        DirStatsSnapshot {
+            lookups: self.lookups - base.lookups,
+            index_hits: self.index_hits - base.index_hits,
+            index_absent: self.index_absent - base.index_absent,
+            stale_evicted: self.stale_evicted - base.stale_evicted,
+            chain_walks: self.chain_walks - base.chain_walks,
+            chain_probes: self.chain_probes - base.chain_probes,
+            hint_hits: self.hint_hits - base.hint_hits,
+            hint_stale: self.hint_stale - base.hint_stale,
+            slot_probes: self.slot_probes - base.slot_probes,
+            extends: self.extends - base.extends,
+        }
+    }
+
+    /// Blocks touched per lookup, averaged: the number the scaling tests
+    /// pin down as O(1). Index hits and authoritative misses cost one probe
+    /// each; fallback walks cost their chain probes.
+    pub fn probes_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        (self.index_hits + self.index_absent + self.chain_probes) as f64 / self.lookups as f64
+    }
+
+    /// JSON object (hand-rolled: all fields are integers), for the bench
+    /// harness's machine-readable stats export.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lookups\":{},\"index_hits\":{},\"index_absent\":{},\"stale_evicted\":{},\
+             \"chain_walks\":{},\"chain_probes\":{},\"hint_hits\":{},\"hint_stale\":{},\
+             \"slot_probes\":{},\"extends\":{}}}",
+            self.lookups,
+            self.index_hits,
+            self.index_absent,
+            self.stale_evicted,
+            self.chain_walks,
+            self.chain_probes,
+            self.hint_hits,
+            self.hint_stale,
+            self.slot_probes,
+            self.extends,
+        )
+    }
+}
+
 /// Shared context for directory operations.
 #[derive(Clone, Copy)]
 pub struct DirEnv<'a> {
@@ -38,17 +148,32 @@ pub struct DirEnv<'a> {
     pub max_hold: Duration,
     /// Optional shared-DRAM directory index (see [`crate::dindex`]).
     pub index: Option<&'a DirIndex>,
+    /// Optional probe accounting.
+    pub stats: Option<&'a DirStats>,
 }
 
 impl<'a> DirEnv<'a> {
     pub fn new(region: &'a PmemRegion, meta: &'a MetaAllocator) -> Self {
-        DirEnv { region, meta, max_hold: DEFAULT_LINE_MAX_HOLD, index: None }
+        DirEnv { region, meta, max_hold: DEFAULT_LINE_MAX_HOLD, index: None, stats: None }
     }
 
     /// Attaches the shared-DRAM index.
     pub fn with_index(mut self, index: &'a DirIndex) -> Self {
         self.index = Some(index);
         self
+    }
+
+    /// Attaches probe accounting.
+    pub fn with_stats(mut self, stats: &'a DirStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    #[inline]
+    fn bump(&self, counter: impl Fn(&DirStats) -> &AtomicU64) {
+        if let Some(s) = self.stats {
+            counter(s).fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -133,37 +258,50 @@ fn live_match(region: &PmemRegion, slot: PPtr, name: &str) -> bool {
 /// skipped; entries being created (dirty but valid) are visible, matching
 /// the paper's "published once the hash-line pointer is persisted" point.
 pub fn lookup(env: &DirEnv<'_>, first: DirBlock, name: &str) -> Option<FileEntry> {
-    find_entry(env, first, dir_line(name, NLINES), name).map(|(_, fe)| fe)
+    let nhash = fnv1a(name.as_bytes());
+    find_entry(env, first, (nhash % NLINES as u64) as usize, nhash, name).map(|(_, fe)| fe)
 }
 
-/// Finds the `(block, entry)` holding a live `name` at `line`.
+/// Finds the `(block, entry)` holding a live `name` at `line` (= `nhash %
+/// NLINES`; the caller computes the hash once per operation).
 fn find_entry(
     env: &DirEnv<'_>,
     first: DirBlock,
     line: usize,
+    nhash: u64,
     name: &str,
 ) -> Option<(DirBlock, FileEntry)> {
+    env.bump(|s| &s.lookups);
     if let Some(ix) = env.index {
-        match ix.lookup(first.ptr(), fnv1a(name.as_bytes())) {
+        match ix.lookup(first.ptr(), line, nhash) {
             IndexHit::Found(fe, blk) => {
                 // Verify against the persistent truth (the index is a hint).
                 if env.region.in_bounds(blk.add(8), 8)
                     && DirBlock(blk).line(env.region, line) == fe
                     && live_match(env.region, fe, name)
                 {
+                    env.bump(|s| &s.index_hits);
                     return Some((DirBlock(blk), FileEntry(fe)));
                 }
-                // Stale hint: fall through to the chain walk.
+                // Stale hint: evict it so the verification cost is paid
+                // once, not on every future lookup of this name.
+                ix.remove(first.ptr(), nhash);
+                env.bump(|s| &s.stale_evicted);
             }
-            IndexHit::AbsentForSure => return None,
+            IndexHit::AbsentForSure => {
+                env.bump(|s| &s.index_absent);
+                return None;
+            }
             IndexHit::Unknown => {}
         }
     }
+    env.bump(|s| &s.chain_walks);
     for blk in chain(env.region, first) {
+        env.bump(|s| &s.chain_probes);
         let slot = blk.line(env.region, line);
         if !slot.is_null() && live_match(env.region, slot, name) {
             if let Some(ix) = env.index {
-                ix.insert(first.ptr(), fnv1a(name.as_bytes()), slot, blk.ptr());
+                ix.insert(first.ptr(), nhash, slot, blk.ptr());
             }
             return Some((blk, FileEntry(slot)));
         }
@@ -179,40 +317,57 @@ fn find_or_extend_slot(
     first: DirBlock,
     line: usize,
 ) -> FsResult<(DirBlock, bool)> {
-    // A delete may have recorded a free slot for this line.
+    // Deletes stack free slots per (dir, line); pop until one verifies.
+    // Stale hints (slot re-taken, block gone) are dropped here — popped and
+    // never pushed back — so they cost one probe ever, not one per insert.
+    let mut tail_hint = None;
     if let Some(ix) = env.index {
-        if let Some(hint) = ix.take_free_hint(first.ptr(), line) {
-            if env.region.in_bounds(hint.add(8), 8) {
-                let blk = DirBlock(hint);
-                if blk.line(env.region, line).is_null() {
-                    return Ok((blk, false));
-                }
+        let (mut hint, tail) = ix.take_free_hint_or_tail(first.ptr(), line);
+        tail_hint = tail;
+        while let Some(h) = hint {
+            if env.region.in_bounds(h.add(8), 8) && DirBlock(h).line(env.region, line).is_null() {
+                env.bump(|s| &s.hint_hits);
+                return Ok((DirBlock(h), false));
             }
+            env.bump(|s| &s.hint_stale);
+            hint = ix.take_free_hint(first.ptr(), line);
         }
     }
-    // Start from the known chain tail when the index has one; slots before
-    // it at this line are occupied or will be reused via free hints.
-    let start = env
-        .index
-        .and_then(|ix| ix.tail(first.ptr()))
+    // No free slot recorded anywhere before the tail: start from the cached
+    // chain tail (one probe in the steady state) rather than walking the
+    // whole chain from the first block.
+    let start = tail_hint
         .filter(|t| env.region.in_bounds(t.add(8), 8))
         .map(DirBlock)
         .unwrap_or(first);
-    let mut last = start;
-    for blk in chain(env.region, start) {
-        if blk.line(env.region, line).is_null() {
-            return Ok((blk, false));
+    let mut cur = start;
+    loop {
+        env.bump(|s| &s.slot_probes);
+        if cur.line(env.region, line).is_null() {
+            return Ok((cur, false));
         }
-        last = blk;
+        let next = cur.next(env.region);
+        if !next.is_null() {
+            cur = DirBlock(next);
+            continue;
+        }
+        // End of chain: extend it. Writers on other lines hold other busy
+        // flags and may be extending concurrently — publish the link with a
+        // CAS and, on losing, follow the winner's block instead (which may
+        // well have a free slot at our line).
+        let nb = env.meta.alloc(PoolKind::DirBlock)?;
+        let nblk = DirBlock(nb);
+        nblk.init(env.region, false);
+        if cur.try_set_next(env.region, nb) {
+            env.bump(|s| &s.extends);
+            if let Some(ix) = env.index {
+                ix.set_tail(first.ptr(), nb);
+            }
+            return Ok((nblk, true));
+        }
+        env.meta.free(PoolKind::DirBlock, nb);
+        cur = DirBlock(cur.next(env.region));
     }
-    let nb = env.meta.alloc(PoolKind::DirBlock)?;
-    let nblk = DirBlock(nb);
-    nblk.init(env.region, false);
-    last.set_next(env.region, nb);
-    if let Some(ix) = env.index {
-        ix.set_tail(first.ptr(), nb);
-    }
-    Ok((nblk, true))
 }
 
 /// Creates a directory entry: Fig. 5a steps 2–6 (step 1, inode creation, is
@@ -225,9 +380,10 @@ pub fn insert(
     ftype: FileType,
     inode: PPtr,
 ) -> FsResult<FileEntry> {
-    let line = dir_line(name, NLINES);
+    let nhash = fnv1a(name.as_bytes());
+    let line = (nhash % NLINES as u64) as usize;
     let _busy = lock_line(env, first, line); // step 3
-    if find_entry(env, first, line, name).is_some() {
+    if find_entry(env, first, line, nhash, name).is_some() {
         return Err(FsError::Exists);
     }
     // Step 2: create and persist the file entry (allocated valid|dirty).
@@ -246,7 +402,7 @@ pub fn insert(
     // Step 5: publish & persist the pointer — the commit point.
     blk.set_line(env.region, line, fe_ptr);
     if let Some(ix) = env.index {
-        ix.insert(first.ptr(), fnv1a(name.as_bytes()), fe_ptr, blk.ptr());
+        ix.insert(first.ptr(), nhash, fe_ptr, blk.ptr());
     }
     // Step 6: clear dirty bits (new block, file entry, then inode).
     if fresh_block {
@@ -268,9 +424,10 @@ pub fn remove(
     name: &str,
     dispose_inode: impl FnOnce(FileEntry),
 ) -> FsResult<()> {
-    let line = dir_line(name, NLINES);
+    let nhash = fnv1a(name.as_bytes());
+    let line = (nhash % NLINES as u64) as usize;
     let _busy = lock_line(env, first, line); // step 1
-    let Some((blk, fe)) = find_entry(env, first, line, name) else {
+    let Some((blk, fe)) = find_entry(env, first, line, nhash, name) else {
         return Err(FsError::NotFound);
     };
     // Step 2: unset valid, set dirty on the file entry.
@@ -283,7 +440,7 @@ pub fn remove(
     // Step 5: zero the pointer in the hash block.
     blk.set_line(env.region, line, PPtr::NULL);
     if let Some(ix) = env.index {
-        ix.remove(first.ptr(), fnv1a(name.as_bytes()));
+        ix.remove(first.ptr(), nhash);
         ix.put_free_hint(first.ptr(), line, blk.ptr());
     }
     // Only now may other processes re-allocate the entry object.
@@ -325,10 +482,14 @@ fn maybe_reclaim_block(env: &DirEnv<'_>, first: DirBlock, blk: DirBlock, held_li
     let empty = (0..NLINES).all(|l| blk.line(env.region, l).is_null());
     if empty {
         if let Some(prev) = chain(env.region, first).find(|b| b.next(env.region) == blk.ptr()) {
-            prev.set_next(env.region, blk.next(env.region));
+            let next = blk.next(env.region);
+            prev.set_next(env.region, next);
             env.meta.free(PoolKind::DirBlock, blk.ptr());
             if let Some(ix) = env.index {
-                ix.forget_block(first.ptr(), blk.ptr(), first.ptr());
+                // If the freed block was the tail, its predecessor now is —
+                // keep the cached tail exact so inserts stay one probe.
+                let new_tail = if next.is_null() { prev.ptr() } else { first.ptr() };
+                ix.forget_block(first.ptr(), blk.ptr(), new_tail);
             }
         }
     }
@@ -346,10 +507,12 @@ pub fn rename_same_dir(
     new_name: &str,
     dispose_replaced: impl FnOnce(FileEntry),
 ) -> FsResult<()> {
-    let old_line = dir_line(old_name, NLINES);
-    let new_line = dir_line(new_name, NLINES);
+    let old_hash = fnv1a(old_name.as_bytes());
+    let new_hash = fnv1a(new_name.as_bytes());
+    let old_line = (old_hash % NLINES as u64) as usize;
+    let new_line = (new_hash % NLINES as u64) as usize;
     let (_g1, _g2) = lock_two(env, (first, old_line), (first, new_line)); // steps 3–4
-    let Some((old_blk, old_fe)) = find_entry(env, first, old_line, old_name) else {
+    let Some((old_blk, old_fe)) = find_entry(env, first, old_line, old_hash, old_name) else {
         return Err(FsError::NotFound);
     };
     if old_name == new_name {
@@ -358,7 +521,7 @@ pub fn rename_same_dir(
     let inode = old_fe.inode(env.region);
     let ftype = old_fe.ftype(env.region);
     // Replace semantics: a live target is deleted under the same lock.
-    let replaced = find_entry(env, first, new_line, new_name);
+    let replaced = find_entry(env, first, new_line, new_hash, new_name);
     // Steps 1–2: shadow entry pointing at the same inode.
     let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
     let nfe = FileEntry(nfe_ptr);
@@ -395,7 +558,7 @@ pub fn rename_same_dir(
         rblk.set_line(env.region, new_line, nfe_ptr);
         env.meta.recycle(PoolKind::FileEntry, rfe.ptr());
         if let Some(ix) = env.index {
-            ix.insert(first.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
+            ix.insert(first.ptr(), new_hash, nfe_ptr, rblk.ptr());
         }
     } else {
         let (nblk, fresh) = dest.expect("slot reserved before DF_RENAME was set");
@@ -404,7 +567,7 @@ pub fn rename_same_dir(
             obj::clear_dirty(env.region, nblk.ptr());
         }
         if let Some(ix) = env.index {
-            ix.insert(first.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, nblk.ptr());
+            ix.insert(first.ptr(), new_hash, nfe_ptr, nblk.ptr());
         }
     }
     // Step 8: remove the mismatched pointer from the old line.
@@ -413,7 +576,7 @@ pub fn rename_same_dir(
     obj::clear_dirty(env.region, nfe_ptr);
     first.clear_flag(env.region, DF_RENAME);
     if let Some(ix) = env.index {
-        ix.remove(first.ptr(), fnv1a(old_name.as_bytes()));
+        ix.remove(first.ptr(), old_hash);
         ix.put_free_hint(first.ptr(), old_line, old_blk.ptr());
     }
     Ok(())
@@ -429,17 +592,19 @@ pub fn rename_cross_dir(
     new_name: &str,
     dispose_replaced: impl FnOnce(FileEntry),
 ) -> FsResult<()> {
-    let old_line = dir_line(old_name, NLINES);
-    let new_line = dir_line(new_name, NLINES);
+    let old_hash = fnv1a(old_name.as_bytes());
+    let new_hash = fnv1a(new_name.as_bytes());
+    let old_line = (old_hash % NLINES as u64) as usize;
+    let new_line = (new_hash % NLINES as u64) as usize;
     // Step 3 (locks) taken up front; ordered by (dir, line) to avoid
     // deadlock with the reverse rename.
     let (_g1, _g2) = lock_two(env, (src, old_line), (dst, new_line));
-    let Some((old_blk, old_fe)) = find_entry(env, src, old_line, old_name) else {
+    let Some((old_blk, old_fe)) = find_entry(env, src, old_line, old_hash, old_name) else {
         return Err(FsError::NotFound);
     };
     let inode = old_fe.inode(env.region);
     let ftype = old_fe.ftype(env.region);
-    let replaced = find_entry(env, dst, new_line, new_name);
+    let replaced = find_entry(env, dst, new_line, new_hash, new_name);
     // New entry for the destination directory.
     let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
     let nfe = FileEntry(nfe_ptr);
@@ -484,7 +649,7 @@ pub fn rename_cross_dir(
         rblk.set_line(env.region, new_line, nfe_ptr);
         env.meta.recycle(PoolKind::FileEntry, rfe.ptr());
         if let Some(ix) = env.index {
-            ix.insert(dst.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, rblk.ptr());
+            ix.insert(dst.ptr(), new_hash, nfe_ptr, rblk.ptr());
         }
     } else {
         let (nblk, fresh) = dest.expect("slot reserved before the log was armed");
@@ -493,7 +658,7 @@ pub fn rename_cross_dir(
             obj::clear_dirty(env.region, nblk.ptr());
         }
         if let Some(ix) = env.index {
-            ix.insert(dst.ptr(), fnv1a(new_name.as_bytes()), nfe_ptr, nblk.ptr());
+            ix.insert(dst.ptr(), new_hash, nfe_ptr, nblk.ptr());
         }
     }
     obj::clear_dirty(env.region, nfe_ptr);
@@ -502,7 +667,7 @@ pub fn rename_cross_dir(
     old_blk.set_line(env.region, old_line, PPtr::NULL);
     env.meta.recycle(PoolKind::FileEntry, old_fe.ptr());
     if let Some(ix) = env.index {
-        ix.remove(src.ptr(), fnv1a(old_name.as_bytes()));
+        ix.remove(src.ptr(), old_hash);
         ix.put_free_hint(src.ptr(), old_line, old_blk.ptr());
     }
     // Disarm the log.
@@ -563,13 +728,17 @@ pub fn is_empty(env: &DirEnv<'_>, first: DirBlock) -> bool {
 pub fn repair_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
     if let Some(ix) = env.index {
         // The index may hold hints invalidated by the crashed operation;
-        // drop authority for this directory until a rebuild scan.
-        ix.mark_incomplete(first.ptr());
+        // drop authority for this line only — other lines' slots cannot be
+        // touched by an operation that held this line's busy flag.
+        ix.mark_line_incomplete(first.ptr(), line);
     }
     let log = first.read_log(env.region);
     if log.op == logop::CROSS_RENAME {
         recover_cross_rename(env, first, &log);
     }
+    // A mid-rename entry found on this line has its home on a *different*
+    // line whose index authority we also disturb when rolling it forward.
+    let mut touched_home: Option<usize> = None;
     for blk in chain(env.region, first) {
         let slot = blk.line(env.region, line);
         if slot.is_null() {
@@ -595,6 +764,10 @@ pub fn repair_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
         let home = dir_line(&fe.name(env.region), NLINES);
         if home != line {
             // Mid-rename mismatch: roll the rename forward.
+            if let Some(ix) = env.index {
+                ix.mark_line_incomplete(first.ptr(), home);
+            }
+            touched_home = Some(home);
             let published_home =
                 chain(env.region, first).any(|b| b.line(env.region, home) == slot);
             if !published_home {
@@ -622,6 +795,14 @@ pub fn repair_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
             obj::clear_dirty(env.region, slot);
         }
     }
+    // The line is consistent again: rebuild its index entries in place so
+    // lookups re-converge to O(1) without a full-directory rescan.
+    if env.index.is_some() {
+        reindex_line(env, first, line);
+        if let Some(home) = touched_home {
+            reindex_line(env, first, home);
+        }
+    }
 }
 
 /// Completes an interrupted cross-directory rename from its log entry. The
@@ -629,15 +810,22 @@ pub fn repair_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
 /// chain, roll forward (retire the source entry); otherwise roll back
 /// (discard the new entry, keep the source).
 pub fn recover_cross_rename(env: &DirEnv<'_>, src: DirBlock, log: &RenameLog) {
-    if let Some(ix) = env.index {
-        ix.mark_incomplete(src.ptr());
-        ix.mark_incomplete(PPtr::new(log.dst_dir));
-    }
     let dst = DirBlock(PPtr::new(log.dst_dir));
     let nfe = PPtr::new(log.new_fentry);
     let old = PPtr::new(log.old_fentry);
     let new_line = log.new_line as usize;
     let old_line = log.old_line as usize;
+    let dst_ok = env.region.in_bounds(dst.ptr(), 8) && new_line < NLINES;
+    if let Some(ix) = env.index {
+        // Only the two lines named by the log can hold torn state; every
+        // other line of both directories keeps its index authority.
+        if old_line < NLINES {
+            ix.mark_line_incomplete(src.ptr(), old_line);
+        }
+        if dst_ok {
+            ix.mark_line_incomplete(dst.ptr(), new_line);
+        }
+    }
 
     let published = new_line < NLINES
         && env.region.in_bounds(nfe, 8)
@@ -675,6 +863,15 @@ pub fn recover_cross_rename(env: &DirEnv<'_>, src: DirBlock, log: &RenameLog) {
     }
     src.clear_log(env.region);
     src.clear_flag(env.region, DF_RENAME);
+    // Both touched lines are consistent again — restore their authority.
+    if env.index.is_some() {
+        if old_line < NLINES {
+            reindex_line(env, src, old_line);
+        }
+        if dst_ok {
+            reindex_line(env, dst, new_line);
+        }
+    }
 }
 
 /// Repairs every line and the log of one directory (mount-time use).
@@ -692,6 +889,40 @@ pub fn repair_dir(env: &DirEnv<'_>, first: DirBlock) {
     }
 }
 
+/// Rebuilds the index state of a single hash line from the persistent
+/// chain and restores that line's lookup authority. One chain walk: live
+/// entries are (re-)inserted, free slots on non-tail blocks become free
+/// hints (the tail's slot is found by the walk-from-tail in
+/// [`find_or_extend_slot`], so hinting it would be redundant).
+pub fn reindex_line(env: &DirEnv<'_>, first: DirBlock, line: usize) {
+    let Some(ix) = env.index else {
+        return;
+    };
+    ix.clear_free_hints(first.ptr(), line);
+    let mut free: Vec<PPtr> = Vec::new();
+    let mut tail = first;
+    for blk in chain(env.region, first) {
+        tail = blk;
+        let slot = blk.line(env.region, line);
+        if slot.is_null() {
+            free.push(blk.ptr());
+            continue;
+        }
+        let h = obj::header(env.region, slot);
+        if obj::is_valid(h) && Tag::from_header(h) == Some(Tag::FileEntry) {
+            let name = FileEntry(slot).name(env.region);
+            ix.insert(first.ptr(), fnv1a(name.as_bytes()), slot, blk.ptr());
+        }
+    }
+    ix.set_tail(first.ptr(), tail.ptr());
+    for blk in free {
+        if blk != tail.ptr() {
+            ix.put_free_hint(first.ptr(), line, blk);
+        }
+    }
+    ix.mark_line_complete(first.ptr(), line);
+}
+
 /// Rebuilds the shared-DRAM index entries of one directory from its
 /// persistent chain and restores lookup authority (mount-time "rebuilding
 /// the shared memory data structures", and the tail of a runtime repair).
@@ -699,11 +930,20 @@ pub fn reindex_dir(env: &DirEnv<'_>, first: DirBlock) {
     let Some(ix) = env.index else {
         return;
     };
-    let mut tail = first;
-    for blk in chain(env.region, first) {
+    ix.clear_all_free_hints(first.ptr());
+    let blocks: Vec<DirBlock> = chain(env.region, first).collect();
+    let tail = *blocks.last().unwrap_or(&first);
+    for blk in &blocks {
+        let is_tail = blk.ptr() == tail.ptr();
         for line in 0..NLINES {
             let slot = blk.line(env.region, line);
             if slot.is_null() {
+                // The common mount-time case is a single-block directory,
+                // where every empty line would hint its own (tail) block;
+                // skip those so rebuilding many small dirs allocates nothing.
+                if !is_tail {
+                    ix.put_free_hint(first.ptr(), line, blk.ptr());
+                }
                 continue;
             }
             let h = obj::header(env.region, slot);
@@ -712,7 +952,6 @@ pub fn reindex_dir(env: &DirEnv<'_>, first: DirBlock) {
                 ix.insert(first.ptr(), fnv1a(name.as_bytes()), slot, blk.ptr());
             }
         }
-        tail = blk;
     }
     ix.set_tail(first.ptr(), tail.ptr());
     ix.mark_complete(first.ptr());

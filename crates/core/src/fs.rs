@@ -87,6 +87,10 @@ struct OpenState {
     orphaned: bool,
 }
 
+/// Shards of the open-state map. Create-heavy shared workloads take this
+/// lock once per open/close; a single global mutex shows up at 2+ threads.
+const OPEN_SHARDS: usize = 16;
+
 /// The Simurgh file system.
 pub struct SimurghFs {
     region: Arc<PmemRegion>,
@@ -94,7 +98,7 @@ pub struct SimurghFs {
     meta: Arc<MetaAllocator>,
     root: Inode,
     opens: OpenTable<OpenFile>,
-    open_states: Mutex<HashMap<u64, OpenState>>,
+    open_states: Vec<Mutex<HashMap<u64, OpenState>>>,
     clock: AtomicU64,
     cfg: SimurghConfig,
     timers: OpTimers,
@@ -102,6 +106,8 @@ pub struct SimurghFs {
     recovery: RecoveryReport,
     /// Shared-DRAM directory index (paper Fig. 3 volatile metadata).
     index: DirIndex,
+    /// Probe accounting for the directory hot paths.
+    dir_stats: dir::DirStats,
 }
 
 impl SimurghFs {
@@ -194,13 +200,14 @@ impl SimurghFs {
             meta,
             root,
             opens: OpenTable::new(),
-            open_states: Mutex::new(HashMap::new()),
+            open_states: (0..OPEN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             clock: AtomicU64::new(2),
             cfg,
             timers: OpTimers::default(),
             sec,
             recovery,
             index: DirIndex::new(),
+            dir_stats: dir::DirStats::default(),
         }
     }
 
@@ -236,6 +243,18 @@ impl SimurghFs {
         &self.blocks
     }
 
+    /// Snapshot of the directory probe counters (scaling assertions and the
+    /// bench harness's stats export).
+    pub fn dir_stats(&self) -> dir::DirStatsSnapshot {
+        self.dir_stats.snapshot()
+    }
+
+    /// Test support: the shared-DRAM directory index of this mount.
+    #[doc(hidden)]
+    pub fn testing_index(&self) -> &DirIndex {
+        &self.index
+    }
+
     /// Test support: resolves a directory path to its first hash block.
     #[doc(hidden)]
     pub fn testing_dir_block(&self, path: &str) -> FsResult<(Arc<PmemRegion>, DirBlock)> {
@@ -256,7 +275,9 @@ impl SimurghFs {
     }
 
     fn dir_env(&self) -> DirEnv<'_> {
-        let mut env = DirEnv::new(&self.region, &self.meta).with_index(&self.index);
+        let mut env = DirEnv::new(&self.region, &self.meta)
+            .with_index(&self.index)
+            .with_stats(&self.dir_stats);
         env.max_hold = self.cfg.line_max_hold;
         env
     }
@@ -364,7 +385,7 @@ impl SimurghFs {
             ino.set_nlink(r, nlink);
             return;
         }
-        let mut states = self.open_states.lock();
+        let mut states = self.open_state_shard(ino).lock();
         if let Some(s) = states.get_mut(&ino.ptr().off()) {
             if s.refs > 0 {
                 s.orphaned = true;
@@ -396,12 +417,18 @@ impl SimurghFs {
         self.meta.free(PoolKind::Inode, ino.ptr());
     }
 
+    /// Inodes are pool-allocated at a fixed stride, so dropping the low
+    /// bits before taking the modulus spreads neighbours across shards.
+    fn open_state_shard(&self, ino: Inode) -> &Mutex<HashMap<u64, OpenState>> {
+        &self.open_states[(ino.ptr().off() >> 7) as usize % OPEN_SHARDS]
+    }
+
     fn open_ref(&self, ino: Inode) {
-        self.open_states.lock().entry(ino.ptr().off()).or_default().refs += 1;
+        self.open_state_shard(ino).lock().entry(ino.ptr().off()).or_default().refs += 1;
     }
 
     fn close_ref(&self, ino: Inode) {
-        let mut states = self.open_states.lock();
+        let mut states = self.open_state_shard(ino).lock();
         let Some(s) = states.get_mut(&ino.ptr().off()) else {
             return;
         };
@@ -441,6 +468,78 @@ impl SimurghFs {
         let _r = file::lock_read(&env, open.ino);
         Ok(self.timers.time(TimerCategory::Copy, || file::read_at(&env, open.ino, off, buf)))
     }
+
+    /// The post-resolution half of `open` on an existing inode: type and
+    /// permission checks, then O_TRUNC.
+    fn open_existing(&self, ctx: &ProcCtx, ino: Inode, flags: OpenFlags) -> FsResult<Inode> {
+        let m = ino.mode(&self.region);
+        if m.ftype == FileType::Directory && flags.write {
+            return Err(FsError::IsDir);
+        }
+        let mut want = 0;
+        if flags.read {
+            want |= access::R;
+        }
+        if flags.write {
+            want |= access::W;
+        }
+        if want != 0 {
+            self.check_perm(ctx, ino, want)?;
+        }
+        if flags.truncate && flags.write && m.ftype == FileType::Regular {
+            let fenv = self.file_env();
+            let _w = file::lock_write(&fenv, ino);
+            file::truncate(&fenv, ino, 0)?;
+        }
+        Ok(ino)
+    }
+
+    /// `open` with O_CREAT: one walk to the parent serves both the
+    /// existence probe and the insert (the naive shape resolves the full
+    /// path, fails, and walks the parent again — the extra walk is pure
+    /// overhead on create-heavy metadata workloads).
+    fn open_create(&self, ctx: &ProcCtx, p: &str, flags: OpenFlags, mode: FileMode) -> FsResult<Inode> {
+        let Ok((parent_comps, name)) = path::split_parent(p) else {
+            // No final component to create ("/"): open what's there.
+            let ino = self.resolve(ctx, p, true)?;
+            if flags.excl {
+                return Err(FsError::Exists);
+            }
+            return self.open_existing(ctx, ino, flags);
+        };
+        let parent = self.walk(ctx, &parent_comps, true, 0)?;
+        let first = self.dir_block_of(parent)?;
+        self.check_perm(ctx, parent, access::X)?;
+        let env = self.dir_env();
+        if let Some(fe) = dir::lookup(&env, first, name) {
+            if flags.excl {
+                return Err(FsError::Exists);
+            }
+            if fe.is_symlink(&self.region) {
+                // A final-component symlink still gets followed; the
+                // generic resolver handles hop counting.
+                let ino = self.resolve(ctx, p, true)?;
+                return self.open_existing(ctx, ino, flags);
+            }
+            return self.open_existing(ctx, Inode(fe.inode(&self.region)), flags);
+        }
+        self.check_perm(ctx, parent, access::W | access::X)?;
+        path::validate_name(name)?;
+        let ino = self.new_inode(ctx, FileMode::file(mode.perm), 1)?;
+        match dir::insert(&env, first, name, FileType::Regular, ino.ptr()) {
+            Ok(_) => Ok(ino),
+            Err(e) => {
+                self.meta.free(PoolKind::Inode, ino.ptr());
+                // A concurrent creator may have won the race.
+                if e == FsError::Exists && !flags.excl {
+                    let ino = self.resolve(ctx, p, true)?;
+                    self.open_existing(ctx, ino, flags)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
 }
 
 impl simurgh_fsapi::Instrumented for SimurghFs {
@@ -457,51 +556,11 @@ impl FileSystem for SimurghFs {
     fn open(&self, ctx: &ProcCtx, p: &str, flags: OpenFlags, mode: FileMode) -> FsResult<Fd> {
         self.sec.call(OpClass::Walk, || {
             self.timers.time(TimerCategory::Fs, || {
-                let env = self.dir_env();
-                let ino = match self.resolve(ctx, p, true) {
-                    Ok(ino) => {
-                        if flags.excl && flags.create {
-                            return Err(FsError::Exists);
-                        }
-                        let m = ino.mode(&self.region);
-                        if m.ftype == FileType::Directory && flags.write {
-                            return Err(FsError::IsDir);
-                        }
-                        let mut want = 0;
-                        if flags.read {
-                            want |= access::R;
-                        }
-                        if flags.write {
-                            want |= access::W;
-                        }
-                        if want != 0 {
-                            self.check_perm(ctx, ino, want)?;
-                        }
-                        if flags.truncate && flags.write && m.ftype == FileType::Regular {
-                            let fenv = self.file_env();
-                            let _w = file::lock_write(&fenv, ino);
-                            file::truncate(&fenv, ino, 0)?;
-                        }
-                        ino
-                    }
-                    Err(FsError::NotFound) if flags.create => {
-                        let (_, first, name) = self.resolve_parent(ctx, p)?;
-                        path::validate_name(name)?;
-                        let ino = self.new_inode(ctx, FileMode::file(mode.perm), 1)?;
-                        match dir::insert(&env, first, name, FileType::Regular, ino.ptr()) {
-                            Ok(_) => ino,
-                            Err(e) => {
-                                self.meta.free(PoolKind::Inode, ino.ptr());
-                                // A concurrent creator may have won the race.
-                                if e == FsError::Exists && !flags.excl {
-                                    self.resolve(ctx, p, true)?
-                                } else {
-                                    return Err(e);
-                                }
-                            }
-                        }
-                    }
-                    Err(e) => return Err(e),
+                let ino = if flags.create {
+                    self.open_create(ctx, p, flags, mode)?
+                } else {
+                    let ino = self.resolve(ctx, p, true)?;
+                    self.open_existing(ctx, ino, flags)?
                 };
                 let pos =
                     if flags.append { ino.size(&self.region) } else { 0 };

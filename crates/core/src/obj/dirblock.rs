@@ -88,6 +88,22 @@ impl DirBlock {
         r.persist(self.0.add(O_NEXT), 8);
     }
 
+    /// Links `p` after this block only if no other writer extended the chain
+    /// first. Writers on *different* lines hold different busy flags, so two
+    /// of them can reach the same chain tail concurrently; a plain store
+    /// would let the second overwrite the first's link and lose its block.
+    pub fn try_set_next(self, r: &PmemRegion, p: PPtr) -> bool {
+        let won = r
+            .atomic_u64(self.0.add(O_NEXT))
+            .compare_exchange(0, p.off(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            r.note_atomic(self.0.add(O_NEXT), 8);
+            r.persist(self.0.add(O_NEXT), 8);
+        }
+        won
+    }
+
     pub fn flags(self, r: &PmemRegion) -> u64 {
         r.atomic_u64(self.0.add(O_FLAGS)).load(Ordering::Acquire)
     }
@@ -241,6 +257,20 @@ mod tests {
         assert!(a.next(&r).is_null());
         a.set_next(&r, b.ptr());
         assert_eq!(a.next(&r), b.ptr());
+    }
+
+    #[test]
+    fn try_set_next_loses_to_existing_link() {
+        let r = region();
+        let a = DirBlock(PPtr::new(4096));
+        let b = DirBlock(PPtr::new(8192));
+        let c = DirBlock(PPtr::new(12288));
+        a.init(&r, true);
+        b.init(&r, false);
+        c.init(&r, false);
+        assert!(a.try_set_next(&r, b.ptr()));
+        assert!(!a.try_set_next(&r, c.ptr()), "second extender must lose");
+        assert_eq!(a.next(&r), b.ptr(), "winner's link survives");
     }
 
     #[test]

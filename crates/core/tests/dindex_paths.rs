@@ -18,6 +18,13 @@ fn fs() -> SimurghFs {
     SimurghFs::format(Arc::new(PmemRegion::new(64 << 20)), SimurghConfig::default()).unwrap()
 }
 
+/// Index lookup by name: the index is keyed by `(line, nhash)`, both derived
+/// from the name the same way the directory module derives them.
+fn hit(ix: &simurgh_core::dindex::DirIndex, dirp: PPtr, name: &str) -> IndexHit {
+    let nhash = fnv1a(name.as_bytes());
+    ix.lookup(dirp, (nhash % 256) as usize, nhash)
+}
+
 #[test]
 fn fresh_directories_answer_misses_authoritatively() {
     let fs = fs();
@@ -28,7 +35,7 @@ fn fresh_directories_answer_misses_authoritatively() {
     let env = fs.testing_dir_env();
     let ix = env.index.expect("mounted fs always has an index");
     assert!(ix.is_complete(first.ptr()));
-    assert_eq!(ix.lookup(first.ptr(), fnv1a(b"missing")), IndexHit::AbsentForSure);
+    assert_eq!(hit(ix, first.ptr(), "missing"), IndexHit::AbsentForSure);
     assert!(dir::lookup(&env, first, "missing").is_none());
 }
 
@@ -46,7 +53,7 @@ fn stale_index_entry_is_verified_and_corrected() {
     let fe = dir::lookup(&env, first, "victim").expect("verified fallback");
     assert!(obj::is_valid(obj::header(fs.region(), fe.ptr())));
     assert_eq!(fs.read_to_vec(&CTX, "/victim").unwrap(), b"v");
-    match ix.lookup(first.ptr(), fnv1a(b"victim")) {
+    match hit(ix, first.ptr(), "victim") {
         IndexHit::Found(p, _) => assert_eq!(p, fe.ptr(), "index healed"),
         other => panic!("expected healed hit, got {other:?}"),
     }
@@ -92,7 +99,7 @@ fn free_hint_reuses_deleted_slot() {
 }
 
 #[test]
-fn repair_drops_authority_and_reindex_restores_it() {
+fn repair_is_per_line_and_self_reindexes() {
     let region = Arc::new(PmemRegion::new(64 << 20));
     let cfg = SimurghConfig { line_max_hold: Duration::from_millis(10), ..Default::default() };
     let fs = SimurghFs::format(region, cfg).unwrap();
@@ -102,13 +109,22 @@ fn repair_drops_authority_and_reindex_restores_it() {
     let env = fs.testing_dir_env();
     let ix = env.index.unwrap();
     assert!(ix.is_complete(first.ptr()));
-    // A runtime repair marks the directory incomplete...
-    dir::repair_line(&env, first, 0);
-    assert!(!ix.is_complete(first.ptr()), "authority dropped during repair");
-    // ...and reindexing restores completeness with the right content.
+    // Authority loss is per line: dropping one line leaves the other 255
+    // authoritative and the directory as a whole incomplete.
+    ix.mark_line_incomplete(first.ptr(), 7);
+    assert!(!ix.is_line_complete(first.ptr(), 7));
+    assert!(ix.is_line_complete(first.ptr(), 8), "other lines keep authority");
+    assert!(!ix.is_complete(first.ptr()));
+    // A runtime repair re-converges its own line before returning, so the
+    // directory never stays degraded waiting for a full rescan.
+    dir::repair_line(&env, first, 7);
+    assert!(ix.is_line_complete(first.ptr(), 7), "repair restored line authority");
+    assert!(ix.is_complete(first.ptr()));
+    assert!(matches!(hit(ix, first.ptr(), "a"), IndexHit::Found(_, _)));
+    // A full reindex is still equivalent.
     dir::reindex_dir(&env, first);
     assert!(ix.is_complete(first.ptr()));
-    assert!(matches!(ix.lookup(first.ptr(), fnv1a(b"a")), IndexHit::Found(_, _)));
+    assert!(matches!(hit(ix, first.ptr(), "a"), IndexHit::Found(_, _)));
 }
 
 #[test]
@@ -122,8 +138,8 @@ fn rename_updates_index_both_sides() {
     let (_, dst) = fs.testing_dir_block("/dst").unwrap();
     let env = fs.testing_dir_env();
     let ix = env.index.unwrap();
-    assert_eq!(ix.lookup(src.ptr(), fnv1a(b"file")), IndexHit::AbsentForSure);
-    assert!(matches!(ix.lookup(dst.ptr(), fnv1a(b"moved")), IndexHit::Found(_, _)));
+    assert_eq!(hit(ix, src.ptr(), "file"), IndexHit::AbsentForSure);
+    assert!(matches!(hit(ix, dst.ptr(), "moved"), IndexHit::Found(_, _)));
     assert_eq!(fs.read_to_vec(&CTX, "/dst/moved").unwrap(), b"cargo");
 }
 
@@ -137,7 +153,7 @@ fn rmdir_forgets_directory_state() {
     let env = fs.testing_dir_env();
     let ix = env.index.unwrap();
     assert!(!ix.is_complete(ptr), "forgotten after rmdir");
-    assert_eq!(ix.lookup(ptr, fnv1a(b"anything")), IndexHit::Unknown);
+    assert_eq!(hit(ix, ptr, "anything"), IndexHit::Unknown);
 }
 
 #[test]
@@ -157,7 +173,7 @@ fn mount_rebuild_restores_full_index() {
     assert!(ix.is_complete(first.ptr()), "rebuilt at mount");
     for i in 0..30 {
         assert!(matches!(
-            ix.lookup(first.ptr(), fnv1a(format!("f{i}").as_bytes())),
+            hit(ix, first.ptr(), &format!("f{i}")),
             IndexHit::Found(_, _)
         ));
     }

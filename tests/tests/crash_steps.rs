@@ -151,6 +151,105 @@ fn rename_crash_mid_protocol_resolves_exactly_once() {
 }
 
 #[test]
+fn decentralized_repair_mid_rename_is_per_line() {
+    // A process dies mid-rename (Fig. 5c step 5: old line redirected to the
+    // shadow entry, nothing at the new line) and a *live* waiter runs the
+    // decentralized repair — no remount. Invalidation must be per line: the
+    // other 255 lines keep index authority throughout, and the repaired
+    // lines re-converge to indexed O(1) before repair_line returns.
+    let fs = setup();
+    fs.write_file(&CTX, "/dir/old-name", b"payload").unwrap();
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    let ix = fs.testing_index();
+    let old_fe = dir::lookup(&env, first, "old-name").unwrap();
+    let ino = old_fe.inode(fs.region());
+    let nfe = env.meta.alloc(PoolKind::FileEntry).unwrap();
+    FileEntry(nfe).init(fs.region(), "new-name", FileType::Regular, ino);
+    fs.region().persist(nfe, 256);
+    first.set_flag(fs.region(), simurgh_core::obj::dirblock::DF_RENAME);
+    let old_line = dir_line("old-name", NLINES);
+    let home = dir_line("new-name", NLINES);
+    let blk = dir::chain(fs.region(), first)
+        .find(|b| b.line(fs.region(), old_line) == old_fe.ptr())
+        .expect("old entry block");
+    blk.set_line(fs.region(), old_line, nfe);
+    let untouched = (0..NLINES).find(|l| *l != old_line && *l != home).unwrap();
+    assert!(ix.is_line_complete(first.ptr(), untouched));
+
+    dir::repair_line(&env, first, old_line);
+
+    // Per-line re-convergence: both touched lines and every untouched line
+    // are authoritative again — no full-directory degradation.
+    assert!(ix.is_line_complete(first.ptr(), old_line), "repaired line re-converged");
+    assert!(ix.is_line_complete(first.ptr(), home), "rename home line re-converged");
+    assert!(ix.is_line_complete(first.ptr(), untouched), "untouched line kept authority");
+    assert!(ix.is_complete(first.ptr()));
+    // Rolled forward exactly once.
+    assert!(dir::lookup(&env, first, "old-name").is_none(), "old name gone");
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/new-name").unwrap(), b"payload");
+    // And the steady state is indexed O(1) again: the hit and the
+    // authoritative miss both answer without walking the chain.
+    let before = fs.dir_stats();
+    for _ in 0..10 {
+        fs.stat(&CTX, "/dir/new-name").unwrap();
+        assert!(fs.stat(&CTX, "/dir/old-name").is_err());
+    }
+    let d = fs.dir_stats().since(&before);
+    assert_eq!(d.chain_walks, 0, "post-repair lookups still walk the chain");
+}
+
+#[test]
+fn lost_line_authority_falls_back_then_reconverges() {
+    // The degraded window itself: while one line's authority is dropped,
+    // lookups on it must fall back to the chain (and stay correct), lookups
+    // on every other line must stay indexed, and reindexing just that line
+    // restores authoritative O(1) misses.
+    let fs = setup();
+    for i in 0..20 {
+        fs.write_file(&CTX, &format!("/dir/f{i}"), b"x").unwrap();
+    }
+    let env = fs.testing_dir_env();
+    let (_, first) = fs.testing_dir_block("/dir").unwrap();
+    let ix = fs.testing_index();
+    let line = dir_line("f0", NLINES);
+    ix.mark_line_incomplete(first.ptr(), line);
+    ix.remove(first.ptr(), simurgh_core::hash::fnv1a(b"f0"));
+
+    // Fallback on the degraded line: correct answer via a chain walk.
+    let before = fs.dir_stats();
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/f0").unwrap(), b"x");
+    let d = fs.dir_stats().since(&before);
+    assert!(d.chain_walks >= 1, "incomplete line must fall back to the chain");
+
+    // Other lines are untouched: indexed, no walks.
+    let before = fs.dir_stats();
+    for i in 1..20 {
+        if dir_line(&format!("f{i}"), NLINES) != line {
+            fs.stat(&CTX, &format!("/dir/f{i}")).unwrap();
+        }
+    }
+    let d = fs.dir_stats().since(&before);
+    assert_eq!(d.chain_walks, 0, "unrelated lines lost their authority");
+
+    // A miss on the degraded line needs the chain (no authority to say no)...
+    let ghost = format!("/dir/{}", simurgh_core::testing::colliding_name("f0", "ghost-"));
+    let before = fs.dir_stats();
+    assert!(fs.stat(&CTX, &ghost).is_err());
+    let d = fs.dir_stats().since(&before);
+    assert!(d.chain_walks >= 1, "miss on a degraded line cannot be authoritative");
+
+    // ...until the per-line reindex restores authority for exactly that line.
+    dir::reindex_line(&env, first, line);
+    assert!(ix.is_line_complete(first.ptr(), line));
+    let before = fs.dir_stats();
+    assert_eq!(fs.read_to_vec(&CTX, "/dir/f0").unwrap(), b"x");
+    assert!(fs.stat(&CTX, &ghost).is_err());
+    let d = fs.dir_stats().since(&before);
+    assert_eq!(d.chain_walks, 0, "reindexed line answers hits and misses O(1)");
+}
+
+#[test]
 fn cross_rename_crash_after_publish_rolls_forward() {
     let fs = setup();
     fs.mkdir(&CTX, "/dst", FileMode::dir(0o755)).unwrap();

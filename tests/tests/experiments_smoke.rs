@@ -53,20 +53,21 @@ fn value_of<'a>(series: &'a [simurgh_bench::Series], fs: &str) -> &'a simurgh_be
 fn fig7_simurgh_wins_metadata_benchmarks() {
     let _serial = serial();
     best_of(3, || {
-        let scale = tiny();
+        // Run the metadata panels well past the scale where the O(n)
+        // directory paths used to lose to NOVA (the old open item tolerated
+        // a 15% deficit at meta_files=400 and inverted outright by ~1500).
+        // With the indexed O(1) metadata path there is no tolerance factor:
+        // the paper's Fig. 7 has simurgh strictly ahead on a/b/c/d.
+        let mut scale = tiny();
+        scale.meta_files = 1500;
         for panel in ['a', 'b', 'c', 'd'] {
             let series = experiments::fig7(panel, &scale);
             let simurgh = value_of(&series, "simurgh").max_value();
             for baseline in ["nova", "pmfs", "ext4-dax", "splitfs"] {
                 let other = value_of(&series, baseline).max_value();
-                // The paper's Fig. 7 has simurgh strictly ahead; the current
-                // reproduction is only at parity with NOVA on the metadata
-                // panels (and falls behind at larger meta_files — see the
-                // ROADMAP open item on metadata-path scaling), so accept a
-                // small deficit rather than flake on host noise.
                 assert!(
-                    simurgh > other * 0.85,
-                    "panel {panel}: simurgh ({simurgh:.1}) must stay within 15% of {baseline} ({other:.1})"
+                    simurgh > other,
+                    "panel {panel}: simurgh ({simurgh:.1}) must strictly beat {baseline} ({other:.1})"
                 );
             }
         }

@@ -44,6 +44,29 @@ fn every_pod_media_type_is_manifested() {
     );
 }
 
+#[test]
+fn fig7_metadata_assertions_stay_strict() {
+    // The old open item tolerated a 15% deficit on the Fig. 7 metadata
+    // panels (`simurgh > other * 0.85`). With the O(1) metadata path the
+    // paper's strict dominance holds, and this guard keeps it that way:
+    // reintroducing any fractional scale factor into the comparison fails
+    // tier-1 even if the weakened assertion itself still passes.
+    let smoke = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/experiments_smoke.rs");
+    let src = std::fs::read_to_string(&smoke).expect("read experiments_smoke.rs");
+    let hits = simurgh_analyze::tolerance_findings(&src, "fig7_simurgh_wins_metadata_benchmarks");
+    assert!(
+        hits.is_empty(),
+        "tolerance factor back in the Fig. 7 metadata assertions:\n{}",
+        hits.iter().map(|(l, s)| format!("  line {l}: {s}")).collect::<Vec<_>>().join("\n")
+    );
+    // And the strict comparison itself must still be present (the guard is
+    // meaningless if the assertion is deleted rather than weakened).
+    assert!(
+        src.contains("simurgh > other,"),
+        "fig7 smoke test no longer asserts strict dominance"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Golden layout pinning
 // ---------------------------------------------------------------------------
