@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-be5d7fd6c86047e6.d: tests/tests/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-be5d7fd6c86047e6.rmeta: tests/tests/scaling.rs Cargo.toml
+
+tests/tests/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

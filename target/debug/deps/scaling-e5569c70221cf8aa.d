@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e5569c70221cf8aa.d: tests/tests/scaling.rs
+
+/root/repo/target/debug/deps/scaling-e5569c70221cf8aa: tests/tests/scaling.rs
+
+tests/tests/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-4bdacdfe7f49b5be.d: tests/tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-4bdacdfe7f49b5be: tests/tests/zz_probe.rs
+
+tests/tests/zz_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_prof-538a1e2129867bfa.d: tests/tests/zz_prof.rs
+
+/root/repo/target/debug/deps/zz_prof-538a1e2129867bfa: tests/tests/zz_prof.rs
+
+tests/tests/zz_prof.rs:
