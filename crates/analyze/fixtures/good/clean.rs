@@ -30,3 +30,14 @@ fn documented_unsafe(p: *const u64) -> u64 {
     // SAFETY: caller guarantees `p` points into the mapped region.
     unsafe { p.read_unaligned() }
 }
+
+fn read_at(env: &FileEnv, ino: Inode, buf: &mut [u8], off: u64) -> usize {
+    // One O(extents) locate before the loop is fine; only per-iteration
+    // re-walks inside the loop body are flagged.
+    let total = allocated_bytes(env, ino);
+    let mut done = 0;
+    for run in stream_extents(env, ino, off) {
+        done += copy_run(run, &mut buf[done..]);
+    }
+    done.min(total as usize)
+}

@@ -9,7 +9,7 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Four rule families:
+//! Five rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
@@ -27,6 +27,11 @@
 //!   (i.e. passed to `PmemRegion::read::<T>`/`write::<T>`) must be
 //!   `#[repr(C)]` and listed in the checked-in `layout.golden` manifest,
 //!   whose offsets a companion test pins with `core::mem::offset_of!`.
+//! * **data-path-walk** — the data hot path (`read_at`, `write_at`,
+//!   `ensure_allocated`) must stay O(1) in the extent count: calling the
+//!   O(extents) map helpers (`map_offset`, `allocated_bytes`,
+//!   `for_each_extent`) from inside a loop body of one of those functions
+//!   reintroduces the per-chunk re-walk the extent cursor cache removed.
 //!
 //! False positives are suppressed in place with a justified
 //! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
@@ -37,13 +42,14 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The four rule families.
+/// The five rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
     LockDiscipline,
     UnsafeAudit,
     MediaLayout,
+    DataPathWalk,
 }
 
 impl Rule {
@@ -54,11 +60,17 @@ impl Rule {
             Rule::LockDiscipline => "lock-discipline",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::MediaLayout => "media-layout",
+            Rule::DataPathWalk => "data-path-walk",
         }
     }
 
-    pub const ALL: [Rule; 4] =
-        [Rule::PersistOrder, Rule::LockDiscipline, Rule::UnsafeAudit, Rule::MediaLayout];
+    pub const ALL: [Rule; 5] = [
+        Rule::PersistOrder,
+        Rule::LockDiscipline,
+        Rule::UnsafeAudit,
+        Rule::MediaLayout,
+        Rule::DataPathWalk,
+    ];
 }
 
 /// One violation. `line` is 1-based.
@@ -310,6 +322,28 @@ fn has_call(code: &str, name: &str) -> bool {
         let before = code[..pos].chars().next_back();
         if !matches!(before, Some('.') | Some(':')) {
             continue;
+        }
+        let after = &code[pos + name.len()..];
+        if after.starts_with('(') || after.starts_with("::<") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `code` invokes `name` in any form — bare (`name(`), method
+/// (`.name(`) or path-qualified (`::name(`), plus the turbofish variants.
+/// Definitions (`fn name(`) do not match.
+fn has_invocation(code: &str, name: &str) -> bool {
+    for (pos, _) in code.match_indices(name) {
+        if code[..pos].chars().next_back().is_some_and(is_ident) {
+            continue; // suffix of a longer identifier
+        }
+        let head = code[..pos].trim_end();
+        if head.ends_with("fn")
+            && !head[..head.len() - 2].chars().next_back().is_some_and(is_ident)
+        {
+            continue; // `fn name(` is a definition
         }
         let after = &code[pos + name.len()..];
         if after.starts_with('(') || after.starts_with("::<") {
@@ -698,6 +732,95 @@ fn rule_media_layout(files: &[SourceFile], manifest: &[String], report: &mut Rep
 }
 
 // ---------------------------------------------------------------------------
+// Rule 5: data-path walk guard
+// ---------------------------------------------------------------------------
+
+/// Functions forming the per-op data hot path: one extent locate per call.
+const DATA_HOT_FNS: [&str; 3] = ["read_at", "write_at", "ensure_allocated"];
+/// The O(extents) helpers those functions must not call per loop iteration.
+const DATA_WALK_CALLS: [&str; 3] = ["map_offset", "allocated_bytes", "for_each_extent"];
+
+/// Name of the function declared on this line, if any (`fn name(` shapes).
+fn declared_fn_name(code: &str) -> Option<String> {
+    for (pos, _) in code.match_indices("fn") {
+        let before_ok = code[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after = &code[pos + 2..];
+        if !before_ok || !after.starts_with(' ') {
+            continue;
+        }
+        let name: String = after.trim_start().chars().take_while(|&c| is_ident(c)).collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn rule_data_path_walk(file: &SourceFile, report: &mut Report) {
+    for &(start, end) in &function_ranges(file) {
+        let Some(name) = declared_fn_name(&file.lines[start].code) else {
+            continue;
+        };
+        if !DATA_HOT_FNS.contains(&name.as_str()) {
+            continue;
+        }
+        // Track which brace depths open loop bodies. A `for`/`while`/`loop`
+        // keyword arms the next `{`; popping back below an armed depth ends
+        // that loop. Line granularity: a walk call on the loop-head line
+        // itself (re-evaluated every iteration) counts as inside.
+        let mut depth = 0i64;
+        let mut loop_depths: Vec<i64> = Vec::new();
+        let mut pending_loop = false;
+        for ln in start..=end {
+            let line = &file.lines[ln];
+            if line.skip {
+                continue;
+            }
+            let code = &line.code;
+            let opens_loop =
+                ["for", "while", "loop"].iter().any(|k| has_word(code, k));
+            let hot = !loop_depths.is_empty() || opens_loop;
+            if hot {
+                for call in DATA_WALK_CALLS {
+                    if has_invocation(code, call) && !allowed(file, ln, Rule::DataPathWalk) {
+                        report.findings.push(Finding {
+                            rule: Rule::DataPathWalk,
+                            file: file.label.clone(),
+                            line: ln + 1,
+                            message: format!(
+                                "O(extents) `{call}` inside a loop body of `{name}` — \
+                                 locate once via the extent cursor and stream instead"
+                            ),
+                        });
+                    }
+                }
+            }
+            if opens_loop {
+                pending_loop = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_loop {
+                            loop_depths.push(depth);
+                            pending_loop = false;
+                        }
+                    }
+                    '}' => {
+                        if loop_depths.last() == Some(&depth) {
+                            loop_depths.pop();
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tolerance-factor guard (comparative benchmark assertions)
 // ---------------------------------------------------------------------------
 
@@ -799,6 +922,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
         rule_persist_order(file, &mut report);
         rule_lock_discipline(file, &mut report);
         rule_unsafe_audit(file, &mut report);
+        rule_data_path_walk(file, &mut report);
     }
     rule_media_layout(&files, manifest, &mut report);
     report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -1181,6 +1305,93 @@ mod tests {
             unsafe impl<const N: usize> Pod for [u8; N] {}
         ";
         assert!(findings_of(src, Rule::MediaLayout).is_empty());
+    }
+
+    // ----- data-path-walk --------------------------------------------------
+
+    #[test]
+    fn data_path_walk_bad_rewalk_in_loop() {
+        let src = "
+            fn read_at(env: &FileEnv, ino: Inode, buf: &mut [u8], mut off: u64) -> usize {
+                let mut done = 0;
+                while done < buf.len() {
+                    let (p, run) = map_offset(env, ino, off).unwrap();
+                    done += copy(p, run);
+                    off += run;
+                }
+                done
+            }
+        ";
+        let f = findings_of(src, Rule::DataPathWalk);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("map_offset"));
+    }
+
+    #[test]
+    fn data_path_walk_bad_qualified_call_and_loop_head() {
+        let src = "
+            fn write_at(env: &FileEnv, ino: Inode, data: &[u8]) -> usize {
+                for chunk in data.chunks(4096) {
+                    file::for_each_extent(env, ino, |e| place(chunk, e));
+                }
+                data.len()
+            }
+            fn ensure_allocated(env: &FileEnv, ino: Inode, end: u64) {
+                while allocated_bytes(env, ino) < end {
+                    grow(env, ino);
+                }
+            }
+        ";
+        let f = findings_of(src, Rule::DataPathWalk);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("for_each_extent"));
+        assert!(f[1].message.contains("allocated_bytes"));
+    }
+
+    #[test]
+    fn data_path_walk_good_outside_loops_and_cold_fns() {
+        let src = "
+            fn read_at(env: &FileEnv, ino: Inode, buf: &mut [u8], off: u64) -> usize {
+                let total = allocated_bytes(env, ino);
+                let mut done = 0;
+                for run in stream(env, ino, off) {
+                    done += copy(run);
+                }
+                done.min(total as usize)
+            }
+            fn fsck_walk(env: &FileEnv, ino: Inode) {
+                loop {
+                    for_each_extent(env, ino, |e| check(e));
+                    break;
+                }
+            }
+        ";
+        assert!(findings_of(src, Rule::DataPathWalk).is_empty());
+    }
+
+    #[test]
+    fn data_path_walk_respects_allow_marker() {
+        let src = "
+            fn ensure_allocated(env: &FileEnv, ino: Inode, end: u64) {
+                while grow(env, ino) {
+                    // analyze:allow(data-path-walk): recovery-only slow path
+                    let a = allocated_bytes(env, ino);
+                    if a >= end { break; }
+                }
+            }
+        ";
+        assert!(findings_of(src, Rule::DataPathWalk).is_empty());
+    }
+
+    #[test]
+    fn invocation_matcher_skips_definitions() {
+        assert!(has_invocation("let a = allocated_bytes(env, ino);", "allocated_bytes"));
+        assert!(has_invocation("file::map_offset(env, ino, off)", "map_offset"));
+        assert!(has_invocation("self.for_each_extent(|e| ());", "for_each_extent"));
+        assert!(!has_invocation("pub fn map_offset(env: &FileEnv) {", "map_offset"));
+        assert!(!has_invocation("fn allocated_bytes(env: &FileEnv) {", "allocated_bytes"));
+        assert!(!has_invocation("let x = shared_map_offset(a);", "map_offset"));
     }
 
     // ----- plumbing --------------------------------------------------------

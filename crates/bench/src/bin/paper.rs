@@ -141,6 +141,10 @@ fn run_experiment(name: &str, scale: &Scale) {
             println!("\n== Directory probe counters (JSON) ==");
             println!("{}", experiments::dir_probe_stats(scale));
         }
+        "datastats" => {
+            println!("\n== Data-path probe counters (JSON) ==");
+            println!("{}", experiments::data_probe_stats(scale));
+        }
         "ablate-alloc" => print_series("Ablation: segmented vs serial block allocator (DWAL)", &experiments::ablate_alloc(scale)),
         "ablate-sec" => print_series("Ablation: security cost per call (MRPL)", &experiments::ablate_security(scale)),
         "ablate-relaxed" => print_series("Ablation: per-file write lock vs relaxed (DWOM)", &experiments::ablate_relaxed(scale)),
@@ -165,7 +169,7 @@ fn main() {
         eprintln!(
             "usage: paper [EXPERIMENT...] [--full] [--threads 1,2,4]\n\
              experiments: all gem5 table1 table2 fig6 fig7 fig7a..fig7l fig8 fig9 fig10\n\
-                          fig11 fig12 recovery dirstats ablate-alloc ablate-sec ablate-relaxed\n\
+                          fig11 fig12 recovery dirstats datastats ablate-alloc ablate-sec ablate-relaxed\n\
              --full    run near paper-scale workloads (minutes per figure)\n\
              --threads comma-separated process counts for the sweeps"
         );

@@ -280,6 +280,90 @@ pub fn dir_probe_stats(scale: &Scale) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Data-path probe accounting
+// ---------------------------------------------------------------------------
+
+/// Fragments a file into roughly `extents` single-block extents by
+/// interleaving appends between it and a decoy file: every allocation for the
+/// decoy claims the block right after the main file's tail, so the tail-extend
+/// fast path is blocked and each append lands in its own extent.
+fn fragmented_file(fs: &SimurghFs, extents: usize) -> (simurgh_fsapi::ProcCtx, simurgh_fsapi::Fd) {
+    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
+
+    let ctx = ProcCtx::root(1);
+    let rw_create = OpenFlags { read: true, ..OpenFlags::CREATE };
+    let main = fs.open(&ctx, "/frag", rw_create, FileMode::default()).expect("create");
+    let decoy = fs.open(&ctx, "/decoy", OpenFlags::CREATE, FileMode::default()).expect("create");
+    let chunk = vec![0xA5u8; 4096];
+    for i in 0..extents as u64 {
+        fs.pwrite(&ctx, main, &chunk, i * 4096).expect("append main");
+        fs.pwrite(&ctx, decoy, &chunk, i * 4096).expect("append decoy");
+    }
+    fs.close(&ctx, decoy).expect("close decoy");
+    (ctx, main)
+}
+
+/// Runs a fixed batch of 4 KiB reads and overwrites against files fragmented
+/// into 16 / 256 / 2048 extents on fresh Simurgh mounts, plus one contiguous
+/// single-thread append phase, and reports the [`simurgh_core::file::DataStats`]
+/// deltas as JSON — the machine-readable form of the O(1) data-path claim
+/// asserted by `tests/tests/scaling.rs`.
+pub fn data_probe_stats(scale: &Scale) -> String {
+    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
+
+    let ops = scale.data_ops.clamp(256, 8192) as u64;
+    let mut levels = Vec::new();
+    for extents in [16usize, 256, 2048] {
+        let region = Arc::new(PmemRegion::new(64 << 20));
+        let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+        let (ctx, fd) = fragmented_file(&fs, extents);
+        let file_bytes = extents as u64 * 4096;
+
+        let mut buf = vec![0u8; 4096];
+        let mut base = fs.data_stats();
+        for i in 0..ops {
+            let off = (i * 7919 * 4096) % file_bytes;
+            fs.pread(&ctx, fd, &mut buf, off).expect("pread");
+        }
+        let read = fs.data_stats().since(&base);
+        base = fs.data_stats();
+        for i in 0..ops {
+            let off = (i * 6271 * 4096) % file_bytes;
+            fs.pwrite(&ctx, fd, &buf, off).expect("pwrite");
+        }
+        let write = fs.data_stats().since(&base);
+        levels.push(format!(
+            "{{\"extents\":{extents},\"read\":{{\"stats\":{},\"walk_steps_per_op\":{:.3}}},\
+             \"write\":{{\"stats\":{},\"walk_steps_per_op\":{:.3}}}}}",
+            read.to_json(),
+            read.walk_steps_per_op(),
+            write.to_json(),
+            write.walk_steps_per_op()
+        ));
+    }
+
+    // Contiguous single-thread append phase: the tail-extend fast path should
+    // absorb nearly every append.
+    let region = Arc::new(PmemRegion::new(64 << 20));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let ctx = ProcCtx::root(1);
+    let fd = fs.open(&ctx, "/seq", OpenFlags::CREATE, FileMode::default()).expect("create");
+    let chunk = vec![0x5Au8; 4096];
+    let base = fs.data_stats();
+    for i in 0..ops.min(2048) {
+        fs.pwrite(&ctx, fd, &chunk, i * 4096).expect("append");
+    }
+    let append = fs.data_stats().since(&base);
+
+    format!(
+        "{{\"ops\":{ops},\"levels\":[{}],\"append\":{{\"stats\":{},\"tail_extend_rate\":{:.3}}}}}",
+        levels.join(","),
+        append.to_json(),
+        append.tail_extend_rate()
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 8 — Filebench
 // ---------------------------------------------------------------------------
 

@@ -164,6 +164,63 @@ impl BlockAlloc {
         None
     }
 
+    /// Segment owning the block at `p` (placement diagnostics and the
+    /// file layer's per-thread affinity hint).
+    pub fn seg_of_ptr(&self, p: PPtr) -> usize {
+        self.seg_of_block(self.ptr_block(p))
+    }
+
+    /// Claims up to `want` blocks starting **exactly** at block index `b`:
+    /// the tail-extension entry point of the append fast path (§4.3). The
+    /// file layer asks for the blocks physically following a file's tail
+    /// extent so the extent map grows in place instead of gaining an entry.
+    /// Returns the number of blocks claimed (0 when `b` is taken), clamped
+    /// to the free run containing `b` and to the owning segment.
+    pub fn extend_at(&self, b: u64, want: u64) -> u64 {
+        debug_assert!(want > 0);
+        if b >= self.nblocks {
+            return 0;
+        }
+        let seg = &self.segments[self.seg_of_block(b)];
+        let Some(guard) = seg.lock.try_acquire() else {
+            // Busy segment: the caller falls back to the general allocator
+            // rather than stalling the append on a neighbour's work.
+            return 0;
+        };
+        // SAFETY: lock held.
+        let free = unsafe { &mut *seg.free.get() };
+        let idx = match free.partition_point(|&(s, _)| s <= b).checked_sub(1) {
+            Some(i) => i,
+            None => {
+                drop(guard);
+                return 0;
+            }
+        };
+        let (start, len) = free[idx];
+        if b >= start + len {
+            drop(guard);
+            return 0;
+        }
+        let got = want.min(start + len - b);
+        // Carve `[b, b+got)` out of the run.
+        let head = b - start;
+        let tail = (start + len) - (b + got);
+        match (head > 0, tail > 0) {
+            (false, false) => {
+                free.remove(idx);
+            }
+            (false, true) => free[idx] = (b + got, tail),
+            (true, false) => free[idx] = (start, head),
+            (true, true) => {
+                free[idx] = (start, head);
+                free.insert(idx + 1, (b + got, tail));
+            }
+        }
+        seg.free_blocks.fetch_sub(got, Ordering::Relaxed);
+        drop(guard);
+        got
+    }
+
     /// Frees `count` blocks starting at `p` back to their owning segment,
     /// coalescing with neighbours.
     pub fn free(&self, p: PPtr, count: u64) {
@@ -313,6 +370,36 @@ mod tests {
         // Only single blocks available (every other block used).
         assert!(a.alloc(0, 2).is_none());
         assert!(a.alloc(0, 1).is_some());
+    }
+
+    #[test]
+    fn extend_at_claims_the_physically_next_blocks() {
+        let a = alloc_with(32 * 4096, 1);
+        let p = a.alloc(0, 4).unwrap();
+        let next = a.ptr_block(p) + 4;
+        // The run after the allocation is free: a tail extension succeeds
+        // and hands out exactly the requested position.
+        assert_eq!(a.extend_at(next, 2), 2);
+        assert_eq!(a.ptr_block(a.alloc(0, 1).unwrap()), next + 2, "carved in place");
+        a.free(a.block_ptr(next), 2);
+        assert_eq!(a.free_blocks(), 32 - 4 - 1);
+    }
+
+    #[test]
+    fn extend_at_is_clamped_and_fails_when_taken() {
+        let a = alloc_with(16 * 4096, 1);
+        let p0 = a.alloc(0, 2).unwrap();
+        let b0 = a.ptr_block(p0);
+        // Occupy the block right after a 3-block gap: [p0 p0 gap gap gap X ...]
+        let gap_end = b0 + 5;
+        assert_eq!(a.extend_at(gap_end, 1), 1);
+        // Extending past the 3-block gap is clamped to the gap.
+        assert_eq!(a.extend_at(b0 + 2, 8), 3);
+        // The gap is now taken: extending into it fails outright.
+        assert_eq!(a.extend_at(b0 + 2, 1), 0);
+        assert_eq!(a.extend_at(b0, 1), 0, "allocated blocks are never handed out");
+        // Out-of-range positions fail cleanly.
+        assert_eq!(a.extend_at(1 << 40, 1), 0);
     }
 
     #[test]

@@ -6,13 +6,28 @@
 //! **before** the size field is updated, giving the paper's guarantee that
 //! "metadata updates occur after the data has been persisted".
 //!
+//! Steady-state reads, writes and appends are O(1) in the number of
+//! extents. Each open file carries a [`FileCursor`]: a volatile DRAM
+//! mirror of the persistent extent map (sorted `(logical_start, extent)`
+//! pairs plus the allocated size and the tail overflow block). Operations
+//! binary-search the mirror once and stream; `push_extent` updates the
+//! mirror incrementally; `truncate`/`free_all` invalidate it through a
+//! generation counter so concurrent openers and post-crash opens rebuild
+//! from the persistent map. Appends first ask the allocator for the blocks
+//! physically following the tail extent ([`crate::alloc::BlockAlloc::extend_at`]),
+//! which grows the tail in place instead of adding a map entry.
+//! [`DataStats`] counts walk steps, mirror hits and tail extensions so the
+//! O(1) claim is asserted by tests, not eyeballed.
+//!
 //! Each file has one reader/writer lock embedded in its inode — writes are
 //! exclusive, reads concurrent. The *relaxed* mode of Fig. 7k disables the
 //! write lock for applications that coordinate their own writers.
 
-use std::sync::atomic::Ordering;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use parking_lot::RwLock;
 use simurgh_fsapi::{FsError, FsResult};
 use simurgh_pmem::{PPtr, PmemRegion};
 
@@ -27,6 +42,247 @@ const WRITER: u64 = 1 << 63;
 /// resets the lock (the lock word is volatile state; see module docs).
 pub const DEFAULT_FILE_MAX_HOLD: Duration = Duration::from_millis(500);
 
+// ---------------------------------------------------------------------------
+// Probe accounting
+// ---------------------------------------------------------------------------
+
+/// Probe accounting for the data hot paths, mirroring [`crate::dir::DirStats`].
+/// Counters are bumped with relaxed atomics and exist so the O(1) claim of
+/// the extent cursor cache is *asserted* by tests and exported by the bench
+/// harness (`paper datastats`), not eyeballed.
+#[derive(Default)]
+pub struct DataStats {
+    /// `read_at` calls.
+    pub reads: AtomicU64,
+    /// `write_at` calls.
+    pub writes: AtomicU64,
+    /// Extents examined while locating / streaming a byte range. With a
+    /// fresh cursor this is exactly the extents *touched* by the op; on the
+    /// fallback path it also counts every extent skipped to reach `off`.
+    pub walk_steps: AtomicU64,
+    /// Full walks of the persistent extent map (cursor rebuilds plus every
+    /// cursor-less fallback locate).
+    pub map_walks: AtomicU64,
+    /// Operations answered from a fresh cursor mirror.
+    pub cursor_hits: AtomicU64,
+    /// Cursor mirrors rebuilt from the persistent map (invalidation or
+    /// first use).
+    pub cursor_rebuilds: AtomicU64,
+    /// Allocation growths (`ensure_allocated` calls that added blocks).
+    pub appends: AtomicU64,
+    /// Growths that extended the tail extent in place via `extend_at`.
+    pub tail_extends: AtomicU64,
+    /// Growths that (also) fell back to the general allocator.
+    pub alloc_fallbacks: AtomicU64,
+    /// General allocations served by a different segment than the thread's
+    /// affinity hint asked for (contention-induced rehashing).
+    pub seg_hops: AtomicU64,
+}
+
+impl DataStats {
+    pub fn snapshot(&self) -> DataStatsSnapshot {
+        let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        DataStatsSnapshot {
+            reads: r(&self.reads),
+            writes: r(&self.writes),
+            walk_steps: r(&self.walk_steps),
+            map_walks: r(&self.map_walks),
+            cursor_hits: r(&self.cursor_hits),
+            cursor_rebuilds: r(&self.cursor_rebuilds),
+            appends: r(&self.appends),
+            tail_extends: r(&self.tail_extends),
+            alloc_fallbacks: r(&self.alloc_fallbacks),
+            seg_hops: r(&self.seg_hops),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DataStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataStatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub walk_steps: u64,
+    pub map_walks: u64,
+    pub cursor_hits: u64,
+    pub cursor_rebuilds: u64,
+    pub appends: u64,
+    pub tail_extends: u64,
+    pub alloc_fallbacks: u64,
+    pub seg_hops: u64,
+}
+
+impl DataStatsSnapshot {
+    /// Counter deltas since `base` (a snapshot taken earlier).
+    pub fn since(&self, base: &DataStatsSnapshot) -> DataStatsSnapshot {
+        DataStatsSnapshot {
+            reads: self.reads - base.reads,
+            writes: self.writes - base.writes,
+            walk_steps: self.walk_steps - base.walk_steps,
+            map_walks: self.map_walks - base.map_walks,
+            cursor_hits: self.cursor_hits - base.cursor_hits,
+            cursor_rebuilds: self.cursor_rebuilds - base.cursor_rebuilds,
+            appends: self.appends - base.appends,
+            tail_extends: self.tail_extends - base.tail_extends,
+            alloc_fallbacks: self.alloc_fallbacks - base.alloc_fallbacks,
+            seg_hops: self.seg_hops - base.seg_hops,
+        }
+    }
+
+    /// Extents examined per read/write, averaged: the number the scaling
+    /// tests pin down as O(1) — it must stay flat as files fragment.
+    pub fn walk_steps_per_op(&self) -> f64 {
+        let ops = self.reads + self.writes;
+        if ops == 0 {
+            return 0.0;
+        }
+        self.walk_steps as f64 / ops as f64
+    }
+
+    /// Fraction of allocation growths that extended the tail in place.
+    pub fn tail_extend_rate(&self) -> f64 {
+        if self.appends == 0 {
+            return 0.0;
+        }
+        self.tail_extends as f64 / self.appends as f64
+    }
+
+    /// JSON object (hand-rolled: all fields are integers), for the bench
+    /// harness's machine-readable stats export.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"reads\":{},\"writes\":{},\"walk_steps\":{},\"map_walks\":{},\
+             \"cursor_hits\":{},\"cursor_rebuilds\":{},\"appends\":{},\
+             \"tail_extends\":{},\"alloc_fallbacks\":{},\"seg_hops\":{}}}",
+            self.reads,
+            self.writes,
+            self.walk_steps,
+            self.map_walks,
+            self.cursor_hits,
+            self.cursor_rebuilds,
+            self.appends,
+            self.tail_extends,
+            self.alloc_fallbacks,
+            self.seg_hops,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extent cursor cache
+// ---------------------------------------------------------------------------
+
+/// Volatile DRAM mirror of one file's persistent extent map, shared by all
+/// handles on that open file (hung off the sharded open state in `fs`).
+///
+/// Coherence rule: the mirror is only trusted when `inner.built_gen`
+/// matches `gen`. Mutators that keep the mirror exact (`push_extent`)
+/// update it in place under the write half of `inner`; mutators that
+/// restructure the map (`truncate` shrink, `free_all`, O_TRUNC) bump `gen`
+/// so every handle — including concurrent openers — rebuilds from the
+/// persistent map on next use. A post-crash open starts from a fresh
+/// cursor, so nothing volatile survives a crash.
+#[derive(Default)]
+pub struct FileCursor {
+    gen: AtomicU64,
+    inner: RwLock<CursorInner>,
+}
+
+#[derive(Default)]
+struct CursorInner {
+    valid: bool,
+    built_gen: u64,
+    /// `(logical_start, extent)`, sorted by logical start.
+    map: Vec<(u64, Extent)>,
+    /// Total allocated bytes (== logical end of the last extent).
+    allocated: u64,
+    /// Last block of the overflow chain, so `push_extent` skips the chain
+    /// walk; `None` while the map fits the inline slots.
+    tail_blk: Option<PPtr>,
+}
+
+impl FileCursor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks every handle's view stale; the next access rebuilds from the
+    /// persistent map.
+    pub fn invalidate(&self) {
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Runs `f` against a mirror guaranteed fresh at entry, rebuilding it
+    /// first if a generation bump (or first use) made it stale.
+    fn with_fresh<R>(&self, env: &FileEnv<'_>, ino: Inode, f: impl FnOnce(&CursorInner) -> R) -> R {
+        let gen = self.gen.load(Ordering::Acquire);
+        {
+            let g = self.inner.read();
+            if g.valid && g.built_gen == gen {
+                env.bump(|s| &s.cursor_hits);
+                return f(&g);
+            }
+        }
+        let mut g = self.inner.write();
+        // Re-check under the write half: another handle may have rebuilt.
+        let gen = self.gen.load(Ordering::Acquire);
+        if g.valid && g.built_gen == gen {
+            env.bump(|s| &s.cursor_hits);
+        } else {
+            env.bump(|s| &s.cursor_rebuilds);
+            env.bump(|s| &s.map_walks);
+            g.rebuild(env.region, ino, gen);
+        }
+        f(&g)
+    }
+}
+
+impl std::fmt::Debug for FileCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileCursor")
+            .field("gen", &self.gen.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CursorInner {
+    fn rebuild(&mut self, r: &PmemRegion, ino: Inode, gen: u64) {
+        self.map.clear();
+        self.tail_blk = None;
+        let mut logical = 0u64;
+        let mut inline_full = true;
+        for i in 0..INLINE_EXTENTS {
+            let e = ino.extent(r, i);
+            if e.is_empty() {
+                inline_full = false;
+                break;
+            }
+            self.map.push((logical, e));
+            logical += e.len;
+        }
+        if inline_full {
+            let mut blk = ino.ext_next(r);
+            while !blk.is_null() {
+                self.tail_blk = Some(blk);
+                let n = extblock::count(r, blk);
+                for i in 0..n {
+                    let e = extblock::get(r, blk, i);
+                    self.map.push((logical, e));
+                    logical += e.len;
+                }
+                blk = extblock::next(r, blk);
+            }
+        }
+        self.allocated = logical;
+        self.built_gen = gen;
+        self.valid = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
 /// Context for data-path operations.
 #[derive(Clone, Copy)]
 pub struct FileEnv<'a> {
@@ -35,11 +291,41 @@ pub struct FileEnv<'a> {
     /// Skip the per-file write lock (paper's relaxed shared-file writes).
     pub relaxed: bool,
     pub max_hold: Duration,
+    /// Optional probe accounting (see [`DataStats`]).
+    pub stats: Option<&'a DataStats>,
+    /// Optional extent mirror of the file being operated on.
+    pub cursor: Option<&'a FileCursor>,
 }
 
 impl<'a> FileEnv<'a> {
     pub fn new(region: &'a PmemRegion, blocks: &'a BlockAlloc) -> Self {
-        FileEnv { region, blocks, relaxed: false, max_hold: DEFAULT_FILE_MAX_HOLD }
+        FileEnv {
+            region,
+            blocks,
+            relaxed: false,
+            max_hold: DEFAULT_FILE_MAX_HOLD,
+            stats: None,
+            cursor: None,
+        }
+    }
+
+    /// Attaches probe accounting.
+    pub fn with_stats(mut self, stats: &'a DataStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Attaches the open file's extent mirror.
+    pub fn with_cursor(mut self, cursor: &'a FileCursor) -> Self {
+        self.cursor = Some(cursor);
+        self
+    }
+
+    #[inline]
+    fn bump(&self, counter: impl Fn(&DataStats) -> &AtomicU64) {
+        if let Some(s) = self.stats {
+            counter(s).fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -74,11 +360,11 @@ impl Drop for WriteGuard<'_> {
 }
 
 /// Acquires the shared side of a file's lock; a stuck writer is presumed
-/// crashed after `max_hold` and the lock word is reset.
+/// crashed after `max_hold` and its bit is cleared.
 pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
     let lock = ino.lock_ptr();
     let a = env.region.atomic_u64(lock);
-    let start = Instant::now();
+    let mut start = Instant::now();
     let mut spins = 0u32;
     loop {
         let s = a.load(Ordering::Acquire);
@@ -87,7 +373,11 @@ pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
                 return ReadGuard { region: env.region, lock };
             }
         } else if start.elapsed() > env.max_hold {
-            a.store(0, Ordering::Release); // crashed writer: reset
+            // Crashed writer: clear *only* the writer bit. A blanket
+            // store(0) would also wipe reader counts that raced in after
+            // another waiter's reset, making their guards underflow on drop.
+            a.fetch_and(!WRITER, Ordering::AcqRel);
+            start = Instant::now();
         }
         std::hint::spin_loop();
         spins += 1;
@@ -104,14 +394,27 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
         return WriteGuard { region: None, lock };
     }
     let a = env.region.atomic_u64(lock);
-    let start = Instant::now();
+    let mut start = Instant::now();
     let mut spins = 0u32;
     loop {
         if a.compare_exchange_weak(0, WRITER, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             return WriteGuard { region: Some(env.region), lock };
         }
         if start.elapsed() > env.max_hold {
-            a.store(0, Ordering::Release); // crashed holder: reset
+            let s = a.load(Ordering::Acquire);
+            if s & WRITER != 0 {
+                // Crashed writer: clear only its bit (see lock_read) so
+                // reader counts that raced in survive the steal.
+                a.fetch_and(!WRITER, Ordering::AcqRel);
+            } else if s != 0 {
+                // Readers still pinned after a full extra grace period are
+                // presumed crashed. CAS the exact observed count — never a
+                // blind store — so a live reader arriving concurrently
+                // keeps its slot and we simply retry.
+                let _ = a.compare_exchange(s, 0, Ordering::AcqRel, Ordering::Acquire);
+            }
+            // Fresh grace period for whoever survived the reset.
+            start = Instant::now();
         }
         std::hint::spin_loop();
         spins += 1;
@@ -126,7 +429,8 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
 // ---------------------------------------------------------------------------
 
 /// Calls `f(logical_start, extent)` for each extent in file order; returns
-/// the total allocated bytes.
+/// the total allocated bytes. This walks the persistent map — hot paths go
+/// through the cursor mirror instead (`stream_extents`).
 pub fn for_each_extent(r: &PmemRegion, ino: Inode, mut f: impl FnMut(u64, Extent)) -> u64 {
     let mut logical = 0u64;
     for i in 0..INLINE_EXTENTS {
@@ -156,6 +460,8 @@ pub fn allocated_bytes(r: &PmemRegion, ino: Inode) -> u64 {
 }
 
 /// Maps a logical offset to `(pmem address, contiguous bytes available)`.
+/// One full walk of the persistent map: recovery/tooling only, never the
+/// per-chunk locate of a hot loop.
 pub fn map_offset(r: &PmemRegion, ino: Inode, off: u64) -> Option<(PPtr, u64)> {
     let mut found = None;
     for_each_extent(r, ino, |logical, e| {
@@ -167,8 +473,141 @@ pub fn map_offset(r: &PmemRegion, ino: Inode, off: u64) -> Option<(PPtr, u64)> {
     found
 }
 
+/// Streams `(pmem address, contiguous bytes)` runs covering the file from
+/// logical `off` onward, calling `f` for each run until it returns `false`
+/// or the allocated range ends. The start extent is located **once**
+/// (binary search in the cursor mirror when one is attached); subsequent
+/// extents continue from there without re-walking the map.
+fn stream_extents(env: &FileEnv<'_>, ino: Inode, off: u64, f: &mut impl FnMut(PPtr, u64) -> bool) {
+    let r = env.region;
+    if let Some(c) = env.cursor {
+        for attempt in 0..2u32 {
+            let cb = &mut *f;
+            let covered = c.with_fresh(env, ino, |g| {
+                if off >= g.allocated {
+                    return false;
+                }
+                // First extent whose logical start is <= off.
+                let idx = g.map.partition_point(|&(start, _)| start <= off) - 1;
+                let mut pos = off;
+                for &(start, e) in &g.map[idx..] {
+                    env.bump(|s| &s.walk_steps);
+                    let within = pos - start;
+                    if !cb(PPtr::new(e.start + within), e.len - within) {
+                        break;
+                    }
+                    pos = start + e.len;
+                }
+                true
+            });
+            if covered {
+                return;
+            }
+            if attempt == 0 {
+                // A relaxed-mode grower may have extended the map since the
+                // mirror was built; rebuild once before concluding the
+                // range is unallocated.
+                c.invalidate();
+            }
+        }
+        return;
+    }
+    // No cursor attached (symlinks, recovery, scaffolding): one manual walk
+    // of the persistent map — a single walk per *call*, not per chunk, but
+    // O(extents before `off`) in the locate step, which the counters show.
+    env.bump(|s| &s.map_walks);
+    let mut logical = 0u64;
+    let mut pos = off;
+    let mut visit = |e: Extent| {
+        env.bump(|s| &s.walk_steps);
+        let end = logical + e.len;
+        if pos < end {
+            let within = pos - logical;
+            if !f(PPtr::new(e.start + within), e.len - within) {
+                return false;
+            }
+            pos = end;
+        }
+        logical = end;
+        true
+    };
+    for i in 0..INLINE_EXTENTS {
+        let e = ino.extent(r, i);
+        if e.is_empty() {
+            return;
+        }
+        if !visit(e) {
+            return;
+        }
+    }
+    let mut blk = ino.ext_next(r);
+    while !blk.is_null() {
+        let n = extblock::count(r, blk);
+        for i in 0..n {
+            if !visit(extblock::get(r, blk, i)) {
+                return;
+            }
+        }
+        blk = extblock::next(r, blk);
+    }
+}
+
+/// `(allocated bytes, physical end of the tail extent)` — from the cursor
+/// mirror when attached, else one walk of the persistent map.
+fn allocation_info(env: &FileEnv<'_>, ino: Inode) -> (u64, Option<PPtr>) {
+    if let Some(c) = env.cursor {
+        return c.with_fresh(env, ino, |g| {
+            (g.allocated, g.map.last().map(|&(_, e)| PPtr::new(e.start + e.len)))
+        });
+    }
+    env.bump(|s| &s.map_walks);
+    let mut tail = None;
+    let allocated = for_each_extent(env.region, ino, |_, e| {
+        env.bump(|s| &s.walk_steps);
+        tail = Some(PPtr::new(e.start + e.len));
+    });
+    (allocated, tail)
+}
+
+/// Tail block of the overflow chain per the (fresh) mirror, so `push_extent`
+/// skips the chain walk. `None` means walk from the head.
+fn cursor_tail_blk(env: &FileEnv<'_>) -> Option<PPtr> {
+    let c = env.cursor?;
+    let gen = c.gen.load(Ordering::Acquire);
+    let g = c.inner.read();
+    if g.valid && g.built_gen == gen {
+        g.tail_blk
+    } else {
+        None
+    }
+}
+
+/// Mirrors a successful `push_extent` into the cursor, keeping it fresh
+/// without a rebuild. `merged` means the tail extent grew in place;
+/// `chain_blk` is the overflow block written (None for inline slots).
+fn cursor_note_push(env: &FileEnv<'_>, merged: bool, chain_blk: Option<PPtr>, e: Extent) {
+    let Some(c) = env.cursor else { return };
+    let gen = c.gen.load(Ordering::Acquire);
+    let mut g = c.inner.write();
+    if !g.valid || g.built_gen != gen {
+        return; // stale mirror: the next reader rebuilds anyway
+    }
+    if merged {
+        let last = g.map.last_mut().expect("merged push implies a tail extent");
+        last.1.len += e.len;
+    } else {
+        let logical = g.allocated;
+        g.map.push((logical, e));
+    }
+    g.allocated += e.len;
+    if chain_blk.is_some() {
+        g.tail_blk = chain_blk;
+    }
+}
+
 /// Appends an extent to the file's map, merging with the physical tail when
-/// contiguous. Allocates an overflow extent block on demand.
+/// contiguous. Allocates an overflow extent block on demand. Keeps the
+/// cursor mirror fresh in place.
 fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
     let r = env.region;
     // Inline slots first.
@@ -176,6 +615,7 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
         let cur = ino.extent(r, i);
         if cur.is_empty() {
             ino.set_extent(r, i, e);
+            cursor_note_push(env, false, None, e);
             return Ok(());
         }
         if cur.start + cur.len == e.start {
@@ -183,12 +623,17 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
             let overflow_empty = ino.ext_next(r).is_null();
             if last_inline && overflow_empty {
                 ino.set_extent(r, i, Extent { start: cur.start, len: cur.len + e.len });
+                cursor_note_push(env, true, None, e);
                 return Ok(());
             }
         }
     }
-    // Overflow chain.
-    let mut blk = ino.ext_next(r);
+    // Overflow chain: start from the mirrored tail block when fresh, else
+    // walk from the head (cold path).
+    let mut blk = match cursor_tail_blk(env) {
+        Some(tail) => tail,
+        None => ino.ext_next(r),
+    };
     if blk.is_null() {
         let nb = env.blocks.alloc(ino.ptr().off() / 64, 1).ok_or(FsError::NoSpace)?;
         extblock::init(r, nb);
@@ -201,10 +646,12 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
             let last = extblock::get(r, blk, n - 1);
             if last.start + last.len == e.start && extblock::next(r, blk).is_null() {
                 extblock::set_len(r, blk, n - 1, last.len + e.len);
+                cursor_note_push(env, true, Some(blk), e);
                 return Ok(());
             }
         }
         if extblock::push(r, blk, e) {
+            cursor_note_push(env, false, Some(blk), e);
             return Ok(());
         }
         let next = extblock::next(r, blk);
@@ -219,20 +666,61 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
     }
 }
 
+thread_local! {
+    /// Segment this thread last allocated from (`u64::MAX` = unset).
+    /// Appenders keep returning to "their" segment instead of rehashing
+    /// into whatever segment the inode pointer happens to select, which
+    /// under concurrency means contending with every other appender.
+    static SEG_AFFINITY: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// General allocation with the per-thread segment-affinity hint.
+fn alloc_affine(env: &FileEnv<'_>, ino: Inode, count: u64) -> Option<PPtr> {
+    let hint = match SEG_AFFINITY.get() {
+        u64::MAX => ino.ptr().off() / 64,
+        h => h,
+    };
+    let p = env.blocks.alloc(hint, count)?;
+    let seg = env.blocks.seg_of_ptr(p) as u64;
+    if seg != hint % env.blocks.segments() as u64 {
+        env.bump(|s| &s.seg_hops);
+    }
+    SEG_AFFINITY.set(seg);
+    Some(p)
+}
+
 /// Grows the allocation to at least `want` bytes (block-granular). Newly
 /// allocated space is *not* zeroed here; writers zero holes they skip.
+///
+/// Append fast path: the blocks physically following the tail extent are
+/// claimed first (`extend_at`), which merges into the tail instead of
+/// adding a map entry; only the remainder, if any, goes through the
+/// general allocator.
 pub fn ensure_allocated(env: &FileEnv<'_>, ino: Inode, want: u64) -> FsResult<()> {
-    let have = allocated_bytes(env.region, ino);
+    let (have, tail_end) = allocation_info(env, ino);
     if want <= have {
         return Ok(());
     }
+    env.bump(|s| &s.appends);
     let mut need_blocks = (want - have).div_ceil(BLOCK_SIZE as u64);
+    if let Some(end) = tail_end {
+        let got = env.blocks.extend_at(env.blocks.ptr_block(end), need_blocks);
+        if got > 0 {
+            env.bump(|s| &s.tail_extends);
+            push_extent(env, ino, Extent { start: end.off(), len: got * BLOCK_SIZE as u64 })?;
+            need_blocks -= got;
+        }
+    }
+    if need_blocks == 0 {
+        return Ok(());
+    }
+    env.bump(|s| &s.alloc_fallbacks);
     // Allocate in as few contiguous chunks as the allocator can provide:
     // try the whole run first, halve on failure.
     while need_blocks > 0 {
         let mut chunk = need_blocks;
         let ptr = loop {
-            match env.blocks.alloc(ino.ptr().off() / 64, chunk) {
+            match alloc_affine(env, ino, chunk) {
                 Some(p) => break Some(p),
                 None if chunk > 1 => chunk = chunk.div_ceil(2),
                 None => break None,
@@ -254,26 +742,26 @@ pub fn ensure_allocated(env: &FileEnv<'_>, ino: Inode, want: u64) -> FsResult<()
 /// Reads up to `buf.len()` bytes at `off`; returns bytes read (0 at EOF).
 /// Caller holds the read lock.
 pub fn read_at(env: &FileEnv<'_>, ino: Inode, off: u64, buf: &mut [u8]) -> usize {
+    env.bump(|s| &s.reads);
     let size = ino.size(env.region);
     if off >= size || buf.is_empty() {
         return 0;
     }
     let want = buf.len().min((size - off) as usize);
     let mut done = 0usize;
-    while done < want {
-        let Some((addr, avail)) = map_offset(env.region, ino, off + done as u64) else {
-            break; // hole past allocation (shouldn't happen: size <= allocated)
-        };
+    stream_extents(env, ino, off, &mut |addr, avail| {
         let n = (want - done).min(avail as usize);
         env.region.read_into(addr, &mut buf[done..done + n]);
         done += n;
-    }
+        done < want
+    });
     done
 }
 
 /// Writes `data` at `off`, extending allocation and size as needed; returns
 /// bytes written. Caller holds the write lock (or runs relaxed).
 pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResult<usize> {
+    env.bump(|s| &s.writes);
     let r = env.region;
     let end = off + data.len() as u64;
     ensure_allocated(env, ino, end)?;
@@ -282,14 +770,16 @@ pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResul
     if off > old_size {
         zero_range(env, ino, old_size, off - old_size);
     }
-    // Non-temporal copy of the payload, extent by extent.
+    // Non-temporal copy of the payload, streaming extent to extent.
     let mut done = 0usize;
-    while done < data.len() {
-        let (addr, avail) = map_offset(r, ino, off + done as u64)
-            .ok_or(FsError::Corrupt("write past allocation"))?;
+    stream_extents(env, ino, off, &mut |addr, avail| {
         let n = (data.len() - done).min(avail as usize);
         r.nt_write_from(addr, &data[done..done + n]);
         done += n;
+        done < data.len()
+    });
+    if done < data.len() {
+        return Err(FsError::Corrupt("write past allocation"));
     }
     // sfence: data durable before the size update (paper ordering).
     r.fence();
@@ -302,14 +792,17 @@ pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResul
 fn zero_range(env: &FileEnv<'_>, ino: Inode, off: u64, len: u64) {
     const ZEROS: [u8; BLOCK_SIZE] = [0u8; BLOCK_SIZE];
     let mut done = 0u64;
-    while done < len {
-        let Some((addr, avail)) = map_offset(env.region, ino, off + done) else {
-            return;
-        };
-        let n = (len - done).min(avail).min(BLOCK_SIZE as u64);
-        env.region.nt_write_from(addr, &ZEROS[..n as usize]);
-        done += n;
-    }
+    stream_extents(env, ino, off, &mut |addr, avail| {
+        let run = avail.min(len - done);
+        let mut within = 0u64;
+        while within < run {
+            let n = (run - within).min(BLOCK_SIZE as u64);
+            env.region.nt_write_from(addr.add(within), &ZEROS[..n as usize]);
+            within += n;
+        }
+        done += run;
+        done < len
+    });
 }
 
 /// Preallocates `[off, off+len)` without zeroing (FxMark DWTL). Extends the
@@ -336,49 +829,86 @@ pub fn truncate(env: &FileEnv<'_>, ino: Inode, len: u64) -> FsResult<()> {
         return Ok(());
     }
     ino.set_size(r, len);
+    // The trimmed size must be durable *before* any block is freed: a crash
+    // between the two must never expose reusable blocks under a stale
+    // larger size. set_size persists its own line; the fence below also
+    // orders it against the map rewrite that follows.
+    r.fence();
     shrink_allocation(env, ino, len);
     Ok(())
 }
 
 /// Frees every whole block past `keep` bytes and trims the extent map.
+///
+/// The trimmed map is rewritten **in place** (inline slots, then the
+/// existing overflow blocks — shrinking never needs new space), persisted,
+/// and only then are the surplus data and chain blocks released. A crash
+/// anywhere in between leaks blocks at worst; it never leaves the map
+/// pointing at freed ones.
 fn shrink_allocation(env: &FileEnv<'_>, ino: Inode, keep: u64) {
+    if let Some(c) = env.cursor {
+        c.invalidate();
+    }
     let r = env.region;
     let keep_alloc = keep.div_ceil(BLOCK_SIZE as u64) * BLOCK_SIZE as u64;
-    // Collect the full map, then rewrite it truncated.
+    // Snapshot the current map and overflow chain.
     let mut map: Vec<Extent> = Vec::new();
     for_each_extent(r, ino, |_, e| map.push(e));
-    let mut logical = 0u64;
+    let mut chain: Vec<PPtr> = Vec::new();
+    let mut blk = ino.ext_next(r);
+    while !blk.is_null() {
+        chain.push(blk);
+        blk = extblock::next(r, blk);
+    }
+    // Split into the trimmed map and the block runs to release.
     let mut kept: Vec<Extent> = Vec::new();
+    let mut frees: Vec<(PPtr, u64)> = Vec::new();
+    let mut logical = 0u64;
     for e in &map {
         if logical + e.len <= keep_alloc {
             kept.push(*e);
         } else if logical < keep_alloc {
             let keep_len = keep_alloc - logical;
             kept.push(Extent { start: e.start, len: keep_len });
-            env.blocks.free(PPtr::new(e.start + keep_len), (e.len - keep_len) / BLOCK_SIZE as u64);
+            frees.push((PPtr::new(e.start + keep_len), (e.len - keep_len) / BLOCK_SIZE as u64));
         } else {
-            env.blocks.free(PPtr::new(e.start), e.len / BLOCK_SIZE as u64);
+            frees.push((PPtr::new(e.start), e.len / BLOCK_SIZE as u64));
         }
         logical += e.len;
     }
-    // Free the overflow chain and rewrite from scratch.
-    let mut blk = ino.ext_next(r);
-    while !blk.is_null() {
-        let next = extblock::next(r, blk);
-        env.blocks.free(blk, 1);
-        blk = next;
-    }
-    ino.set_ext_next(r, PPtr::NULL);
+    // Rewrite the trimmed map in place.
     for i in 0..INLINE_EXTENTS {
-        ino.set_extent(r, i, Extent::default());
+        ino.set_extent(r, i, kept.get(i).copied().unwrap_or_default());
     }
-    for e in kept {
-        push_extent(env, ino, e).expect("rewriting a smaller map cannot need new space");
+    let mut rest = &kept[kept.len().min(INLINE_EXTENTS)..];
+    let mut used = 0usize;
+    while !rest.is_empty() {
+        let n = rest.len().min(extblock::CAPACITY);
+        let next = if rest.len() > n { chain[used + 1] } else { PPtr::NULL };
+        extblock::rewrite(r, chain[used], &rest[..n], next);
+        rest = &rest[n..];
+        used += 1;
+    }
+    if used == 0 {
+        ino.set_ext_next(r, PPtr::NULL);
+    }
+    // Trimmed map durable; only now do the surplus blocks go back.
+    r.fence();
+    for b in &chain[used..] {
+        env.blocks.free(*b, 1);
+    }
+    for (p, n) in frees {
+        if n > 0 {
+            env.blocks.free(p, n);
+        }
     }
 }
 
 /// Frees all data and extent blocks of a file (unlink of the last link).
 pub fn free_all(env: &FileEnv<'_>, ino: Inode) {
+    if let Some(c) = env.cursor {
+        c.invalidate();
+    }
     let r = env.region;
     let mut map: Vec<Extent> = Vec::new();
     for_each_extent(r, ino, |_, e| map.push(e));
@@ -404,6 +934,8 @@ mod tests {
     struct Fx {
         region: Arc<PmemRegion>,
         blocks: Arc<BlockAlloc>,
+        stats: DataStats,
+        cursor: FileCursor,
     }
 
     impl Fx {
@@ -411,17 +943,41 @@ mod tests {
             let region = Arc::new(PmemRegion::new(bytes));
             let data = LExtent { start: PPtr::new(64 * 1024), len: bytes as u64 - 64 * 1024 };
             let blocks = Arc::new(BlockAlloc::new(data, 2));
-            Fx { region, blocks }
+            Fx { region, blocks, stats: DataStats::default(), cursor: FileCursor::new() }
         }
 
         fn env(&self) -> FileEnv<'_> {
             FileEnv::new(&self.region, &self.blocks)
         }
 
+        /// Env with the cursor mirror and probe counters attached, the way
+        /// the file system drives the data path for open files.
+        fn env_cached(&self) -> FileEnv<'_> {
+            self.env().with_stats(&self.stats).with_cursor(&self.cursor)
+        }
+
         fn inode(&self) -> Inode {
             let ino = Inode(PPtr::new(4096));
             ino.init(&self.region, FileMode::file(0o644), 0, 0, 1, 0);
             ino
+        }
+
+        /// Writes `n` 4-KB chunks, claiming the block physically after the
+        /// tail between writes so the append fast path can never extend in
+        /// place: a file with exactly `n` extents.
+        fn fragmented(&self, env: &FileEnv<'_>, ino: Inode, n: u64) {
+            for i in 0..n {
+                write_at(env, ino, i * 4096, &[i as u8; 4096]).unwrap();
+                let mut tail = 0u64;
+                for_each_extent(&self.region, ino, |_, e| tail = e.start + e.len);
+                let b = self.blocks.ptr_block(PPtr::new(tail));
+                // Claim may find the block already taken (e.g. by a chain
+                // block) — equally good: tail extension stays impossible.
+                let _ = self.blocks.extend_at(b, 1);
+            }
+            let mut extents = 0u64;
+            for_each_extent(&self.region, ino, |_, _| extents += 1);
+            assert_eq!(extents, n, "guards kept every chunk a separate extent");
         }
     }
 
@@ -469,6 +1025,84 @@ mod tests {
         let mut buf = vec![0u8; 4096];
         assert_eq!(read_at(&env, ino, 99 * 4096, &mut buf), 4096);
         assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn append_fast_path_extends_tail_in_place() {
+        let fx = Fx::new(32 << 20);
+        let env = fx.env_cached();
+        let ino = fx.inode();
+        let chunk = vec![5u8; 4096];
+        for i in 0..64u64 {
+            write_at(&env, ino, i * 4096, &chunk).unwrap();
+        }
+        let d = fx.stats.snapshot();
+        assert_eq!(d.appends, 64, "every chunk grew the allocation");
+        // Only the first append (empty file, no tail) may miss.
+        assert!(
+            d.tail_extend_rate() >= 0.9,
+            "contiguous single-thread appends extend in place (rate {})",
+            d.tail_extend_rate()
+        );
+        let mut n_extents = 0;
+        for_each_extent(&fx.region, ino, |_, _| n_extents += 1);
+        assert_eq!(n_extents, 1, "tail extension never adds a map entry");
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(read_at(&env, ino, 63 * 4096, &mut buf), 4096);
+        assert!(buf.iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn cursor_makes_reads_single_step() {
+        let fx = Fx::new(32 << 20);
+        let env = fx.env_cached();
+        let ino = fx.inode();
+        fx.fragmented(&env, ino, 8);
+        let base = fx.stats.snapshot();
+        for i in 0..8u64 {
+            let mut buf = [0u8; 4096];
+            assert_eq!(read_at(&env, ino, i * 4096, &mut buf), 4096);
+            assert!(buf.iter().all(|&b| b == i as u8), "extent {i} intact");
+        }
+        let d = fx.stats.snapshot().since(&base);
+        assert_eq!(d.reads, 8);
+        assert_eq!(d.walk_steps, 8, "one extent examined per read, at any offset");
+        assert_eq!(d.cursor_rebuilds, 0, "mirror stayed fresh across the appends");
+        assert_eq!(d.map_walks, 0, "no persistent-map walk on the hot path");
+        assert!(d.cursor_hits >= 8);
+    }
+
+    #[test]
+    fn uncursored_reads_walk_the_map() {
+        // Contrast case proving the counters measure what they claim: with
+        // no mirror, locating a tail offset examines every earlier extent.
+        let fx = Fx::new(32 << 20);
+        let env = fx.env().with_stats(&fx.stats);
+        let ino = fx.inode();
+        fx.fragmented(&env, ino, 8);
+        let base = fx.stats.snapshot();
+        let mut buf = [0u8; 4096];
+        assert_eq!(read_at(&env, ino, 7 * 4096, &mut buf), 4096);
+        let d = fx.stats.snapshot().since(&base);
+        assert_eq!(d.walk_steps, 8, "fallback walk visits all 8 extents");
+        assert_eq!(d.map_walks, 1);
+        assert_eq!(d.cursor_hits + d.cursor_rebuilds, 0);
+    }
+
+    #[test]
+    fn cursor_invalidated_by_truncate_then_rebuilds() {
+        let fx = Fx::new(32 << 20);
+        let env = fx.env_cached();
+        let ino = fx.inode();
+        fx.fragmented(&env, ino, 6);
+        truncate(&env, ino, 2 * 4096 + 10).unwrap();
+        let base = fx.stats.snapshot();
+        let mut buf = [0u8; 4096];
+        assert_eq!(read_at(&env, ino, 4096, &mut buf), 4096);
+        assert!(buf.iter().all(|&b| b == 1), "surviving extent intact after rebuild");
+        let d = fx.stats.snapshot().since(&base);
+        assert_eq!(d.cursor_rebuilds, 1, "generation bump forced one rebuild");
+        assert_eq!(read_at(&env, ino, 2 * 4096, &mut buf), 10, "size trimmed");
     }
 
     #[test]
@@ -529,6 +1163,28 @@ mod tests {
         let mut buf = [0u8; 4096];
         assert_eq!(read_at(&env, ino, 0, &mut buf), 4096);
         assert!(buf.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn truncate_shrink_preserves_overflow_chain_prefix() {
+        // A 12-extent file spills into the overflow chain; truncating to
+        // five extents must keep the first five intact (the in-place chain
+        // rewrite path) and free the rest.
+        let fx = Fx::new(64 << 20);
+        let env = fx.env_cached();
+        let ino = fx.inode();
+        fx.fragmented(&env, ino, 12);
+        let free_before = fx.blocks.free_blocks();
+        truncate(&env, ino, 5 * 4096).unwrap();
+        assert!(fx.blocks.free_blocks() > free_before, "surplus data blocks freed");
+        let mut n = 0;
+        for_each_extent(&fx.region, ino, |_, _| n += 1);
+        assert_eq!(n, 5);
+        for i in 0..5u64 {
+            let mut buf = [0u8; 4096];
+            assert_eq!(read_at(&env, ino, i * 4096, &mut buf), 4096);
+            assert!(buf.iter().all(|&b| b == i as u8), "extent {i} survived the rewrite");
+        }
     }
 
     #[test]
@@ -606,6 +1262,86 @@ mod tests {
     }
 
     #[test]
+    fn crashed_writer_reset_preserves_raced_reader_counts() {
+        // Regression: the old reset did `store(0)`, wiping reader counts
+        // that raced in after another waiter already cleared the writer
+        // bit. The steal must clear *only* the writer bit.
+        let fx = Fx::new(8 << 20);
+        let mut env = fx.env();
+        env.max_hold = Duration::from_millis(5);
+        let ino = fx.inode();
+        let a = fx.region.atomic_u64(ino.lock_ptr());
+        // Crashed writer plus two readers that raced in around a reset.
+        a.store(WRITER | 2, Ordering::SeqCst);
+        let g = lock_read(&env, ino);
+        assert_eq!(a.load(Ordering::SeqCst), 3, "both raced-in readers kept their counts");
+        drop(g);
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_writer_steal() {
+        let fx = Fx::new(8 << 20);
+        let ino = fx.inode();
+        let a = fx.region.atomic_u64(ino.lock_ptr());
+        a.store(WRITER, Ordering::SeqCst); // crashed writer
+        let barrier = std::sync::Barrier::new(5);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let mut env = fx.env();
+                    env.max_hold = Duration::from_millis(5);
+                    barrier.wait();
+                    let g = lock_read(&env, ino);
+                    barrier.wait(); // all four hold
+                    barrier.wait(); // main has asserted
+                    drop(g);
+                });
+            }
+            barrier.wait(); // start together
+            barrier.wait(); // every reader acquired
+            let w = a.load(Ordering::SeqCst);
+            assert_eq!(w, 4, "steal cleared only the writer bit (word {w:#x})");
+            barrier.wait(); // release
+        })
+        .unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn crashed_readers_do_not_hang_writers() {
+        let fx = Fx::new(8 << 20);
+        let mut env = fx.env();
+        env.max_hold = Duration::from_millis(5);
+        let ino = fx.inode();
+        let a = fx.region.atomic_u64(ino.lock_ptr());
+        a.store(3, Ordering::SeqCst); // three dead readers
+        let g = lock_write(&env, ino);
+        assert_eq!(a.load(Ordering::SeqCst), WRITER);
+        drop(g);
+        assert_eq!(a.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn write_steal_clears_writer_bit_before_reader_counts() {
+        // Escalation order: a write waiter first clears a dead writer's
+        // bit, then gives remaining readers a *fresh* grace period before
+        // presuming them dead too — two hold periods minimum, so readers
+        // that raced in behind the first steal are not clobbered instantly.
+        let fx = Fx::new(8 << 20);
+        let mut env = fx.env();
+        env.max_hold = Duration::from_millis(5);
+        let ino = fx.inode();
+        let a = fx.region.atomic_u64(ino.lock_ptr());
+        a.store(WRITER | 2, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let g = lock_write(&env, ino);
+        assert!(t0.elapsed() >= Duration::from_millis(10), "two grace periods elapsed");
+        assert_eq!(a.load(Ordering::SeqCst), WRITER);
+        drop(g);
+    }
+
+    #[test]
     fn relaxed_mode_skips_write_lock() {
         let fx = Fx::new(8 << 20);
         let mut env = fx.env();
@@ -643,5 +1379,30 @@ mod tests {
         let mut buf = [0u8; 15];
         assert_eq!(read_at(&env2, ino2, 0, &mut buf), 15);
         assert_eq!(&buf, b"durable payload");
+    }
+
+    #[test]
+    fn truncate_shrink_crash_keeps_size_and_surviving_data() {
+        // Tracked-region coverage for the shrink ordering: after truncate
+        // returns, a crash must see the trimmed size, the trimmed map, and
+        // the kept prefix — never a larger size over freed blocks.
+        let region = Arc::new(PmemRegion::new_tracked(4 << 20));
+        let data_ext = LExtent { start: PPtr::new(64 * 1024), len: (4 << 20) - 64 * 1024 };
+        let blocks = Arc::new(BlockAlloc::new(data_ext, 1));
+        let env = FileEnv::new(&region, &blocks);
+        let ino = Inode(PPtr::new(4096));
+        ino.init(&region, FileMode::file(0o644), 0, 0, 1, 0);
+        region.persist(PPtr::new(4096), 128);
+        write_at(&env, ino, 0, &vec![0xabu8; 64 * 1024]).unwrap();
+        truncate(&env, ino, 4096).unwrap();
+        let crashed = region.simulate_crash();
+        let ino2 = Inode(PPtr::new(4096));
+        assert_eq!(ino2.size(&crashed), 4096, "trimmed size durable");
+        assert_eq!(allocated_bytes(&crashed, ino2), 4096, "trimmed map durable");
+        let blocks2 = Arc::new(BlockAlloc::new(data_ext, 1));
+        let env2 = FileEnv::new(&crashed, &blocks2);
+        let mut buf = [0u8; 4096];
+        assert_eq!(read_at(&env2, ino2, 0, &mut buf), 4096);
+        assert!(buf.iter().all(|&b| b == 0xab), "kept prefix intact");
     }
 }

@@ -73,18 +73,25 @@ impl SimurghConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct OpenFile {
     ino: Inode,
     pos: u64,
     flags: OpenFlags,
+    /// The file's extent mirror, shared by every descriptor on this inode
+    /// (cloned out of the [`OpenState`] at open time).
+    cursor: Arc<file::FileCursor>,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct OpenState {
     refs: u32,
     /// All directory entries are gone; free the inode on last close.
     orphaned: bool,
+    /// One extent cursor cache per open inode (§4.3 data path). Dropped
+    /// with the state on last close, so an unopened file carries no
+    /// volatile map and a fresh open rebuilds from NVMM.
+    cursor: Arc<file::FileCursor>,
 }
 
 /// Shards of the open-state map. Create-heavy shared workloads take this
@@ -108,6 +115,8 @@ pub struct SimurghFs {
     index: DirIndex,
     /// Probe accounting for the directory hot paths.
     dir_stats: dir::DirStats,
+    /// Probe accounting for the file data hot paths.
+    data_stats: file::DataStats,
 }
 
 impl SimurghFs {
@@ -208,6 +217,7 @@ impl SimurghFs {
             recovery,
             index: DirIndex::new(),
             dir_stats: dir::DirStats::default(),
+            data_stats: file::DataStats::default(),
         }
     }
 
@@ -249,6 +259,12 @@ impl SimurghFs {
         self.dir_stats.snapshot()
     }
 
+    /// Snapshot of the data-path probe counters (scaling assertions and the
+    /// bench harness's `paper datastats` export).
+    pub fn data_stats(&self) -> file::DataStatsSnapshot {
+        self.data_stats.snapshot()
+    }
+
     /// Test support: the shared-DRAM directory index of this mount.
     #[doc(hidden)]
     pub fn testing_index(&self) -> &DirIndex {
@@ -283,7 +299,7 @@ impl SimurghFs {
     }
 
     fn file_env(&self) -> FileEnv<'_> {
-        let mut env = FileEnv::new(&self.region, &self.blocks);
+        let mut env = FileEnv::new(&self.region, &self.blocks).with_stats(&self.data_stats);
         env.relaxed = self.cfg.relaxed_writes;
         env.max_hold = self.cfg.file_max_hold;
         env
@@ -423,8 +439,18 @@ impl SimurghFs {
         &self.open_states[(ino.ptr().off() >> 7) as usize % OPEN_SHARDS]
     }
 
-    fn open_ref(&self, ino: Inode) {
-        self.open_state_shard(ino).lock().entry(ino.ptr().off()).or_default().refs += 1;
+    /// Takes one open reference and returns the inode's shared extent
+    /// cursor (created on first open, shared by every later opener).
+    fn open_ref(&self, ino: Inode) -> Arc<file::FileCursor> {
+        let mut states = self.open_state_shard(ino).lock();
+        let s = states.entry(ino.ptr().off()).or_default();
+        s.refs += 1;
+        s.cursor.clone()
+    }
+
+    /// The shared extent cursor of `ino` if any descriptor holds it open.
+    fn cursor_of(&self, ino: Inode) -> Option<Arc<file::FileCursor>> {
+        self.open_state_shard(ino).lock().get(&ino.ptr().off()).map(|s| s.cursor.clone())
     }
 
     fn close_ref(&self, ino: Inode) {
@@ -444,14 +470,14 @@ impl SimurghFs {
     }
 
     fn with_open(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<OpenFile> {
-        self.opens.with(ctx.pid, fd, |o| *o)
+        self.opens.with(ctx.pid, fd, |o| o.clone())
     }
 
     fn do_pwrite(&self, open: &OpenFile, data: &[u8], off: u64) -> FsResult<usize> {
         if !open.flags.write {
             return Err(FsError::BadFd);
         }
-        let env = self.file_env();
+        let env = self.file_env().with_cursor(&open.cursor);
         let _w = file::lock_write(&env, open.ino);
         let n = self
             .timers
@@ -464,7 +490,7 @@ impl SimurghFs {
         if !open.flags.read {
             return Err(FsError::BadFd);
         }
-        let env = self.file_env();
+        let env = self.file_env().with_cursor(&open.cursor);
         let _r = file::lock_read(&env, open.ino);
         Ok(self.timers.time(TimerCategory::Copy, || file::read_at(&env, open.ino, off, buf)))
     }
@@ -487,7 +513,13 @@ impl SimurghFs {
             self.check_perm(ctx, ino, want)?;
         }
         if flags.truncate && flags.write && m.ftype == FileType::Regular {
-            let fenv = self.file_env();
+            let mut fenv = self.file_env();
+            // Attach the existing openers' shared cursor so the truncate
+            // invalidates their mirror too (O_TRUNC from a new descriptor).
+            let cursor = self.cursor_of(ino);
+            if let Some(c) = &cursor {
+                fenv = fenv.with_cursor(c);
+            }
             let _w = file::lock_write(&fenv, ino);
             file::truncate(&fenv, ino, 0)?;
         }
@@ -564,8 +596,8 @@ impl FileSystem for SimurghFs {
                 };
                 let pos =
                     if flags.append { ino.size(&self.region) } else { 0 };
-                self.open_ref(ino);
-                Ok(self.opens.insert(ctx.pid, OpenFile { ino, pos, flags }))
+                let cursor = self.open_ref(ino);
+                Ok(self.opens.insert(ctx.pid, OpenFile { ino, pos, flags, cursor }))
             })
         })
     }
@@ -674,7 +706,7 @@ impl FileSystem for SimurghFs {
                 if !open.flags.write {
                     return Err(FsError::BadFd);
                 }
-                let env = self.file_env();
+                let env = self.file_env().with_cursor(&open.cursor);
                 let _w = file::lock_write(&env, open.ino);
                 file::truncate(&env, open.ino, len)
             })
@@ -688,7 +720,7 @@ impl FileSystem for SimurghFs {
                 if !open.flags.write {
                     return Err(FsError::BadFd);
                 }
-                let env = self.file_env();
+                let env = self.file_env().with_cursor(&open.cursor);
                 let _w = file::lock_write(&env, open.ino);
                 file::fallocate(&env, open.ino, off, len)
             })

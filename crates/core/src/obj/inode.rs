@@ -252,6 +252,24 @@ pub mod extblock {
         r.write(base, len);
         r.persist(base, 8);
     }
+
+    /// Replaces the whole block in place: entries are persisted before the
+    /// count so a crash mid-rewrite never exposes stale slots beyond the
+    /// new count. Used by truncate, which only ever shrinks the map.
+    pub fn rewrite(r: &PmemRegion, blk: PPtr, entries: &[Extent], next_blk: PPtr) {
+        assert!(entries.len() <= CAPACITY);
+        for (i, e) in entries.iter().enumerate() {
+            let base = blk.add(O_ENTRIES + (i as u64) * 16);
+            r.write(base, e.start);
+            r.write(base.add(8), e.len);
+        }
+        if !entries.is_empty() {
+            r.persist(blk.add(O_ENTRIES), entries.len() * 16);
+        }
+        r.write(blk.add(O_COUNT), entries.len() as u64);
+        r.write(blk.add(O_NEXT), next_blk.off());
+        r.persist(blk, 16);
+    }
 }
 
 #[cfg(test)]

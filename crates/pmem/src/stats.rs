@@ -44,6 +44,17 @@ impl StatsSnapshot {
             fences: self.fences.saturating_sub(earlier.fences),
         }
     }
+
+    /// Renders the snapshot as a single-line JSON object, for embedding in
+    /// the harness's machine-readable probe output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bytes_read\":{},\"bytes_written\":{},\"bytes_nt_written\":{},\
+             \"flushed_lines\":{},\"fences\":{}}}",
+            self.bytes_read, self.bytes_written, self.bytes_nt_written, self.flushed_lines,
+            self.fences
+        )
+    }
 }
 
 impl PmemStats {
@@ -104,6 +115,18 @@ mod tests {
         assert_eq!(d.bytes_nt_written, 2);
         assert_eq!(d.fences, 1);
         assert_eq!(d.bytes_total(), 10);
+    }
+
+    #[test]
+    fn json_lists_every_counter() {
+        let snap = StatsSnapshot { bytes_read: 1, fences: 5, ..Default::default() };
+        let j = snap.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in ["bytes_read", "bytes_written", "bytes_nt_written", "flushed_lines", "fences"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"bytes_read\":1"));
+        assert!(j.contains("\"fences\":5"));
     }
 
     #[test]

@@ -75,6 +75,30 @@ fn fig7_simurgh_wins_metadata_benchmarks() {
 }
 
 #[test]
+fn fig7_simurgh_wins_data_benchmarks() {
+    let _serial = serial();
+    best_of(3, || {
+        // With the extent cursor cache and the tail-extend append fast path
+        // the data hot path is O(1) in the extent count, so the paper's
+        // Fig. 7 shape — simurgh ahead on append (g), shared read (i) and
+        // private read (j) — holds with no tolerance factor. The analyzer
+        // guard in static_analysis.rs fails tier-1 if one is reintroduced.
+        let scale = tiny();
+        for panel in ['g', 'i', 'j'] {
+            let series = experiments::fig7(panel, &scale);
+            let simurgh = value_of(&series, "simurgh").max_value();
+            for baseline in ["nova", "pmfs", "ext4-dax", "splitfs"] {
+                let other = value_of(&series, baseline).max_value();
+                assert!(
+                    simurgh >= other,
+                    "panel {panel}: simurgh ({simurgh:.2}) must not trail {baseline} ({other:.2})"
+                );
+            }
+        }
+    });
+}
+
+#[test]
 fn fig7e_resolvepath_headline() {
     let _serial = serial();
     best_of(3, || {

@@ -1,11 +1,13 @@
-//! Metadata-path scaling: the probe counters must show O(1) work per
-//! operation no matter how large a single directory grows. NOVA's per-inode
-//! log append is O(1); Fig. 7 only has Simurgh strictly ahead because the
-//! shared-DRAM index short-circuits every chain walk — so the complexity
-//! claim is asserted here directly, not inferred from wall-clock numbers
-//! (which this battery deliberately avoids: counters don't flake).
+//! Metadata- and data-path scaling: the probe counters must show O(1) work
+//! per operation no matter how large a single directory grows or how
+//! fragmented a file becomes. NOVA's per-inode log append is O(1); Fig. 7
+//! only has Simurgh strictly ahead because the shared-DRAM indexes
+//! short-circuit every chain and extent-map walk — so the complexity claim
+//! is asserted here directly, not inferred from wall-clock numbers (which
+//! this battery deliberately avoids: counters don't flake).
 
 use simurgh_core::dir::DirStatsSnapshot;
+use simurgh_core::file::DataStatsSnapshot;
 use simurgh_core::SimurghFs;
 use simurgh_fsapi::{FileMode, FileSystem, OpenFlags, ProcCtx};
 use simurgh_tests::simurgh;
@@ -114,4 +116,222 @@ fn deleted_slots_are_reused_not_rescanned() {
         d.extends,
     );
     assert!(d.probes_per_lookup() <= 1.5, "churned lookups degraded");
+}
+
+// ---------------------------------------------------------------------------
+// Data path: extent cursor cache and append fast path
+// ---------------------------------------------------------------------------
+
+const BLOCK: u64 = 4096;
+
+/// Creates `/frag{tag}` fragmented into roughly `extents` single-block
+/// extents by interleaving appends with a decoy file: every allocation for
+/// the decoy claims the block right after the main file's tail, so the
+/// tail-extend fast path is blocked and each append lands in its own extent.
+fn fragmented(fs: &SimurghFs, tag: &str, extents: usize) -> simurgh_fsapi::Fd {
+    let rw = OpenFlags { read: true, ..OpenFlags::CREATE };
+    let main = fs.open(&CTX, &format!("/frag{tag}"), rw, FileMode::default()).unwrap();
+    let decoy = fs.open(&CTX, &format!("/decoy{tag}"), OpenFlags::CREATE, FileMode::default()).unwrap();
+    let chunk = vec![0xC3u8; BLOCK as usize];
+    for i in 0..extents as u64 {
+        fs.pwrite(&CTX, main, &chunk, i * BLOCK).unwrap();
+        fs.pwrite(&CTX, decoy, &chunk, i * BLOCK).unwrap();
+    }
+    fs.close(&CTX, decoy).unwrap();
+    main
+}
+
+/// Fixed batch of 4 KiB reads and overwrites striding over the file;
+/// returns the counter delta.
+fn run_data_ops(fs: &SimurghFs, fd: simurgh_fsapi::Fd, extents: usize, ops: u64) -> DataStatsSnapshot {
+    let file_bytes = extents as u64 * BLOCK;
+    let mut buf = vec![0u8; BLOCK as usize];
+    let base = fs.data_stats();
+    for i in 0..ops {
+        let off = (i * 7919 * BLOCK) % file_bytes;
+        fs.pread(&CTX, fd, &mut buf, off).unwrap();
+        fs.pwrite(&CTX, fd, &buf, off).unwrap();
+    }
+    fs.data_stats().since(&base)
+}
+
+#[test]
+fn walk_steps_per_op_independent_of_extent_count() {
+    // The O(1) claim proper, acceptance-criterion form: extent-walk steps
+    // per read/write op must stay flat (±10%) as the file grows from 16 to
+    // 2048 extents. An O(extents) locate would show up as a ~128x ratio.
+    let fs_small = simurgh(64 << 20);
+    let fs_big = simurgh(128 << 20);
+    let fd_small = fragmented(&fs_small, "S", 16);
+    let fd_big = fragmented(&fs_big, "B", 2048);
+    let small = run_data_ops(&fs_small, fd_small, 16, 2000);
+    let big = run_data_ops(&fs_big, fd_big, 2048, 2000);
+
+    let (ps, pb) = (small.walk_steps_per_op(), big.walk_steps_per_op());
+    assert!(ps > 0.0, "probe counters not wired: no walk steps recorded");
+    assert!(
+        pb <= ps * 1.1,
+        "walk steps/op grew with extent count ({ps:.3} at 16 -> {pb:.3} at 2048)"
+    );
+    // Steady state never falls back to a full persistent-map walk: every op
+    // is served from the DRAM extent mirror.
+    assert_eq!(big.map_walks, 0, "data path re-walked the persistent extent map");
+    assert_eq!(big.cursor_rebuilds, 0, "cursor mirror thrashed during steady-state I/O");
+    assert_eq!(big.reads, 2000);
+    assert_eq!(big.writes, 2000);
+}
+
+#[test]
+fn contiguous_appends_extend_tail_in_place() {
+    // Acceptance criterion: >= 90% of contiguous single-thread appends must
+    // extend the tail extent in place instead of allocating a fresh extent.
+    let fs = simurgh(64 << 20);
+    let fd = fs.open(&CTX, "/seq", OpenFlags::CREATE, FileMode::default()).unwrap();
+    let chunk = vec![0x7Eu8; BLOCK as usize];
+    let base = fs.data_stats();
+    for i in 0..1024u64 {
+        fs.pwrite(&CTX, fd, &chunk, i * BLOCK).unwrap();
+    }
+    let d = fs.data_stats().since(&base);
+    assert_eq!(d.appends, 1024);
+    assert!(
+        d.tail_extend_rate() >= 0.9,
+        "tail-extend rate {:.3} ({} of {} appends)",
+        d.tail_extend_rate(),
+        d.tail_extends,
+        d.appends
+    );
+}
+
+#[test]
+fn private_append_storm_stays_o1() {
+    // FxMark DWAL shape: each thread appends to its own file. Segment
+    // affinity keeps the threads in distinct allocator segments, so the
+    // tail-extend fast path keeps working under concurrency and the
+    // per-op walk cost stays O(1).
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const APPENDS: u64 = 512;
+    let fs = Arc::new(simurgh(128 << 20));
+    let base = fs.data_stats();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            std::thread::spawn(move || {
+                let ctx = ProcCtx::root(100 + t as u32);
+                let rw = OpenFlags { read: true, ..OpenFlags::CREATE };
+                let fd = fs.open(&ctx, &format!("/private{t}"), rw, FileMode::default()).unwrap();
+                let chunk = vec![t as u8 + 1; BLOCK as usize];
+                for i in 0..APPENDS {
+                    fs.pwrite(&ctx, fd, &chunk, i * BLOCK).unwrap();
+                }
+                // Read back a spot-check of this thread's own file.
+                let mut buf = vec![0u8; BLOCK as usize];
+                for i in [0, APPENDS / 2, APPENDS - 1] {
+                    fs.pread(&ctx, fd, &mut buf, i * BLOCK).unwrap();
+                    assert!(buf.iter().all(|&b| b == t as u8 + 1), "thread {t} chunk {i} corrupted");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let d = fs.data_stats().since(&base);
+    assert_eq!(d.appends, (THREADS as u64) * APPENDS);
+    // Every write streams through exactly the extents it touches — one run
+    // per 4 KiB append — so walk steps stay ~1/op no matter the thread count.
+    assert!(
+        d.walk_steps_per_op() <= 1.1,
+        "append storm walk steps/op {:.3}",
+        d.walk_steps_per_op()
+    );
+    // The only permitted persistent-map walks are the one-time mirror
+    // builds (one rebuild per freshly opened file), never a per-op fallback.
+    assert!(
+        d.map_walks <= d.cursor_rebuilds && d.cursor_rebuilds <= THREADS as u64,
+        "append storm fell back to persistent map walks: {} walks, {} rebuilds",
+        d.map_walks,
+        d.cursor_rebuilds
+    );
+    // Affinity keeps threads out of each other's segments; most appends
+    // still extend the tail in place even with 4 concurrent appenders.
+    assert!(
+        d.tail_extend_rate() >= 0.6,
+        "concurrent tail-extend rate {:.3} ({} of {})",
+        d.tail_extend_rate(),
+        d.tail_extends,
+        d.appends
+    );
+}
+
+#[test]
+fn shared_file_interleave_keeps_mirror_coherent() {
+    // Two descriptors from two "processes" on one inode share the same
+    // extent mirror (one cursor per open inode). A writer growing the file
+    // and a reader verifying freshly published chunks must stay coherent
+    // through incremental mirror updates alone — no rebuild storms, no
+    // fallback walks of the persistent map.
+    use std::sync::Arc;
+
+    const CHUNKS: u64 = 256;
+    let fs = Arc::new(simurgh(64 << 20));
+    let wctx = ProcCtx::root(1);
+    let rctx = ProcCtx::root(2);
+    let wfd = fs.open(&wctx, "/shared", OpenFlags::CREATE, FileMode::default()).unwrap();
+    let rfd = fs.open(&rctx, "/shared", OpenFlags::RDONLY, FileMode::default()).unwrap();
+    let base = fs.data_stats();
+
+    let writer = {
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            for i in 0..CHUNKS {
+                let chunk = vec![(i % 251) as u8; BLOCK as usize];
+                fs.pwrite(&wctx, wfd, &chunk, i * BLOCK).unwrap();
+            }
+        })
+    };
+    let reader = {
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            let mut buf = vec![0u8; BLOCK as usize];
+            let mut verified = 0u64;
+            while verified < CHUNKS {
+                // Only chunks fully published via the fenced size update are
+                // readable; re-stat until the next one lands.
+                let size = fs.stat(&rctx, "/shared").unwrap().size;
+                while (verified + 1) * BLOCK <= size {
+                    let n = fs.pread(&rctx, rfd, &mut buf, verified * BLOCK).unwrap();
+                    assert_eq!(n, BLOCK as usize);
+                    let want = (verified % 251) as u8;
+                    assert!(buf.iter().all(|&b| b == want), "chunk {verified} torn");
+                    verified += 1;
+                }
+                std::thread::yield_now();
+            }
+            verified
+        })
+    };
+    writer.join().unwrap();
+    assert_eq!(reader.join().unwrap(), CHUNKS);
+
+    let d = fs.data_stats().since(&base);
+    assert_eq!(d.reads, CHUNKS);
+    // Coherence proper: the reader tracked the growing file through shared
+    // incremental mirror updates, never by re-walking per op; the only
+    // permitted persistent-map walks are the few one-time mirror builds.
+    assert!(
+        d.map_walks <= d.cursor_rebuilds,
+        "reader fell back to persistent map walks: {} walks, {} rebuilds",
+        d.map_walks,
+        d.cursor_rebuilds
+    );
+    assert!(
+        d.cursor_rebuilds <= 2,
+        "mirror thrashed: {} rebuilds for {} chunks",
+        d.cursor_rebuilds,
+        CHUNKS
+    );
+    assert!(d.walk_steps_per_op() <= 1.1, "interleave walk steps/op {:.3}", d.walk_steps_per_op());
 }

@@ -67,6 +67,29 @@ fn fig7_metadata_assertions_stay_strict() {
     );
 }
 
+#[test]
+fn fig7_data_assertions_stay_strict() {
+    // The data-path twin of the guard above: once the extent cursor cache
+    // and append fast path made the Fig. 7 data panels (append, shared and
+    // private read) strictly dominant, any `* 0.85`-style deficit allowance
+    // sneaking back into the comparison fails tier-1 even if the weakened
+    // assertion itself still passes.
+    let smoke = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/experiments_smoke.rs");
+    let src = std::fs::read_to_string(&smoke).expect("read experiments_smoke.rs");
+    let hits = simurgh_analyze::tolerance_findings(&src, "fig7_simurgh_wins_data_benchmarks");
+    assert!(
+        hits.is_empty(),
+        "tolerance factor back in the Fig. 7 data assertions:\n{}",
+        hits.iter().map(|(l, s)| format!("  line {l}: {s}")).collect::<Vec<_>>().join("\n")
+    );
+    // The comparison must still be present (the guard is meaningless if the
+    // assertion is deleted rather than weakened).
+    assert!(
+        src.contains("simurgh >= other,"),
+        "fig7 data smoke test no longer asserts dominance"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Golden layout pinning
 // ---------------------------------------------------------------------------
@@ -140,7 +163,7 @@ fn golden_layouts_match_compiled_structs() {
 // ---------------------------------------------------------------------------
 
 #[test]
-fn all_four_rules_fire_on_bad_fixtures() {
+fn all_five_rules_fire_on_bad_fixtures() {
     let bad = workspace_root().join("crates/analyze/fixtures/bad");
     let report = scan_dirs(&[bad], &[]).expect("scan bad fixtures");
     for rule in Rule::ALL {
