@@ -6,5 +6,5 @@ tests/tests/static_analysis.rs:
 Cargo.toml:
 
 # env-dep:CARGO_MANIFEST_DIR=/root/repo/tests
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR
