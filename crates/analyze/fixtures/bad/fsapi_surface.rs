@@ -1,0 +1,29 @@
+// Bad fixture for the api-surface rule: the "fsapi" in this file's path
+// puts it in scope. An undocumented public item and an FsError variant
+// missing from both errno mappings must each fire.
+
+pub fn undocumented_helper() -> u32 {
+    7
+}
+
+/// Documented, but its variants are only partially mapped below.
+pub enum FsError {
+    NotFound,
+    Unmapped(u8),
+}
+
+impl FsError {
+    /// Maps to a Linux errno — `Unmapped` is absent: finding.
+    pub fn errno(&self) -> i32 {
+        match self {
+            FsError::NotFound => 2,
+        }
+    }
+
+    /// Symbolic name — `Unmapped` absent here too.
+    pub fn errno_name(&self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+        }
+    }
+}

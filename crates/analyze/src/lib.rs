@@ -9,7 +9,7 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Five rule families:
+//! Six rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
@@ -32,6 +32,11 @@
 //!   O(extents) map helpers (`map_offset`, `allocated_bytes`,
 //!   `for_each_extent`) from inside a loop body of one of those functions
 //!   reintroduces the per-chunk re-walk the extent cursor cache removed.
+//! * **api-surface** — the `fsapi` crate is the workspace's public
+//!   contract: every `pub` item there needs a rustdoc comment, and every
+//!   `FsError` variant must appear in both the `errno()` and
+//!   `errno_name()` mappings (a variant added without an errno silently
+//!   breaks the io::Error conversion surface).
 //!
 //! False positives are suppressed in place with a justified
 //! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
@@ -42,7 +47,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five rule families.
+/// The six rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
@@ -50,6 +55,7 @@ pub enum Rule {
     UnsafeAudit,
     MediaLayout,
     DataPathWalk,
+    ApiSurface,
 }
 
 impl Rule {
@@ -61,15 +67,17 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::MediaLayout => "media-layout",
             Rule::DataPathWalk => "data-path-walk",
+            Rule::ApiSurface => "api-surface",
         }
     }
 
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::PersistOrder,
         Rule::LockDiscipline,
         Rule::UnsafeAudit,
         Rule::MediaLayout,
         Rule::DataPathWalk,
+        Rule::ApiSurface,
     ];
 }
 
@@ -821,6 +829,186 @@ fn rule_data_path_walk(file: &SourceFile, report: &mut Report) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: fsapi public-surface guard
+// ---------------------------------------------------------------------------
+
+/// Item-introducing keywords whose `pub` form requires a rustdoc comment.
+const PUB_ITEM_KEYWORDS: [&str; 8] =
+    ["fn", "struct", "enum", "trait", "type", "const", "static", "mod"];
+
+/// Name of the `pub` item declared on this line, if any. Restricted
+/// visibility (`pub(crate)`, `pub(super)`) and re-exports (`pub use`) are
+/// not part of the external contract and return `None`.
+fn declared_pub_item(code: &str) -> Option<(&'static str, String)> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    let rest = rest.trim_start();
+    // `pub unsafe fn`, `pub async fn`, `pub const fn` …
+    let rest = ["unsafe ", "async ", "extern \"C\" "]
+        .iter()
+        .fold(rest, |r, p| r.strip_prefix(p).unwrap_or(r).trim_start());
+    for kw in PUB_ITEM_KEYWORDS {
+        if let Some(after) = rest.strip_prefix(kw) {
+            if !after.starts_with(' ') {
+                continue; // `pub const fn` handled by the `fn` pass below
+            }
+            if kw == "const" || kw == "static" {
+                // `pub const fn name` — the item is the fn, keep scanning.
+                let after = after.trim_start();
+                if let Some(fn_rest) = after.strip_prefix("fn ") {
+                    let name: String =
+                        fn_rest.trim_start().chars().take_while(|&c| is_ident(c)).collect();
+                    return Some(("fn", name));
+                }
+            }
+            let name: String =
+                after.trim_start().chars().take_while(|&c| is_ident(c)).collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some((kw, name));
+        }
+    }
+    None
+}
+
+/// Whether the item starting at `ln` has a rustdoc comment (or `#[doc]`
+/// attribute) directly above it, attributes in between allowed.
+fn has_rustdoc(file: &SourceFile, ln: usize) -> bool {
+    let mut k = ln;
+    while k > 0 {
+        k -= 1;
+        let t = file.lines[k].raw.trim();
+        if t.starts_with("///") || t.starts_with("/**") || t.starts_with("#[doc") {
+            return true;
+        }
+        if t.starts_with("#[") || t.starts_with("#![") || t.ends_with(']') {
+            continue; // attribute (possibly the tail of a multi-line one)
+        }
+        if t.ends_with("*/") {
+            // Tail of a block comment: walk to its opening line.
+            while k > 0 && !file.lines[k].raw.trim_start().starts_with("/*") {
+                k -= 1;
+            }
+            return file.lines[k].raw.trim_start().starts_with("/**");
+        }
+        break;
+    }
+    false
+}
+
+/// 0-based line range of `enum FsError`'s body, if declared in this file.
+fn fs_error_enum_range(file: &SourceFile) -> Option<(usize, usize)> {
+    let start = file
+        .lines
+        .iter()
+        .position(|l| !l.skip && has_word(&l.code, "enum") && has_word(&l.code, "FsError"))?;
+    let mut depth = 0i64;
+    let mut entered = false;
+    for (ln, line) in file.lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            return Some((start, ln));
+        }
+    }
+    None
+}
+
+/// Variant names of an enum body: capitalized identifiers opening a line.
+fn enum_variants(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for ln in start + 1..end {
+        let code = file.lines[ln].code.trim_start();
+        let name: String = code.chars().take_while(|&c| is_ident(c)).collect();
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && matches!(
+                code[name.len()..].trim_start().chars().next(),
+                Some('(') | Some(',') | Some('{') | None
+            )
+        {
+            out.push((ln, name));
+        }
+    }
+    out
+}
+
+fn rule_api_surface(file: &SourceFile, report: &mut Report) {
+    if !file.label.contains("fsapi") {
+        return;
+    }
+    // Every `pub` item of the contract crate carries rustdoc.
+    let ranges = function_ranges(file);
+    for (ln, line) in file.lines.iter().enumerate() {
+        if line.skip {
+            continue;
+        }
+        let Some((kind, name)) = declared_pub_item(&line.code) else {
+            continue;
+        };
+        // Items declared inside a function body are local, not API surface.
+        if ranges.iter().any(|&(s, e)| ln > s && ln < e) {
+            continue;
+        }
+        if !has_rustdoc(file, ln) && !allowed(file, ln, Rule::ApiSurface) {
+            report.findings.push(Finding {
+                rule: Rule::ApiSurface,
+                file: file.label.clone(),
+                line: ln + 1,
+                message: format!("public {kind} `{name}` has no rustdoc comment"),
+            });
+        }
+    }
+    // Every FsError variant maps to an errno (both number and name).
+    let Some((start, end)) = fs_error_enum_range(file) else {
+        return;
+    };
+    let fn_body = |fn_name: &str| -> Option<(usize, usize)> {
+        ranges
+            .iter()
+            .find(|&&(s, _)| declared_fn_name(&file.lines[s].code).as_deref() == Some(fn_name))
+            .copied()
+    };
+    for (map_fn, what) in [("errno", "errno()"), ("errno_name", "errno_name()")] {
+        let Some((fs, fe)) = fn_body(map_fn) else {
+            for (ln, _) in enum_variants(file, start, end).into_iter().take(1) {
+                if !allowed(file, ln, Rule::ApiSurface) {
+                    report.findings.push(Finding {
+                        rule: Rule::ApiSurface,
+                        file: file.label.clone(),
+                        line: ln + 1,
+                        message: format!("FsError is declared but no `fn {map_fn}` maps it"),
+                    });
+                }
+            }
+            continue;
+        };
+        for (ln, variant) in enum_variants(file, start, end) {
+            let mapped =
+                (fs..=fe).any(|l| !file.lines[l].skip && has_word(&file.lines[l].code, &variant));
+            // A wildcard arm covers forward-compatible variants.
+            let wildcard = (fs..=fe).any(|l| file.lines[l].code.trim_start().starts_with("_ =>"));
+            if !mapped && !wildcard && !allowed(file, ln, Rule::ApiSurface) {
+                report.findings.push(Finding {
+                    rule: Rule::ApiSurface,
+                    file: file.label.clone(),
+                    line: ln + 1,
+                    message: format!("FsError::{variant} is missing from the {what} mapping"),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tolerance-factor guard (comparative benchmark assertions)
 // ---------------------------------------------------------------------------
 
@@ -923,6 +1111,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
         rule_lock_discipline(file, &mut report);
         rule_unsafe_audit(file, &mut report);
         rule_data_path_walk(file, &mut report);
+        rule_api_surface(file, &mut report);
     }
     rule_media_layout(&files, manifest, &mut report);
     report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -1392,6 +1581,79 @@ mod tests {
         assert!(!has_invocation("pub fn map_offset(env: &FileEnv) {", "map_offset"));
         assert!(!has_invocation("fn allocated_bytes(env: &FileEnv) {", "allocated_bytes"));
         assert!(!has_invocation("let x = shared_map_offset(a);", "map_offset"));
+    }
+
+    // ----- api-surface -----------------------------------------------------
+
+    fn fsapi_findings(src: &str) -> Vec<Finding> {
+        let report = scan_files(&[("crates/fsapi/src/fixture.rs", src)], &[]);
+        report.findings.into_iter().filter(|f| f.rule == Rule::ApiSurface).collect()
+    }
+
+    #[test]
+    fn api_surface_bad_undocumented_pub_item() {
+        let src = "
+            pub fn naked() -> u32 { 7 }
+        ";
+        let f = fsapi_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`naked`"));
+    }
+
+    #[test]
+    fn api_surface_good_documented_or_private() {
+        let src = "
+            /// Documented public function.
+            pub fn covered() -> u32 { 7 }
+            /// Attributes between the doc and the item are fine.
+            #[inline]
+            pub fn attributed() {}
+            pub(crate) fn internal() {}
+            fn private() {}
+            pub use other::thing;
+        ";
+        assert!(fsapi_findings(src).is_empty());
+    }
+
+    #[test]
+    fn api_surface_only_applies_to_fsapi_paths() {
+        let src = "pub fn naked() {}";
+        let report = scan_files(&[("crates/core/src/other.rs", src)], &[]);
+        assert!(report.findings.iter().all(|f| f.rule != Rule::ApiSurface));
+    }
+
+    #[test]
+    fn api_surface_bad_unmapped_error_variant() {
+        let src = "
+            /// The error enum.
+            pub enum FsError {
+                NotFound,
+                Orphan,
+            }
+            impl FsError {
+                /// errno numbers.
+                pub fn errno(&self) -> i32 {
+                    match self { FsError::NotFound => 2, FsError::Orphan => 5 }
+                }
+                /// errno names — Orphan missing: finding.
+                pub fn errno_name(&self) -> &'static str {
+                    match self { FsError::NotFound => \"ENOENT\" }
+                }
+            }
+        ";
+        let f = fsapi_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Orphan"));
+        assert!(f[0].message.contains("errno_name"));
+    }
+
+    #[test]
+    fn api_surface_respects_allow_marker() {
+        let src = "
+            // analyze:allow(api-surface): fixture helper
+            pub fn naked() {}
+        ";
+        assert!(fsapi_findings(src).is_empty());
     }
 
     // ----- plumbing --------------------------------------------------------

@@ -25,6 +25,7 @@ use simurgh_fsapi::{FsError, FsResult};
 use simurgh_pmem::{PPtr, PmemRegion};
 
 use super::blocks::BlockAlloc;
+use super::AllocFaults;
 use crate::obj::{H_DIRTY, H_VALID};
 use crate::super_block::{PoolKind, PoolSeg, Superblock};
 use crate::BLOCK_SIZE;
@@ -41,6 +42,9 @@ pub struct MetaAllocator {
     blocks: Arc<BlockAlloc>,
     free: [SegQueue<u64>; 3],
     grow_lock: Mutex<()>,
+    /// Resource-fault injector shared with the data path (see
+    /// [`AllocFaults`]); disarmed by default.
+    faults: Arc<AllocFaults>,
 }
 
 impl MetaAllocator {
@@ -52,7 +56,13 @@ impl MetaAllocator {
             blocks,
             free: [SegQueue::new(), SegQueue::new(), SegQueue::new()],
             grow_lock: Mutex::new(()),
+            faults: Arc::new(AllocFaults::default()),
         }
+    }
+
+    /// The mount's shared resource-fault injector.
+    pub fn faults(&self) -> &Arc<AllocFaults> {
+        &self.faults
     }
 
     /// Registers an already-zeroed free object (mount-time rebuild).
@@ -69,6 +79,7 @@ impl MetaAllocator {
     /// zeroed. The caller initializes fields, links the object, and finally
     /// clears the dirty bit.
     pub fn alloc(&self, kind: PoolKind) -> FsResult<PPtr> {
+        self.faults.check("meta-alloc")?;
         let claim = H_VALID | H_DIRTY | kind.tag().bits();
         loop {
             let Some(off) = self.free[kind as usize].pop() else {

@@ -372,7 +372,7 @@ fn find_or_extend_slot(
 
 /// Creates a directory entry: Fig. 5a steps 2–6 (step 1, inode creation, is
 /// the caller's; the inode arrives persisted but still dirty and this
-/// function clears its dirty bit last).
+/// function clears its dirty bit before the entry's own).
 pub fn insert(
     env: &DirEnv<'_>,
     first: DirBlock,
@@ -404,14 +404,16 @@ pub fn insert(
     if let Some(ix) = env.index {
         ix.insert(first.ptr(), nhash, fe_ptr, blk.ptr());
     }
-    // Step 6: clear dirty bits (new block, file entry, then inode).
+    // Step 6: clear dirty bits — the file entry's goes LAST. Its dirty bit
+    // is what recovery keys the roll-forward on, so everything it vouches
+    // for (block, inode) must be clean before it is.
     if fresh_block {
         obj::clear_dirty(env.region, blk.ptr());
     }
-    obj::clear_dirty(env.region, fe_ptr);
     if !inode.is_null() {
         obj::clear_dirty(env.region, inode);
     }
+    obj::clear_dirty(env.region, fe_ptr);
     Ok(fe)
 }
 

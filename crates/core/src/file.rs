@@ -31,7 +31,7 @@ use parking_lot::RwLock;
 use simurgh_fsapi::{FsError, FsResult};
 use simurgh_pmem::{PPtr, PmemRegion};
 
-use crate::alloc::BlockAlloc;
+use crate::alloc::{AllocFaults, BlockAlloc};
 use crate::obj::inode::{extblock, Extent, Inode, INLINE_EXTENTS};
 use crate::BLOCK_SIZE;
 
@@ -295,6 +295,8 @@ pub struct FileEnv<'a> {
     pub stats: Option<&'a DataStats>,
     /// Optional extent mirror of the file being operated on.
     pub cursor: Option<&'a FileCursor>,
+    /// Optional resource-fault injector (crash-matrix ENOSPC testing).
+    pub faults: Option<&'a AllocFaults>,
 }
 
 impl<'a> FileEnv<'a> {
@@ -306,6 +308,7 @@ impl<'a> FileEnv<'a> {
             max_hold: DEFAULT_FILE_MAX_HOLD,
             stats: None,
             cursor: None,
+            faults: None,
         }
     }
 
@@ -313,6 +316,21 @@ impl<'a> FileEnv<'a> {
     pub fn with_stats(mut self, stats: &'a DataStats) -> Self {
         self.stats = Some(stats);
         self
+    }
+
+    /// Attaches the mount's resource-fault injector.
+    pub fn with_faults(mut self, faults: &'a AllocFaults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Consults the fault injector (if any) before a block allocation.
+    #[inline]
+    fn check_fault(&self, site: &'static str) -> FsResult<()> {
+        match self.faults {
+            Some(f) => f.check(site),
+            None => Ok(()),
+        }
     }
 
     /// Attaches the open file's extent mirror.
@@ -635,6 +653,7 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
         None => ino.ext_next(r),
     };
     if blk.is_null() {
+        env.check_fault("extent-block-alloc")?;
         let nb = env.blocks.alloc(ino.ptr().off() / 64, 1).ok_or(FsError::NoSpace)?;
         extblock::init(r, nb);
         ino.set_ext_next(r, nb);
@@ -656,6 +675,7 @@ fn push_extent(env: &FileEnv<'_>, ino: Inode, e: Extent) -> FsResult<()> {
         }
         let next = extblock::next(r, blk);
         if next.is_null() {
+            env.check_fault("extent-block-alloc")?;
             let nb = env.blocks.alloc(ino.ptr().off() / 64, 1).ok_or(FsError::NoSpace)?;
             extblock::init(r, nb);
             extblock::set_next(r, blk, nb);
@@ -704,6 +724,7 @@ pub fn ensure_allocated(env: &FileEnv<'_>, ino: Inode, want: u64) -> FsResult<()
     env.bump(|s| &s.appends);
     let mut need_blocks = (want - have).div_ceil(BLOCK_SIZE as u64);
     if let Some(end) = tail_end {
+        env.check_fault("tail-extend")?;
         let got = env.blocks.extend_at(env.blocks.ptr_block(end), need_blocks);
         if got > 0 {
             env.bump(|s| &s.tail_extends);
@@ -718,6 +739,7 @@ pub fn ensure_allocated(env: &FileEnv<'_>, ino: Inode, want: u64) -> FsResult<()
     // Allocate in as few contiguous chunks as the allocator can provide:
     // try the whole run first, halve on failure.
     while need_blocks > 0 {
+        env.check_fault("data-block-alloc")?;
         let mut chunk = need_blocks;
         let ptr = loop {
             match alloc_affine(env, ino, chunk) {

@@ -253,6 +253,12 @@ impl SimurghFs {
         &self.blocks
     }
 
+    /// The mount's resource-fault injector: arms ENOSPC at the *k*-th
+    /// metadata or data-block allocation (crash-matrix harness).
+    pub fn alloc_faults(&self) -> &Arc<crate::alloc::AllocFaults> {
+        self.meta.faults()
+    }
+
     /// Snapshot of the directory probe counters (scaling assertions and the
     /// bench harness's stats export).
     pub fn dir_stats(&self) -> dir::DirStatsSnapshot {
@@ -299,7 +305,9 @@ impl SimurghFs {
     }
 
     fn file_env(&self) -> FileEnv<'_> {
-        let mut env = FileEnv::new(&self.region, &self.blocks).with_stats(&self.data_stats);
+        let mut env = FileEnv::new(&self.region, &self.blocks)
+            .with_stats(&self.data_stats)
+            .with_faults(self.meta.faults());
         env.relaxed = self.cfg.relaxed_writes;
         env.max_hold = self.cfg.file_max_hold;
         env
@@ -885,7 +893,11 @@ impl FileSystem for SimurghFs {
                 let env = self.dir_env();
                 let ino = self.new_inode(ctx, FileMode::symlink(), 1)?;
                 let fenv = self.file_env();
-                file::write_at(&fenv, ino, 0, target.as_bytes())?;
+                if let Err(e) = file::write_at(&fenv, ino, 0, target.as_bytes()) {
+                    file::free_all(&fenv, ino);
+                    self.meta.free(PoolKind::Inode, ino.ptr());
+                    return Err(e);
+                }
                 match dir::insert(&env, first, name, FileType::Symlink, ino.ptr()) {
                     Ok(_) => Ok(()),
                     Err(e) => {

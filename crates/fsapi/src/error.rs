@@ -1,11 +1,19 @@
 //! File-system error codes, modelled on the POSIX errnos the paper's
 //! workloads (FxMark, Filebench, LevelDB, tar, git) actually exercise.
+//!
+//! The enum is `#[non_exhaustive]`: downstream crates must keep a wildcard
+//! arm so new conditions (like the fault-injection marker
+//! [`FsError::Injected`]) can be added without breaking them. Every variant
+//! maps to a classic errno through [`FsError::errno`] /
+//! [`FsError::errno_name`], and the type converts losslessly-enough to and
+//! from [`std::io::Error`] for harnesses that speak `io::Result`.
 
 /// Result alias used across all file-system implementations.
 pub type FsResult<T> = Result<T, FsError>;
 
 /// POSIX-flavoured error conditions.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FsError {
     /// ENOENT: a path component does not exist.
     NotFound,
@@ -19,7 +27,8 @@ pub enum FsError {
     NotEmpty,
     /// EACCES: permission denied by mode bits.
     Access,
-    /// ENOSPC: allocator exhausted.
+    /// ENOSPC: allocator exhausted (organically — see [`FsError::Injected`]
+    /// for the fault-injected flavour).
     NoSpace,
     /// EBADF: unknown or wrongly-opened file descriptor.
     BadFd,
@@ -33,6 +42,11 @@ pub enum FsError {
     Unsupported,
     /// Internal consistency failure (would be a kernel bug on a real FS).
     Corrupt(&'static str),
+    /// ENOSPC delivered by the fault-injection harness rather than by real
+    /// exhaustion; the payload names the injection site. Crash-matrix
+    /// reports use this to tell a planned fault from an organic one —
+    /// everything else should treat it exactly like [`FsError::NoSpace`].
+    Injected(&'static str),
 }
 
 impl FsError {
@@ -52,7 +66,34 @@ impl FsError {
             FsError::TooManyLinks => "ELOOP",
             FsError::Unsupported => "ENOTSUP",
             FsError::Corrupt(_) => "EIO",
+            FsError::Injected(_) => "ENOSPC",
         }
+    }
+
+    /// The classic Linux errno value (what a kernel file system would
+    /// return in `errno`), matching [`errno_name`](Self::errno_name).
+    pub fn errno(&self) -> i32 {
+        match self {
+            FsError::NotFound => 2,       // ENOENT
+            FsError::Exists => 17,        // EEXIST
+            FsError::NotDir => 20,        // ENOTDIR
+            FsError::IsDir => 21,         // EISDIR
+            FsError::NotEmpty => 39,      // ENOTEMPTY
+            FsError::Access => 13,        // EACCES
+            FsError::NoSpace => 28,       // ENOSPC
+            FsError::BadFd => 9,          // EBADF
+            FsError::NameTooLong => 36,   // ENAMETOOLONG
+            FsError::Invalid => 22,       // EINVAL
+            FsError::TooManyLinks => 40,  // ELOOP
+            FsError::Unsupported => 95,   // ENOTSUP / EOPNOTSUPP
+            FsError::Corrupt(_) => 5,     // EIO
+            FsError::Injected(_) => 28,   // ENOSPC
+        }
+    }
+
+    /// True for errors produced by the fault-injection harness.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, FsError::Injected(_))
     }
 }
 
@@ -60,12 +101,53 @@ impl std::fmt::Display for FsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FsError::Corrupt(what) => write!(f, "EIO (fs corruption: {what})"),
+            FsError::Injected(site) => write!(f, "ENOSPC (injected at {site})"),
             other => f.write_str(other.errno_name()),
         }
     }
 }
 
 impl std::error::Error for FsError {}
+
+impl From<FsError> for std::io::Error {
+    /// Maps onto the OS errno, so `io::Error::raw_os_error` round-trips and
+    /// the kernel-rendered message matches what a real file system would
+    /// produce.
+    fn from(e: FsError) -> Self {
+        std::io::Error::from_raw_os_error(e.errno())
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    /// Best-effort reverse mapping: exact for every error that carries a raw
+    /// OS errno we know, by-kind otherwise. `Injected` collapses to
+    /// `NoSpace` (the injection marker does not survive the io layer).
+    fn from(e: std::io::Error) -> Self {
+        match e.raw_os_error() {
+            Some(2) => FsError::NotFound,
+            Some(17) => FsError::Exists,
+            Some(20) => FsError::NotDir,
+            Some(21) => FsError::IsDir,
+            Some(39) => FsError::NotEmpty,
+            Some(13) => FsError::Access,
+            Some(28) => FsError::NoSpace,
+            Some(9) => FsError::BadFd,
+            Some(36) => FsError::NameTooLong,
+            Some(22) => FsError::Invalid,
+            Some(40) => FsError::TooManyLinks,
+            Some(95) => FsError::Unsupported,
+            Some(5) => FsError::Corrupt("io error"),
+            _ => match e.kind() {
+                std::io::ErrorKind::NotFound => FsError::NotFound,
+                std::io::ErrorKind::AlreadyExists => FsError::Exists,
+                std::io::ErrorKind::PermissionDenied => FsError::Access,
+                std::io::ErrorKind::InvalidInput => FsError::Invalid,
+                std::io::ErrorKind::Unsupported => FsError::Unsupported,
+                _ => FsError::Corrupt("unmapped io error"),
+            },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -77,5 +159,50 @@ mod tests {
         assert_eq!(FsError::Corrupt("x").errno_name(), "EIO");
         assert_eq!(format!("{}", FsError::Exists), "EEXIST");
         assert_eq!(format!("{}", FsError::Corrupt("bad line")), "EIO (fs corruption: bad line)");
+    }
+
+    #[test]
+    fn injected_is_enospc_but_distinguishable() {
+        let e = FsError::Injected("meta-alloc");
+        assert_eq!(e.errno_name(), "ENOSPC");
+        assert_eq!(e.errno(), FsError::NoSpace.errno());
+        assert!(e.is_injected());
+        assert!(!FsError::NoSpace.is_injected());
+        assert_ne!(e, FsError::NoSpace);
+        assert_eq!(format!("{e}"), "ENOSPC (injected at meta-alloc)");
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let all = [
+            FsError::NotFound,
+            FsError::Exists,
+            FsError::NotDir,
+            FsError::IsDir,
+            FsError::NotEmpty,
+            FsError::Access,
+            FsError::NoSpace,
+            FsError::BadFd,
+            FsError::NameTooLong,
+            FsError::Invalid,
+            FsError::TooManyLinks,
+            FsError::Unsupported,
+            FsError::Corrupt("x"),
+            FsError::Injected("y"),
+        ];
+        for e in all {
+            let io: std::io::Error = e.clone().into();
+            assert_eq!(io.raw_os_error(), Some(e.errno()), "{e:?} keeps its errno");
+            let back = FsError::from(io);
+            assert_eq!(back.errno_name(), e.errno_name(), "{e:?} round-trips by errno");
+        }
+    }
+
+    #[test]
+    fn io_error_by_kind_fallback() {
+        let e = std::io::Error::new(std::io::ErrorKind::NotFound, "synthetic");
+        assert_eq!(FsError::from(e), FsError::NotFound);
+        let e = std::io::Error::new(std::io::ErrorKind::AlreadyExists, "synthetic");
+        assert_eq!(FsError::from(e), FsError::Exists);
     }
 }

@@ -18,6 +18,7 @@ pub struct ProcCtx {
 }
 
 impl ProcCtx {
+    /// A process with explicit credentials.
     pub const fn new(pid: u32, creds: Credentials) -> Self {
         ProcCtx { pid, creds }
     }
@@ -113,8 +114,11 @@ pub trait FileSystem: Send + Sync {
         Err(crate::FsError::Unsupported)
     }
 
-    /// Convenience: full-file read.
-    fn read_to_vec(&self, ctx: &ProcCtx, path: &str) -> FsResult<Vec<u8>> {
+    /// Convenience: full-file read. Every implementation serves this and the
+    /// other whole-file helpers through the same descriptor-based primitives,
+    /// so the harness, the baselines and the crash-matrix driver all exercise
+    /// one surface.
+    fn read_file(&self, ctx: &ProcCtx, path: &str) -> FsResult<Vec<u8>> {
         let fd = self.open(ctx, path, OpenFlags::RDONLY, FileMode::default())?;
         let st = self.fstat(ctx, fd)?;
         let mut buf = vec![0u8; st.size as usize];
@@ -131,6 +135,12 @@ pub trait FileSystem: Send + Sync {
         Ok(buf)
     }
 
+    /// Alias of [`read_file`](Self::read_file), kept for callers written
+    /// against the pre-v2 helper name.
+    fn read_to_vec(&self, ctx: &ProcCtx, path: &str) -> FsResult<Vec<u8>> {
+        self.read_file(ctx, path)
+    }
+
     /// Convenience: create/truncate and write a whole file.
     fn write_file(&self, ctx: &ProcCtx, path: &str, data: &[u8]) -> FsResult<()> {
         let fd = self.open(ctx, path, OpenFlags::CREATE, FileMode::default())?;
@@ -141,7 +151,31 @@ pub trait FileSystem: Send + Sync {
         self.fsync(ctx, fd)?;
         self.close(ctx, fd)
     }
+
+    /// Convenience: the whole tree under `root` as sorted
+    /// `(path, kind, size)` rows (directories report size 0). Used to
+    /// compare two file systems — or two crash outcomes — structurally.
+    fn snapshot_tree(&self, ctx: &ProcCtx, root: &str) -> FsResult<Vec<TreeEntry>> {
+        let mut out = Vec::new();
+        let mut stack = vec![if root.is_empty() { "/".to_owned() } else { root.to_owned() }];
+        while let Some(dir) = stack.pop() {
+            for e in self.readdir(ctx, &dir)? {
+                let path =
+                    if dir == "/" { format!("/{}", e.name) } else { format!("{dir}/{}", e.name) };
+                let st = self.stat(ctx, &path)?;
+                out.push((path.clone(), e.ftype, if st.is_dir() { 0 } else { st.size }));
+                if e.ftype == crate::types::FileType::Directory {
+                    stack.push(path);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
 }
+
+/// One row of [`FileSystem::snapshot_tree`]: `(path, kind, size)`.
+pub type TreeEntry = (String, crate::types::FileType, u64);
 
 /// A sharded open-file table mapping descriptors to per-open state.
 ///
@@ -156,6 +190,7 @@ pub struct OpenTable<T> {
 impl<T> OpenTable<T> {
     const SHARDS: usize = 16;
 
+    /// An empty table; descriptors start at 3 (0..2 are "stdio").
     pub fn new() -> Self {
         OpenTable {
             shards: (0..Self::SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
@@ -198,6 +233,7 @@ impl<T> OpenTable<T> {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
+    /// Whether no descriptor is open anywhere.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -9,15 +9,21 @@
 //! [`reffs::RefFs`], a deliberately simple in-memory reference file system
 //! used as the oracle in differential and property tests.
 
+/// Error vocabulary: [`FsError`], errno mappings, `io::Error` conversions.
 pub mod error;
+/// The [`FileSystem`] trait and its default helper methods.
 pub mod fs;
+/// Lexical path normalization and name validation.
 pub mod path;
+/// Per-operation instrumentation for the paper's time breakdowns.
 pub mod profile;
+/// In-memory reference file system used as the test oracle.
 pub mod reffs;
+/// Shared vocabulary types: modes, flags, stat, credentials.
 pub mod types;
 
 pub use error::{FsError, FsResult};
-pub use fs::{DirEntry, FileSystem, ProcCtx};
+pub use fs::{DirEntry, FileSystem, ProcCtx, TreeEntry};
 pub use profile::{Breakdown, Instrumented, OpTimers, TimerCategory};
 pub use types::{Credentials, Fd, FileMode, FileType, FsStats, OpenFlags, SeekFrom, Stat};
 

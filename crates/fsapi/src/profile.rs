@@ -96,6 +96,7 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
+    /// Sum of the three components.
     pub fn total_ns(&self) -> u64 {
         self.app_ns + self.copy_ns + self.fs_ns
     }

@@ -22,14 +22,17 @@ pub struct FileMode {
 }
 
 impl FileMode {
+    /// Regular file with the given permission bits.
     pub const fn file(perm: u16) -> Self {
         FileMode { ftype: FileType::Regular, perm }
     }
 
+    /// Directory with the given permission bits.
     pub const fn dir(perm: u16) -> Self {
         FileMode { ftype: FileType::Directory, perm }
     }
 
+    /// Symlink; permissions are conventionally `0o777` and ignored.
     pub const fn symlink() -> Self {
         FileMode { ftype: FileType::Symlink, perm: 0o777 }
     }
@@ -78,8 +81,11 @@ impl Credentials {
 
 /// Access-intent bits for [`Credentials::may`].
 pub mod access {
+    /// Read intent.
     pub const R: u16 = 4;
+    /// Write intent.
     pub const W: u16 = 2;
+    /// Execute / directory-search intent.
     pub const X: u16 = 1;
 }
 
@@ -95,10 +101,13 @@ pub struct OpenFlags {
 }
 
 impl OpenFlags {
+    /// `O_RDONLY`.
     pub const RDONLY: OpenFlags =
         OpenFlags { read: true, write: false, create: false, excl: false, truncate: false, append: false };
+    /// `O_WRONLY`.
     pub const WRONLY: OpenFlags =
         OpenFlags { read: false, write: true, create: false, excl: false, truncate: false, append: false };
+    /// `O_RDWR`.
     pub const RDWR: OpenFlags =
         OpenFlags { read: true, write: true, create: false, excl: false, truncate: false, append: false };
 
@@ -110,6 +119,7 @@ impl OpenFlags {
     pub const APPEND: OpenFlags =
         OpenFlags { read: false, write: true, create: true, excl: false, truncate: false, append: true };
 
+    /// Adds `O_EXCL` (implies `O_CREAT`): fail if the path already exists.
     pub fn with_excl(mut self) -> Self {
         self.excl = true;
         self.create = true;
@@ -153,14 +163,17 @@ pub struct Stat {
 }
 
 impl Stat {
+    /// Whether this is a directory.
     pub fn is_dir(&self) -> bool {
         self.mode.ftype == FileType::Directory
     }
 
+    /// Whether this is a regular file.
     pub fn is_file(&self) -> bool {
         self.mode.ftype == FileType::Regular
     }
 
+    /// Whether this is a symbolic link.
     pub fn is_symlink(&self) -> bool {
         self.mode.ftype == FileType::Symlink
     }

@@ -35,7 +35,7 @@ pub use pptr::PPtr;
 pub use prot::{AccessFault, AccessPolicy, PageFlags, PageTable};
 pub use region::{PmemError, PmemRegion, Pod, RegionBuilder};
 pub use stats::PmemStats;
-pub use tracker::TrackMode;
+pub use tracker::{FaultPlan, TrackMode};
 
 /// Size of one emulated CPU cache line in bytes.
 pub const CACHE_LINE: usize = 64;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use crate::prot::{AccessFault, AccessPolicy};
 use crate::stats::PmemStats;
-use crate::tracker::{TrackMode, Tracker};
+use crate::tracker::{FaultPlan, TrackMode, Tracker};
 use crate::{PPtr, CACHE_LINE, PAGE_SIZE};
 
 /// Errors surfaced by fallible region operations.
@@ -400,6 +400,29 @@ impl PmemRegion {
 
     // ----- crash simulation -------------------------------------------------
 
+    /// Installs a [`FaultPlan`] on the crash tracker, resetting the
+    /// persistence-boundary counter (fences issued before arming are not
+    /// counted against the plan). Panics in raw mode.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.tracker.as_ref().expect("arm_faults requires TrackMode::Tracked").arm(plan);
+    }
+
+    /// Persistence boundaries (`sfence` commits) crossed since the last
+    /// [`arm_faults`](Self::arm_faults) call. Panics in raw mode.
+    pub fn fence_count(&self) -> u64 {
+        self.tracker.as_ref().expect("fence_count requires TrackMode::Tracked").fence_count()
+    }
+
+    /// Whether the armed fault plan's power cut has fired: once true, the
+    /// media image is frozen and nothing else becomes durable. Panics in
+    /// raw mode.
+    pub fn powercut_tripped(&self) -> bool {
+        self.tracker
+            .as_ref()
+            .expect("powercut_tripped requires TrackMode::Tracked")
+            .powercut_tripped()
+    }
+
     /// Returns a copy of the **media image**: the bytes that would survive a
     /// power failure right now. Panics in raw mode.
     pub fn media_image(&self) -> Vec<u8> {
@@ -605,6 +628,32 @@ mod tests {
         assert_eq!(r.unpersisted_lines(), 1);
         r.persist(PPtr::new(200), 1);
         assert_eq!(r.unpersisted_lines(), 0);
+    }
+
+    #[test]
+    fn fault_plan_cuts_power_at_boundary() {
+        // A three-fence protocol: each fence persists one counter value.
+        let run = |r: &PmemRegion| {
+            for v in 1u64..=3 {
+                r.write(PPtr::new(0), v);
+                r.persist(PPtr::new(0), 8);
+            }
+        };
+        // Recording run counts the boundaries.
+        let r = PmemRegion::new_tracked(4096);
+        r.arm_faults(FaultPlan::record());
+        run(&r);
+        assert_eq!(r.fence_count(), 3);
+        assert!(!r.powercut_tripped());
+        // Replays: cutting after boundary i leaves exactly the i-th value.
+        for cut in 0..=3u64 {
+            let r = PmemRegion::new_tracked(4096);
+            r.arm_faults(FaultPlan::cut_after(cut));
+            run(&r);
+            assert_eq!(r.powercut_tripped(), cut < 3);
+            let crashed = r.simulate_crash();
+            assert_eq!(crashed.read::<u64>(PPtr::new(0)), cut, "cut at boundary {cut}");
+        }
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! live memory and restarts from the media image — so a test can stop a
 //! protocol between any two steps and observe exactly the state a real power
 //! failure would leave behind.
+//!
+//! On top of that sits the programmable [`FaultPlan`]: every `sfence` is a
+//! *persistence boundary*, and the plan can (a) count the boundaries an
+//! operation crosses during a recorded run and (b) on replay, cut the power
+//! at the *i*-th boundary — the first `i` fences commit, every later fence
+//! (and everything staged for it) is lost, exactly as if the power failed
+//! between boundary `i` and boundary `i+1`. The crash-matrix harness
+//! enumerates `i` over `0..N` and proves recovery from every one.
 
 use std::collections::HashMap;
 
@@ -30,6 +38,38 @@ pub enum TrackMode {
     Tracked,
 }
 
+/// A programmable fault plan for a tracked region.
+///
+/// Armed with [`crate::PmemRegion::arm_faults`]; arming resets the region's
+/// boundary counter so fences issued by setup work are not charged to the
+/// operation under test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Power cut after this many committed fences: fences `1..=n` land on
+    /// media, fence `n+1` and everything after it is lost. `None` means
+    /// count boundaries only (recording mode).
+    cut_after_fences: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Recording mode: count persistence boundaries, commit everything.
+    pub fn record() -> Self {
+        FaultPlan { cut_after_fences: None }
+    }
+
+    /// Replay mode: simulate a power cut at boundary `n` — the first `n`
+    /// fences after arming commit to media, everything later is lost.
+    /// `n = 0` loses every fence issued after arming.
+    pub fn cut_after(n: u64) -> Self {
+        FaultPlan { cut_after_fences: Some(n) }
+    }
+
+    /// The boundary this plan cuts at, if any.
+    pub fn cut_point(&self) -> Option<u64> {
+        self.cut_after_fences
+    }
+}
+
 struct StagedLine {
     line: usize,
     /// Dirty-version of the line at `clwb` time; used to keep the dirty-line
@@ -44,6 +84,12 @@ struct TrackState {
     /// line index -> version of the latest unpersisted store to it.
     dirty: HashMap<usize, u64>,
     next_version: u64,
+    /// Active fault plan (counting is always on; the plan adds the cut).
+    plan: FaultPlan,
+    /// Fences committed (or, once frozen, attempted) since the last arm.
+    fences: u64,
+    /// The power cut has happened: the media image is frozen.
+    frozen: bool,
 }
 
 /// The tracking state attached to a [`crate::PmemRegion`] in tracked mode.
@@ -59,6 +105,9 @@ impl Tracker {
                 staged: Vec::new(),
                 dirty: HashMap::new(),
                 next_version: 1,
+                plan: FaultPlan::default(),
+                fences: 0,
+                frozen: false,
             }),
         }
     }
@@ -89,6 +138,10 @@ impl Tracker {
             return;
         }
         let mut st = self.state.lock();
+        if st.frozen {
+            // Past the power cut: write-backs go nowhere.
+            return;
+        }
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
         for line in first..=last {
@@ -104,8 +157,24 @@ impl Tracker {
     }
 
     /// Emulated `sfence`: commits every staged line to the media image.
+    ///
+    /// Every call is one persistence boundary. When the armed [`FaultPlan`]
+    /// cuts at boundary `n`, the `n+1`-th call freezes the media image
+    /// instead of committing — the power died before this fence completed.
     pub(crate) fn fence(&self) {
         let mut st = self.state.lock();
+        st.fences += 1;
+        if st.frozen {
+            st.staged.clear();
+            return;
+        }
+        if let Some(cut) = st.plan.cut_point() {
+            if st.fences > cut {
+                st.frozen = true;
+                st.staged.clear();
+                return;
+            }
+        }
         let staged = std::mem::take(&mut st.staged);
         for s in staged {
             let start = s.line * CACHE_LINE;
@@ -128,6 +197,28 @@ impl Tracker {
     /// Number of lines with stores that would currently be lost on a crash.
     pub(crate) fn dirty_line_count(&self) -> usize {
         self.state.lock().dirty.len()
+    }
+
+    /// Installs `plan`, resetting the boundary counter and thawing any
+    /// previous cut. Staged-but-unfenced lines are dropped so the plan
+    /// starts from a well-defined boundary.
+    pub(crate) fn arm(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        st.plan = plan;
+        st.fences = 0;
+        st.frozen = false;
+        st.staged.clear();
+    }
+
+    /// Persistence boundaries (fences) seen since the last arm (or since
+    /// creation, if never armed).
+    pub(crate) fn fence_count(&self) -> u64 {
+        self.state.lock().fences
+    }
+
+    /// Whether the armed plan's power cut has happened.
+    pub(crate) fn powercut_tripped(&self) -> bool {
+        self.state.lock().frozen
     }
 }
 
@@ -188,5 +279,65 @@ mod tests {
         let t = Tracker::new(vec![0u8; 512]);
         t.mark_dirty(60, 10); // crosses lines 0 and 1
         assert_eq!(t.dirty_line_count(), 2);
+    }
+
+    #[test]
+    fn fence_count_resets_on_arm() {
+        let t = Tracker::new(vec![0u8; 256]);
+        t.fence();
+        t.fence();
+        assert_eq!(t.fence_count(), 2);
+        t.arm(FaultPlan::record());
+        assert_eq!(t.fence_count(), 0);
+        t.fence();
+        assert_eq!(t.fence_count(), 1);
+        assert!(!t.powercut_tripped());
+    }
+
+    #[test]
+    fn cut_after_commits_exactly_n_fences() {
+        let buf = vec![9u8; 256];
+        let t = Tracker::new(vec![0u8; 256]);
+        let (p, l) = live(&buf);
+        t.arm(FaultPlan::cut_after(1));
+        // Fence 1 commits line 0.
+        t.stage(p, l, 0, 64);
+        t.fence();
+        // Fence 2 is the cut: line 1 is lost.
+        t.stage(p, l, 64, 64);
+        t.fence();
+        assert!(t.powercut_tripped());
+        // Fence 3 after the cut changes nothing either.
+        t.stage(p, l, 128, 64);
+        t.fence();
+        let media = t.media_image();
+        assert_eq!(media[..64], [9u8; 64][..], "boundary 1 committed");
+        assert_eq!(media[64..192], [0u8; 128][..], "everything after the cut lost");
+    }
+
+    #[test]
+    fn cut_after_zero_loses_every_fence() {
+        let buf = vec![5u8; 128];
+        let t = Tracker::new(vec![0u8; 128]);
+        let (p, l) = live(&buf);
+        t.arm(FaultPlan::cut_after(0));
+        t.stage(p, l, 0, 64);
+        t.fence();
+        assert!(t.powercut_tripped());
+        assert_eq!(t.media_image(), vec![0u8; 128]);
+    }
+
+    #[test]
+    fn rearming_thaws_a_frozen_tracker() {
+        let buf = vec![3u8; 128];
+        let t = Tracker::new(vec![0u8; 128]);
+        let (p, l) = live(&buf);
+        t.arm(FaultPlan::cut_after(0));
+        t.fence();
+        assert!(t.powercut_tripped());
+        t.arm(FaultPlan::record());
+        t.stage(p, l, 0, 64);
+        t.fence();
+        assert_eq!(t.media_image()[..64], [3u8; 64][..]);
     }
 }

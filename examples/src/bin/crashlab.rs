@@ -1,23 +1,83 @@
 //! Crash lab: demonstrate Simurgh's crash consistency on tracked NVMM.
 //!
 //! Uses the crash-simulating region mode: stores survive a simulated power
-//! failure only if they were flushed *and* fenced. The example cuts the
-//! power mid-workload, remounts, and shows the mark-and-sweep recovery
-//! report — plus the decentralized runtime recovery where a waiter repairs
-//! a line a "crashed process" left busy.
+//! failure only if they were flushed *and* fenced.
+//!
+//! Two modes:
+//!
+//! * **demo** (default) — cut the power mid-workload, remount, show the
+//!   mark-and-sweep recovery report; then the decentralized runtime
+//!   recovery where a waiter repairs a line a "crashed process" left busy.
+//! * **matrix** — the exhaustive crash matrix of §4.3: for every scripted
+//!   operation, enumerate *every* persistence boundary, cut the power
+//!   there, remount, fsck, and assert roll-back/roll-forward atomicity;
+//!   plus injected ENOSPC at every allocation. `--json` emits the machine
+//!   report (schema in EXPERIMENTS.md), `--cap N` samples N boundaries per
+//!   op instead of all of them.
 //!
 //! ```text
 //! cargo run -p simurgh-examples --bin crashlab
+//! cargo run --release -p simurgh-examples --bin crashlab -- matrix
+//! cargo run --release -p simurgh-examples --bin crashlab -- matrix --json
+//! cargo run --release -p simurgh-examples --bin crashlab -- matrix --cap 8
 //! ```
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use simurgh_core::testing::matrix;
 use simurgh_core::{SimurghConfig, SimurghFs};
 use simurgh_fsapi::{FileMode, FileSystem, ProcCtx};
 use simurgh_pmem::PmemRegion;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("matrix") {
+        let json = args.iter().any(|a| a == "--json");
+        let cap = args
+            .iter()
+            .position(|a| a == "--cap")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<u64>().expect("--cap takes a number"));
+        run_matrix(json, cap);
+    } else {
+        run_demo();
+    }
+}
+
+fn run_matrix(json: bool, cap: Option<u64>) {
+    let results = matrix::run_matrix(cap);
+    if json {
+        println!("{}", matrix::to_json(&results));
+    } else {
+        println!(
+            "{:<16} {:>10} {:>7} {:>6} {:>7} {:>8}  status",
+            "op", "boundaries", "commit", "allocs", "enospc", "capped"
+        );
+        for m in &results {
+            println!(
+                "{:<16} {:>10} {:>7} {:>6} {:>7} {:>8}  {}",
+                m.op,
+                m.boundaries,
+                m.commit_point.map_or("-".to_owned(), |c| c.to_string()),
+                m.allocs,
+                m.enospc.len(),
+                if m.capped { "yes" } else { "no" },
+                if m.is_clean() { "ok" } else { "FAIL" },
+            );
+            for f in &m.failures {
+                println!("    !! {f}");
+            }
+        }
+    }
+    let bad: usize = results.iter().map(|m| m.failures.len()).sum();
+    if bad > 0 {
+        eprintln!("{bad} unrecoverable state(s)");
+        std::process::exit(1);
+    }
+}
+
+fn run_demo() {
     let ctx = ProcCtx::root(1);
 
     // ---- Part 1: whole-system crash + mark-and-sweep recovery ----------

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use simurgh_core::{SimurghConfig, SimurghFs};
-use simurgh_fsapi::{FileSystem, FsResult, ProcCtx};
+use simurgh_fsapi::{FileSystem, ProcCtx};
 use simurgh_pmem::PmemRegion;
 
 /// A fresh Simurgh mount on a raw (fast) region.
@@ -25,26 +25,9 @@ pub fn crash_and_remount(fs: &SimurghFs) -> SimurghFs {
 }
 
 /// Collects the full tree as sorted `(path, kind, size)` rows — used to
-/// compare two file systems structurally.
-pub fn snapshot_tree(fs: &dyn FileSystem) -> Vec<(String, simurgh_fsapi::FileType, u64)> {
-    fn walk(
-        fs: &dyn FileSystem,
-        ctx: &ProcCtx,
-        dir: &str,
-        out: &mut Vec<(String, simurgh_fsapi::FileType, u64)>,
-    ) -> FsResult<()> {
-        for e in fs.readdir(ctx, dir)? {
-            let path = if dir == "/" { format!("/{}", e.name) } else { format!("{dir}/{}", e.name) };
-            let st = fs.stat(ctx, &path)?;
-            out.push((path.clone(), e.ftype, if st.is_dir() { 0 } else { st.size }));
-            if e.ftype == simurgh_fsapi::FileType::Directory {
-                walk(fs, ctx, &path, out)?;
-            }
-        }
-        Ok(())
-    }
-    let mut out = Vec::new();
-    walk(fs, &ProcCtx::root(0), "/", &mut out).expect("snapshot walk");
-    out.sort();
-    out
+/// compare two file systems structurally. Thin wrapper over the
+/// [`FileSystem::snapshot_tree`] trait default so tests drive the same
+/// surface as the harness and the crash-matrix driver.
+pub fn snapshot_tree(fs: &dyn FileSystem) -> Vec<simurgh_fsapi::TreeEntry> {
+    fs.snapshot_tree(&ProcCtx::root(0), "/").expect("snapshot walk")
 }

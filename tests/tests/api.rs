@@ -122,3 +122,98 @@ fn large_file_roundtrip_through_helpers() {
     let st = fs.stat(&CTX, "/blob").unwrap();
     assert_eq!(st.size, payload.len() as u64);
 }
+
+// ---------------------------------------------------------------------------
+// FsError v2: errno surface and io::Error round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_error_round_trips_through_io_error() {
+    let all = [
+        FsError::NotFound,
+        FsError::Exists,
+        FsError::NotDir,
+        FsError::IsDir,
+        FsError::NotEmpty,
+        FsError::Access,
+        FsError::NoSpace,
+        FsError::BadFd,
+        FsError::NameTooLong,
+        FsError::Invalid,
+        FsError::TooManyLinks,
+        FsError::Unsupported,
+        FsError::Corrupt("x"),
+        FsError::Injected("site"),
+    ];
+    for e in all {
+        let io: std::io::Error = e.clone().into();
+        assert_eq!(io.raw_os_error(), Some(e.errno()), "{e:?} errno mapping");
+        let back = FsError::from(io);
+        assert_eq!(back.errno(), e.errno(), "{e:?} round-trip errno");
+        assert_eq!(back.errno_name(), e.errno_name(), "{e:?} round-trip name");
+    }
+}
+
+#[test]
+fn injected_faults_are_enospc_but_marked() {
+    let e = FsError::Injected("meta-alloc");
+    assert_eq!(e.errno(), FsError::NoSpace.errno());
+    assert_eq!(e.errno_name(), "ENOSPC");
+    assert!(e.is_injected());
+    assert!(!FsError::NoSpace.is_injected(), "organic exhaustion is not injected");
+}
+
+#[test]
+fn fs_errors_surface_as_real_errno_values() {
+    let fs = simurgh(32 << 20);
+    let e = fs.stat(&CTX, "/missing").unwrap_err();
+    assert_eq!(e.errno(), 2, "ENOENT");
+    fs.write_file(&CTX, "/f", b"x").unwrap();
+    let e = fs
+        .open(&CTX, "/f", OpenFlags::CREATE.with_excl(), FileMode::default())
+        .unwrap_err();
+    assert_eq!(e.errno(), 17, "EEXIST");
+    let e = fs.readdir(&CTX, "/f").unwrap_err();
+    assert_eq!(e.errno(), 20, "ENOTDIR");
+}
+
+// ---------------------------------------------------------------------------
+// Trait-default helpers: identical behaviour on every implementation
+// ---------------------------------------------------------------------------
+
+fn helper_conformance(fs: &dyn FileSystem) {
+    let name = fs.name().to_owned();
+    fs.mkdir(&CTX, "/c", FileMode::dir(0o755)).unwrap();
+    fs.write_file(&CTX, "/c/file", b"payload").unwrap();
+    fs.mkdir(&CTX, "/c/sub", FileMode::dir(0o755)).unwrap();
+    assert_eq!(fs.read_file(&CTX, "/c/file").unwrap(), b"payload", "{name}");
+    assert_eq!(fs.read_to_vec(&CTX, "/c/file").unwrap(), b"payload", "{name}: alias agrees");
+
+    let tree = fs.snapshot_tree(&CTX, "/").unwrap();
+    let paths: Vec<&str> = tree.iter().map(|(p, _, _)| p.as_str()).collect();
+    assert_eq!(paths, ["/c", "/c/file", "/c/sub"], "{name}: sorted recursive walk");
+    let (_, ftype, size) = &tree[1];
+    assert_eq!(*ftype, simurgh_fsapi::FileType::Regular, "{name}");
+    assert_eq!(*size, 7, "{name}");
+
+    // Overwrite through the helper truncates rather than appends.
+    fs.write_file(&CTX, "/c/file", b"shorter").unwrap();
+    fs.write_file(&CTX, "/c/file", b"x").unwrap();
+    assert_eq!(fs.read_file(&CTX, "/c/file").unwrap(), b"x", "{name}: overwrite truncates");
+
+    assert_eq!(
+        fs.read_file(&CTX, "/c/nope").unwrap_err().errno(),
+        2,
+        "{name}: helper propagates ENOENT"
+    );
+}
+
+#[test]
+fn trait_default_helpers_conform_on_reference_fs() {
+    helper_conformance(&simurgh_fsapi::reffs::RefFs::new());
+}
+
+#[test]
+fn trait_default_helpers_conform_on_simurgh() {
+    helper_conformance(&simurgh(32 << 20));
+}

@@ -1,0 +1,88 @@
+//! Tier-1 crash-matrix smoke: the exhaustive power-cut + ENOSPC matrix of
+//! §4.3, run at full resolution for the namespace-critical ops (create,
+//! both renames) and with head+tail boundary sampling for the rest. The
+//! full uncapped sweep lives in `crashlab matrix` (see EXPERIMENTS.md).
+
+use simurgh_core::testing::matrix::{self, RecoveredState};
+
+/// Boundary sample size for the capped ops: enough to cover the early
+/// roll-back region and the late roll-forward region of every protocol.
+const CAP: u64 = 6;
+
+fn run(name: &str, cap: Option<u64>) -> matrix::OpMatrix {
+    let ops = matrix::scripted_ops();
+    let spec = ops.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("unknown op {name}"));
+    matrix::run_op_matrix(spec, cap)
+}
+
+fn assert_clean(m: &matrix::OpMatrix) {
+    assert!(m.is_clean(), "{}: unrecoverable states:\n{:#?}", m.op, m.failures);
+    assert!(m.boundaries > 1, "{}: multi-fence protocol expected, saw {}", m.op, m.boundaries);
+    let cp = m.commit_point.unwrap_or_else(|| panic!("{}: no commit point", m.op));
+    for c in &m.cases {
+        let want = if c.boundary < cp { RecoveredState::PreOp } else { RecoveredState::PostOp };
+        assert_eq!(c.state, want, "{}: non-monotone at boundary {}", m.op, c.boundary);
+    }
+    assert_eq!(
+        m.enospc.len() as u64,
+        m.allocs,
+        "{}: every allocation must have an ENOSPC replay",
+        m.op
+    );
+}
+
+#[test]
+fn create_full_matrix() {
+    let m = run("create", None);
+    assert_clean(&m);
+    assert!(!m.capped);
+    assert_eq!(m.cases.len() as u64, m.boundaries + 1, "every boundary enumerated");
+    assert!(m.allocs >= 2, "create allocates a file entry and an inode");
+}
+
+#[test]
+fn rename_samedir_full_matrix() {
+    let m = run("rename-samedir", None);
+    assert_clean(&m);
+    assert!(!m.capped);
+    assert_eq!(m.cases.len() as u64, m.boundaries + 1);
+}
+
+#[test]
+fn rename_crossdir_full_matrix() {
+    let m = run("rename-crossdir", None);
+    assert_clean(&m);
+    assert!(!m.capped);
+    assert_eq!(m.cases.len() as u64, m.boundaries + 1);
+}
+
+#[test]
+fn remaining_ops_capped_matrix() {
+    for name in ["unlink", "append", "truncate-shrink", "symlink"] {
+        let m = run(name, Some(CAP));
+        assert_clean(&m);
+        // Anchors survive sampling: boundary 0 rolls back, the final
+        // complete-run boundary rolls forward.
+        assert_eq!(m.cases.first().unwrap().boundary, 0);
+        assert_eq!(m.cases.first().unwrap().state, RecoveredState::PreOp);
+        assert_eq!(m.cases.last().unwrap().boundary, m.boundaries);
+        assert_eq!(m.cases.last().unwrap().state, RecoveredState::PostOp);
+    }
+}
+
+#[test]
+fn json_report_carries_the_totals() {
+    let m = run("create", Some(4));
+    let j = matrix::to_json(std::slice::from_ref(&m));
+    assert!(j.contains("\"unrecoverable\":0"));
+    assert!(j.contains(&format!("\"boundaries\":{}", m.boundaries)));
+    assert!(j.contains(&format!("\"allocs\":{}", m.allocs)));
+    assert!(j.contains("\"op\":\"create\""));
+    // Hand-rolled JSON stays parseable: balanced braces and brackets.
+    let depth = j.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0);
+}
