@@ -9,7 +9,7 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Six rule families:
+//! Seven rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
@@ -37,6 +37,13 @@
 //!   `FsError` variant must appear in both the `errno()` and
 //!   `errno_name()` mappings (a variant added without an errno silently
 //!   breaks the io::Error conversion surface).
+//! * **obs-coverage** — the observability layer only catches what it can
+//!   see: every public `FileSystem` op implemented in an `fs.rs` (the fns
+//!   taking a `ProcCtx`) must run under an `OpTimer`
+//!   (`measure(`/`FsOp::` in its body), and every `AtomicU64` counter
+//!   battery declared in `core` must be wired into the `ObsRegistry`
+//!   (mentioned in the file declaring it) — an unregistered counter or an
+//!   untimed op is invisible to `paper obs` and to the flight recorder.
 //!
 //! False positives are suppressed in place with a justified
 //! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
@@ -47,7 +54,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The six rule families.
+/// The seven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
@@ -56,6 +63,7 @@ pub enum Rule {
     MediaLayout,
     DataPathWalk,
     ApiSurface,
+    ObsCoverage,
 }
 
 impl Rule {
@@ -68,16 +76,18 @@ impl Rule {
             Rule::MediaLayout => "media-layout",
             Rule::DataPathWalk => "data-path-walk",
             Rule::ApiSurface => "api-surface",
+            Rule::ObsCoverage => "obs-coverage",
         }
     }
 
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::PersistOrder,
         Rule::LockDiscipline,
         Rule::UnsafeAudit,
         Rule::MediaLayout,
         Rule::DataPathWalk,
         Rule::ApiSurface,
+        Rule::ObsCoverage,
     ];
 }
 
@@ -1009,6 +1019,154 @@ fn rule_api_surface(file: &SourceFile, report: &mut Report) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: observability coverage
+// ---------------------------------------------------------------------------
+
+/// 0-based inclusive line range of the `impl FileSystem for …` block in
+/// `file`, if it declares one.
+fn file_system_impl_range(file: &SourceFile) -> Option<(usize, usize)> {
+    let start =
+        file.lines.iter().position(|l| !l.skip && l.code.contains("impl FileSystem for"))?;
+    let mut depth = 0i64;
+    let mut entered = false;
+    for (ln, line) in file.lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if entered && depth <= 0 {
+                        return Some((start, ln));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some((start, file.lines.len().saturating_sub(1)))
+}
+
+/// `(declaration line, name)` of every struct whose body declares at least
+/// two `AtomicU64`s — the shape of a counter battery (a lone atomic is a
+/// clock or a lock word, not a stats surface).
+fn counter_structs(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ln, line) in file.lines.iter().enumerate() {
+        if line.skip || !has_word(&line.code, "struct") {
+            continue;
+        }
+        let Some(rest) = line.code.split("struct").nth(1) else {
+            continue;
+        };
+        let name: String = rest.trim_start().chars().take_while(|&c| is_ident(c)).collect();
+        if name.is_empty() {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut entered = false;
+        let mut atomics = 0usize;
+        'body: for body_line in &file.lines[ln..] {
+            atomics += body_line.code.matches("AtomicU64").count();
+            for c in body_line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth <= 0 {
+                            break 'body;
+                        }
+                    }
+                    ';' if !entered => break 'body, // unit/tuple struct
+                    _ => {}
+                }
+            }
+        }
+        if atomics >= 2 {
+            out.push((ln, name));
+        }
+    }
+    out
+}
+
+fn rule_obs_coverage(files: &[SourceFile], report: &mut Report) {
+    // Part A: every public `FileSystem` op implemented in an `fs.rs` must
+    // run under an `OpTimer`. The ops proper all take a `ProcCtx`; fns
+    // without one (`name()`-style accessors) are not ops.
+    for file in files {
+        if !(file.label == "fs.rs" || file.label.ends_with("/fs.rs")) {
+            continue;
+        }
+        let Some((impl_start, impl_end)) = file_system_impl_range(file) else {
+            continue;
+        };
+        for &(s, e) in &function_ranges(file) {
+            if s <= impl_start || e > impl_end {
+                continue;
+            }
+            let Some(name) = declared_fn_name(&file.lines[s].code) else {
+                continue;
+            };
+            let mut sig_end = s;
+            while sig_end < e && !file.lines[sig_end].code.contains('{') {
+                sig_end += 1;
+            }
+            if !(s..=sig_end).any(|l| file.lines[l].code.contains("ProcCtx")) {
+                continue;
+            }
+            let timed = (s..=e).any(|l| {
+                let c = &file.lines[l].code;
+                has_invocation(c, "measure") || c.contains("FsOp::")
+            });
+            if !timed && !allowed(file, s, Rule::ObsCoverage) {
+                report.findings.push(Finding {
+                    rule: Rule::ObsCoverage,
+                    file: file.label.clone(),
+                    line: s + 1,
+                    message: format!(
+                        "`FileSystem` op `{name}` runs without an OpTimer \
+                         (no `measure(`/`FsOp::` in its body) — invisible to `paper obs`"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Part B: every AtomicU64 counter battery declared in core must be wired
+    // into the registry — its name must appear in the file declaring
+    // `struct ObsRegistry` (via its snapshot type or a field). With no
+    // registry in scope every battery is by definition unregistered.
+    let registry = files
+        .iter()
+        .find(|f| f.lines.iter().any(|l| !l.skip && l.code.contains("struct ObsRegistry")));
+    for file in files {
+        if !(file.label.contains("core/src") || file.label.contains("fixtures")) {
+            continue;
+        }
+        for (ln, name) in counter_structs(file) {
+            let registered = registry
+                .is_some_and(|reg| reg.lines.iter().any(|l| l.code.contains(name.as_str())));
+            if !registered && !allowed(file, ln, Rule::ObsCoverage) {
+                report.findings.push(Finding {
+                    rule: Rule::ObsCoverage,
+                    file: file.label.clone(),
+                    line: ln + 1,
+                    message: format!(
+                        "counter struct `{name}` is not registered in the ObsRegistry \
+                         — its counters never reach `paper obs`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tolerance-factor guard (comparative benchmark assertions)
 // ---------------------------------------------------------------------------
 
@@ -1114,6 +1272,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
         rule_api_surface(file, &mut report);
     }
     rule_media_layout(&files, manifest, &mut report);
+    rule_obs_coverage(&files, &mut report);
     report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report.findings.dedup();
     report
@@ -1654,6 +1813,98 @@ mod tests {
             pub fn naked() {}
         ";
         assert!(fsapi_findings(src).is_empty());
+    }
+
+    // ----- obs-coverage ----------------------------------------------------
+
+    #[test]
+    fn obs_coverage_bad_untimed_op() {
+        let src = "
+            impl FileSystem for ShadowFs {
+                fn name(&self) -> &str { \"shadow\" }
+                fn open(&self, ctx: &ProcCtx, p: &str) -> FsResult<Fd> {
+                    self.measure(FsOp::Open, || self.do_open(ctx, p))
+                }
+                fn unlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
+                    self.do_unlink(ctx, p)
+                }
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/fs.rs", src)], &[]);
+        let f: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == Rule::ObsCoverage).collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`unlink`"), "{}", f[0].message);
+        // `name()` takes no ProcCtx: an accessor, not an op.
+        assert!(!f.iter().any(|f| f.message.contains("`name`")));
+    }
+
+    #[test]
+    fn obs_coverage_only_applies_to_fs_rs() {
+        let src = "
+            impl FileSystem for RefFs {
+                fn open(&self, ctx: &ProcCtx, p: &str) -> FsResult<Fd> { self.do_open(ctx, p) }
+            }
+        ";
+        let report = scan_files(&[("crates/fsapi/src/reffs.rs", src)], &[]);
+        assert!(report.findings.iter().all(|f| f.rule != Rule::ObsCoverage));
+    }
+
+    #[test]
+    fn obs_coverage_bad_unregistered_counter_struct() {
+        let registry = "
+            pub struct ObsRegistry { hists: [Histogram; N] }
+            fn absorb(d: &WiredStatsSnapshot) {}
+        ";
+        let counters = "
+            pub struct WiredStats {
+                pub hits: AtomicU64,
+                pub misses: AtomicU64,
+            }
+            pub struct ShadowStats {
+                pub hits: AtomicU64,
+                pub misses: AtomicU64,
+            }
+            struct Clock {
+                now: AtomicU64,
+            }
+        ";
+        let report = scan_files(
+            &[("crates/core/src/obs.rs", registry), ("crates/core/src/stats.rs", counters)],
+            &[],
+        );
+        let f: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == Rule::ObsCoverage).collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`ShadowStats`"), "{}", f[0].message);
+        // A lone AtomicU64 is a clock/lock word, not a counter battery.
+        assert!(!f.iter().any(|f| f.message.contains("`Clock`")));
+    }
+
+    #[test]
+    fn obs_coverage_no_registry_in_scope_flags_all_batteries() {
+        let src = "
+            struct OrphanStats {
+                a: AtomicU64,
+                b: AtomicU64,
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/orphan.rs", src)], &[]);
+        assert!(report.findings.iter().any(|f| f.rule == Rule::ObsCoverage));
+    }
+
+    #[test]
+    fn obs_coverage_respects_allow_marker() {
+        let src = "
+            impl FileSystem for ShadowFs {
+                // analyze:allow(obs-coverage): pass-through shim, timed by the inner fs
+                fn open(&self, ctx: &ProcCtx, p: &str) -> FsResult<Fd> {
+                    self.inner.open(ctx, p)
+                }
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/fs.rs", src)], &[]);
+        assert!(report.findings.iter().all(|f| f.rule != Rule::ObsCoverage));
     }
 
     // ----- plumbing --------------------------------------------------------

@@ -137,6 +137,20 @@ fn run_experiment(name: &str, scale: &Scale) {
             );
             println!("(paper: 672,940 files / 88,780 dirs recovered in 4.1 s)");
         }
+        "obs" => {
+            // --json is filtered out of the experiment list by main(), so it
+            // can only mean "emit the machine-readable registry".
+            let json = std::env::args().any(|a| a == "--json");
+            if json {
+                println!("{}", experiments::obs_probe(scale, true));
+            } else {
+                println!("\n== Unified observability registry: per-op latency ==");
+                print!("{}", experiments::obs_probe(scale, false));
+                println!("(run with --json for the full registry: latency + dir + data + pmem + timers + alloc_faults)");
+            }
+        }
+        // Thin aliases kept for scripts that predate `paper obs`: each prints
+        // the probe-counter slice the unified registry also carries.
         "dirstats" => {
             println!("\n== Directory probe counters (JSON) ==");
             println!("{}", experiments::dir_probe_stats(scale));
@@ -167,11 +181,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         eprintln!(
-            "usage: paper [EXPERIMENT...] [--full] [--threads 1,2,4]\n\
+            "usage: paper [EXPERIMENT...] [--full] [--threads 1,2,4] [--json]\n\
              experiments: all gem5 table1 table2 fig6 fig7 fig7a..fig7l fig8 fig9 fig10\n\
-                          fig11 fig12 recovery dirstats datastats ablate-alloc ablate-sec ablate-relaxed\n\
+                          fig11 fig12 recovery obs dirstats datastats ablate-alloc ablate-sec ablate-relaxed\n\
              --full    run near paper-scale workloads (minutes per figure)\n\
-             --threads comma-separated process counts for the sweeps"
+             --threads comma-separated process counts for the sweeps\n\
+             --json    with obs: emit the unified observability registry as JSON"
         );
         if args.is_empty() {
             std::process::exit(2);

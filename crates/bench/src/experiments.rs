@@ -364,6 +364,80 @@ pub fn data_probe_stats(scale: &Scale) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Unified observability probe
+// ---------------------------------------------------------------------------
+
+/// Runs the seven scripted crash-matrix op shapes (create, unlink, both
+/// renames, append, shrinking truncate, symlink) against one fresh mount so
+/// every histogram they drive has samples, then reports the unified
+/// [`simurgh_core::obs::ObsRegistry`]: the full JSON registry when `json` is
+/// set (the `paper obs --json` surface, schema in EXPERIMENTS.md), otherwise
+/// an aligned per-op count/p50/p99/max latency table.
+pub fn obs_probe(scale: &Scale, json: bool) -> String {
+    use simurgh_core::obs::FsOp;
+    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
+
+    let region = Arc::new(PmemRegion::new(64 << 20));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let ctx = ProcCtx::root(1);
+    let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
+
+    fs.mkdir(&ctx, "/d", FileMode::dir(0o755)).expect("mkdir /d");
+    fs.mkdir(&ctx, "/e", FileMode::dir(0o755)).expect("mkdir /e");
+    let chunk = vec![0xA7u8; 2048];
+    for i in 0..rounds {
+        // create
+        let fd = fs
+            .open(&ctx, &format!("/d/f{i}"), OpenFlags::CREATE, FileMode::default())
+            .expect("create");
+        fs.close(&ctx, fd).expect("close");
+        // append (open + pwrite + fsync, the matrix shape)
+        let fd =
+            fs.open(&ctx, &format!("/d/f{i}"), OpenFlags::WRONLY, FileMode::default()).expect("open");
+        fs.pwrite(&ctx, fd, &chunk, 0).expect("pwrite");
+        fs.fsync(&ctx, fd).expect("fsync");
+        // truncate-shrink
+        fs.ftruncate(&ctx, fd, 100).expect("ftruncate");
+        fs.close(&ctx, fd).expect("close");
+        // rename-samedir, then rename-crossdir
+        fs.rename(&ctx, &format!("/d/f{i}"), &format!("/d/r{i}")).expect("rename samedir");
+        fs.rename(&ctx, &format!("/d/r{i}"), &format!("/e/r{i}")).expect("rename crossdir");
+        // symlink (+ readlink so the histogram isn't write-only)
+        fs.symlink(&ctx, &format!("/e/r{i}"), &format!("/d/l{i}")).expect("symlink");
+        fs.readlink(&ctx, &format!("/d/l{i}")).expect("readlink");
+        fs.stat(&ctx, &format!("/e/r{i}")).expect("stat");
+        // unlink both
+        fs.unlink(&ctx, &format!("/d/l{i}")).expect("unlink link");
+        fs.unlink(&ctx, &format!("/e/r{i}")).expect("unlink file");
+    }
+    fs.statfs(&ctx).expect("statfs");
+
+    if json {
+        return fs.obs_json();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
+        "op", "count", "p50_ns", "p99_ns", "max_ns"
+    ));
+    for op in FsOp::ALL {
+        let s = fs.obs().snapshot(op);
+        if s.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
+            op.name(),
+            s.count,
+            s.p50_ns,
+            s.p99_ns,
+            s.max_ns
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 8 — Filebench
 // ---------------------------------------------------------------------------
 

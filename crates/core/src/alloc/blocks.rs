@@ -18,7 +18,7 @@ use std::time::Duration;
 use simurgh_pmem::layout::Extent;
 use simurgh_pmem::PPtr;
 
-use super::tslock::{Acquired, TsLock};
+use super::tslock::{Acquired, TsGuard, TsLock};
 use crate::BLOCK_SIZE;
 
 /// Default maximum lock-hold duration before a waiter presumes a crash.
@@ -35,6 +35,12 @@ struct Segment {
 // SAFETY: `free` is only touched under `lock`; see module docs.
 unsafe impl Sync for Segment {}
 
+/// Returned by a critical section that discovered — at its publish point —
+/// that its lock was stolen by a waiter that presumed us crashed (we were
+/// merely slow). The work must be discarded and retried under a fresh
+/// acquisition; publishing would race the thief's view of the free list.
+struct LockLost;
+
 /// The segmented block allocator over a data extent.
 pub struct BlockAlloc {
     data_start: u64,
@@ -42,6 +48,10 @@ pub struct BlockAlloc {
     blocks_per_seg: u64,
     segments: Box<[Segment]>,
     max_hold: Duration,
+    /// Test-only stall injector: when nonzero, the next critical section
+    /// parks for that many µs between deciding and publishing (one-shot),
+    /// so tests can force a steal mid-section deterministically.
+    stall_us: AtomicU64,
 }
 
 impl BlockAlloc {
@@ -90,6 +100,18 @@ impl BlockAlloc {
             blocks_per_seg,
             segments: segments.into_boxed_slice(),
             max_hold: DEFAULT_MAX_HOLD,
+            stall_us: AtomicU64::new(0),
+        }
+    }
+
+    /// One-shot test stall between a critical section's decision and its
+    /// publish point. Disarmed: one relaxed load.
+    fn test_stall(&self) {
+        if self.stall_us.load(Ordering::Relaxed) != 0 {
+            let us = self.stall_us.swap(0, Ordering::Relaxed);
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
         }
     }
 
@@ -137,28 +159,37 @@ impl BlockAlloc {
         debug_assert!(count > 0);
         let n = self.segments.len();
         let start = (hint as usize) % n;
-        // Pass 1: opportunistic, skip busy segments.
+        // Pass 1: opportunistic, skip busy segments. A lost lock (stolen
+        // mid-section by a waiter that presumed us crashed) is treated like
+        // a busy segment: discard and move on.
         for i in 0..n {
             let seg = &self.segments[(start + i) % n];
             if let Some(guard) = seg.lock.try_acquire() {
-                let got = self.take_first_fit(seg, count);
+                let got = self.take_first_fit(seg, &guard, count);
                 drop(guard);
-                if got.is_some() {
-                    return got.map(|b| self.block_ptr(b));
+                if let Ok(Some(b)) = got {
+                    return Some(self.block_ptr(b));
                 }
             }
         }
         // Pass 2: blocking, so allocation only fails when space is truly out.
+        // A lost lock here retries the same segment under a fresh acquire.
         for i in 0..n {
             let seg = &self.segments[(start + i) % n];
-            let (guard, how) = seg.lock.acquire(self.max_hold);
-            if how == Acquired::Stolen {
-                self.repair(seg);
-            }
-            let got = self.take_first_fit(seg, count);
-            drop(guard);
-            if got.is_some() {
-                return got.map(|b| self.block_ptr(b));
+            let got = loop {
+                let (guard, how) = seg.lock.acquire(self.max_hold);
+                if how == Acquired::Stolen {
+                    self.repair(seg);
+                }
+                let got = self.take_first_fit(seg, &guard, count);
+                drop(guard);
+                match got {
+                    Ok(got) => break got,
+                    Err(LockLost) => continue,
+                }
+            };
+            if let Some(b) = got {
+                return Some(self.block_ptr(b));
             }
         }
         None
@@ -187,24 +218,39 @@ impl BlockAlloc {
             // rather than stalling the append on a neighbour's work.
             return 0;
         };
-        // SAFETY: lock held.
-        let free = unsafe { &mut *seg.free.get() };
-        let idx = match free.partition_point(|&(s, _)| s <= b).checked_sub(1) {
-            Some(i) => i,
-            None => {
+        let free_ptr = seg.free.get();
+        // Decide: read-only scan, no exclusive borrow across validation.
+        let (idx, start, len) = {
+            // SAFETY: lock held.
+            let free = unsafe { &*free_ptr };
+            let idx = match free.partition_point(|&(s, _)| s <= b).checked_sub(1) {
+                Some(i) => i,
+                None => {
+                    drop(guard);
+                    return 0;
+                }
+            };
+            let (start, len) = free[idx];
+            if b >= start + len {
                 drop(guard);
                 return 0;
             }
+            (idx, start, len)
         };
-        let (start, len) = free[idx];
-        if b >= start + len {
-            drop(guard);
-            return 0;
-        }
         let got = want.min(start + len - b);
         // Carve `[b, b+got)` out of the run.
         let head = b - start;
         let tail = (start + len) - (b + got);
+        self.test_stall();
+        if !guard.still_owned() {
+            // Stolen mid-section: the run we decided on is the thief's now.
+            // The append fast path simply falls back to the general
+            // allocator, like any other failed extension.
+            drop(guard);
+            return 0;
+        }
+        // SAFETY: lock held (ownership re-validated above).
+        let free = unsafe { &mut *free_ptr };
         match (head > 0, tail > 0) {
             (false, false) => {
                 free.remove(idx);
@@ -227,44 +273,86 @@ impl BlockAlloc {
         debug_assert!(count > 0);
         let b = self.ptr_block(p);
         let seg = &self.segments[self.seg_of_block(b)];
-        let (guard, how) = seg.lock.acquire(self.max_hold);
-        if how == Acquired::Stolen {
-            self.repair(seg);
-        }
-        // SAFETY: lock held.
-        let free = unsafe { &mut *seg.free.get() };
-        let idx = free.partition_point(|&(s, _)| s < b);
-        // Coalesce with predecessor and/or successor.
-        let merged_prev = idx > 0 && free[idx - 1].0 + free[idx - 1].1 == b;
-        let merged_next = idx < free.len() && b + count == free[idx].0;
-        match (merged_prev, merged_next) {
-            (true, true) => {
-                free[idx - 1].1 += count + free[idx].1;
-                free.remove(idx);
+        loop {
+            let (guard, how) = seg.lock.acquire(self.max_hold);
+            if how == Acquired::Stolen {
+                self.repair(seg);
             }
-            (true, false) => free[idx - 1].1 += count,
-            (false, true) => {
-                free[idx].0 = b;
-                free[idx].1 += count;
+            let free_ptr = seg.free.get();
+            // Decide the coalesce plan under a shared view only.
+            let (idx, merged_prev, merged_next) = {
+                // SAFETY: lock held.
+                let free = unsafe { &*free_ptr };
+                let idx = free.partition_point(|&(s, _)| s < b);
+                // Coalesce with predecessor and/or successor.
+                let merged_prev = idx > 0 && free[idx - 1].0 + free[idx - 1].1 == b;
+                let merged_next = idx < free.len() && b + count == free[idx].0;
+                (idx, merged_prev, merged_next)
+            };
+            self.test_stall();
+            if !guard.still_owned() {
+                // Stolen mid-section: `idx` and the merge plan describe a
+                // list the thief may have rewritten. Retry from scratch.
+                drop(guard);
+                continue;
             }
-            (false, false) => free.insert(idx, (b, count)),
+            // SAFETY: lock held (ownership re-validated above).
+            let free = unsafe { &mut *free_ptr };
+            match (merged_prev, merged_next) {
+                (true, true) => {
+                    free[idx - 1].1 += count + free[idx].1;
+                    free.remove(idx);
+                }
+                (true, false) => free[idx - 1].1 += count,
+                (false, true) => {
+                    free[idx].0 = b;
+                    free[idx].1 += count;
+                }
+                (false, false) => free.insert(idx, (b, count)),
+            }
+            seg.free_blocks.fetch_add(count, Ordering::Relaxed);
+            drop(guard);
+            return;
         }
-        seg.free_blocks.fetch_add(count, Ordering::Relaxed);
-        drop(guard);
     }
 
-    fn take_first_fit(&self, seg: &Segment, count: u64) -> Option<u64> {
-        // SAFETY: caller holds seg.lock.
-        let free = unsafe { &mut *seg.free.get() };
-        let idx = free.iter().position(|&(_, len)| len >= count)?;
-        let (start, len) = free[idx];
+    /// First-fit take under `guard`. `Err(LockLost)` means the guard lost
+    /// ownership to a steal before the publish point: nothing was taken and
+    /// the caller must retry under a fresh acquisition. The re-validation
+    /// narrows the live-holder race to the publishing stores themselves;
+    /// the thief's [`repair`](Self::repair) pass covers that residue.
+    fn take_first_fit(
+        &self,
+        seg: &Segment,
+        guard: &TsGuard<'_>,
+        count: u64,
+    ) -> Result<Option<u64>, LockLost> {
+        let free_ptr = seg.free.get();
+        // Decide: read-only scan, no exclusive borrow held across the
+        // validation window.
+        let (idx, start, len) = {
+            // SAFETY: caller holds seg.lock.
+            let free = unsafe { &*free_ptr };
+            let Some(idx) = free.iter().position(|&(_, len)| len >= count) else {
+                return Ok(None);
+            };
+            let (start, len) = free[idx];
+            (idx, start, len)
+        };
+        self.test_stall();
+        if !guard.still_owned() {
+            return Err(LockLost);
+        }
+        // Publish: ownership just re-validated, so no thief is editing.
+        // SAFETY: caller holds seg.lock (re-validated above).
+        let free = unsafe { &mut *free_ptr };
         if len == count {
             free.remove(idx);
         } else {
             free[idx] = (start + count, len - count);
         }
         seg.free_blocks.fetch_sub(count, Ordering::Relaxed);
-        Some(start)
+        Ok(Some(start))
     }
 
     /// Repairs a segment free list after a stolen lock: re-sorts and merges
@@ -442,6 +530,37 @@ mod tests {
         assert_eq!(a.free_blocks(), 512);
         // All blocks coalesce back: one full-range allocation succeeds.
         assert!(a.alloc(0, 128).is_some());
+    }
+
+    #[test]
+    fn live_but_slow_holder_does_not_double_allocate() {
+        // Regression (lock steal vs. live holder): a holder that stalls
+        // mid-critical-section past `max_hold` loses its lock to a waiter.
+        // Before the `still_owned` re-validation, the slow holder would
+        // wake and publish its stale decision — handing out the same block
+        // the thief just took and corrupting the segment count.
+        let mut a = alloc_with(16 * 4096, 1);
+        a.max_hold = Duration::from_millis(5);
+        let a = std::sync::Arc::new(a);
+        a.stall_us.store(200_000, Ordering::Relaxed); // next section parks 200 ms
+        crossbeam::thread::scope(|s| {
+            let slow = s.spawn(|_| a.alloc(0, 1));
+            // Let the slow holder enter its critical section and park, then
+            // come in as the thief: acquire() sees a holder older than
+            // max_hold, steals, repairs, and allocates.
+            std::thread::sleep(Duration::from_millis(40));
+            let thief = a.alloc(0, 1).expect("thief allocates");
+            let victim = slow.join().unwrap().expect("slow holder retries and allocates");
+            assert_ne!(victim.off(), thief.off(), "double allocation after steal");
+        })
+        .unwrap();
+        assert_eq!(a.free_blocks(), 14, "segment count corrupted");
+        // And the count is real: exactly 14 more single blocks fit.
+        let mut got = 0;
+        while a.alloc(0, 1).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 14);
     }
 
     #[test]

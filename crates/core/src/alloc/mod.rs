@@ -66,6 +66,17 @@ impl AllocFaults {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// Renders the injector counters as a single-line JSON object, for
+    /// embedding in the unified observability registry ([`crate::obs`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"armed\":{},\"observed\":{},\"injected\":{}}}",
+            self.armed.load(Ordering::Relaxed),
+            self.observed(),
+            self.injected()
+        )
+    }
+
     /// Called by the allocators before each allocation attempt: counts it
     /// and delivers the planned fault when its turn has come. `site` names
     /// the allocation path for the report.
@@ -76,6 +87,8 @@ impl AllocFaults {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if n == self.fail_at.load(Ordering::Relaxed) {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            let site_code = u64::from(!site.contains("meta"));
+            crate::obs::trace(crate::obs::EventKind::AllocFault, n, site_code);
             return Err(FsError::Injected(site));
         }
         Ok(())

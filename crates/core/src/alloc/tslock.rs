@@ -72,12 +72,16 @@ impl TsLock {
                 let now = monotonic_us();
                 if now.saturating_sub(seen) > max_us {
                     // Presumed-crashed holder: steal by replacing its stamp.
+                    // The holder may in fact be alive but slow (oversubscribed
+                    // host), which is why critical sections must re-validate
+                    // ownership via `TsGuard::still_owned` before publishing.
                     let stamp = monotonic_us();
                     if self
                         .state
                         .compare_exchange(seen, stamp, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
+                        crate::obs::trace(crate::obs::EventKind::LockSteal, seen, stamp);
                         return (TsGuard { lock: self, stamp }, Acquired::Stolen);
                     }
                 }
@@ -99,6 +103,25 @@ impl TsLock {
     /// held forever (until stolen). Test helper.
     pub fn crash_while_held(guard: TsGuard<'_>) {
         std::mem::forget(guard);
+    }
+}
+
+impl TsGuard<'_> {
+    /// Whether this guard still owns the lock — i.e. the lock word still
+    /// carries our acquisition stamp. A live-but-slow holder that exceeded
+    /// `max_hold` may have been stolen from ([`Acquired::Stolen`]) without
+    /// noticing; critical sections must call this *immediately before
+    /// publishing* their updates and discard the work on loss (the window
+    /// between validation and the publishing store is the irreducible
+    /// residue; the thief's repair pass covers it).
+    pub fn still_owned(&self) -> bool {
+        self.lock.state.load(Ordering::Acquire) == self.stamp
+    }
+
+    /// The acquisition stamp (µs). Diagnostics: matches the victim/thief
+    /// payloads of `LockSteal` trace events.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 }
 
@@ -168,6 +191,74 @@ mod tests {
         assert!(l.is_held(), "stolen lock still held by new owner");
         drop(g2);
         assert!(!l.is_held());
+    }
+
+    #[test]
+    fn still_owned_flips_on_steal() {
+        let l = TsLock::new();
+        let g1 = l.try_acquire().unwrap();
+        assert!(g1.still_owned());
+        let stale = TsGuard { lock: &l, stamp: g1.stamp };
+        std::mem::forget(g1);
+        std::thread::sleep(Duration::from_millis(12));
+        let (g2, how) = l.acquire(Duration::from_millis(10));
+        assert_eq!(how, Acquired::Stolen);
+        assert!(!stale.still_owned(), "victim must observe the loss");
+        assert!(g2.still_owned());
+        drop(stale); // stale release is a no-op
+        assert!(g2.still_owned());
+    }
+
+    #[test]
+    fn every_steal_is_traced_exactly_once() {
+        // Satellite: steal under contention — each steal must appear in the
+        // trace ring exactly once, with the right victim/thief stamp pair.
+        // Other tests in this process also trace; we filter by our own
+        // stamps, which the global µs clock makes unique.
+        use std::sync::Mutex;
+
+        const THREADS: usize = 4;
+        const STEALS: usize = 25;
+        let expected = Mutex::new(Vec::<(u64, u64)>::new());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let expected = &expected;
+                s.spawn(move |_| {
+                    let l = TsLock::new();
+                    let mut mine = Vec::with_capacity(STEALS);
+                    for _ in 0..STEALS {
+                        let g = l.try_acquire().unwrap();
+                        let victim = g.stamp();
+                        TsLock::crash_while_held(g);
+                        std::thread::sleep(Duration::from_millis(2));
+                        let (g2, how) = l.acquire(Duration::from_millis(1));
+                        assert_eq!(how, Acquired::Stolen);
+                        mine.push((victim, g2.stamp()));
+                        drop(g2);
+                    }
+                    expected.lock().unwrap().extend(mine);
+                });
+            }
+        })
+        .unwrap();
+
+        let expected = expected.into_inner().unwrap();
+        assert_eq!(expected.len(), THREADS * STEALS);
+        let events = crate::obs::recent(crate::obs::RING_EVENTS);
+        for &(victim, thief) in &expected {
+            let hits = events
+                .iter()
+                .filter(|e| {
+                    e.kind == crate::obs::EventKind::LockSteal
+                        && e.a == victim
+                        && e.b == thief
+                })
+                .count();
+            // µs stamps can collide across lockstep threads, so compare
+            // against the pair's multiplicity, not a bare 1.
+            let want = expected.iter().filter(|&&p| p == (victim, thief)).count();
+            assert_eq!(hits, want, "steal ({victim} -> {thief}) traced {hits}/{want} times");
+        }
     }
 
     #[test]

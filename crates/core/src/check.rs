@@ -189,10 +189,23 @@ pub fn check(fs: &SimurghFs, quiescent: bool) -> CheckReport {
                 }
                 let owner = format!("inode {:#x}", ip.off());
                 let mut allocated = 0u64;
+                // Scan every inline slot (not just the dense prefix): the
+                // writer keeps slots prefix-dense, so an empty slot followed
+                // by a live extent means a torn shrink/regrow — flag it, but
+                // still account the later extents so the double-reference
+                // and size checks see the whole file.
+                let mut seen_empty = false;
                 for i in 0..crate::obj::inode::INLINE_EXTENTS {
                     let e = ino.extent(region, i);
                     if e.is_empty() {
-                        break;
+                        seen_empty = true;
+                        continue;
+                    }
+                    if seen_empty {
+                        report.flag(ip, format!(
+                            "inline extents not prefix-dense (slot {i} live after a hole)"
+                        ));
+                        seen_empty = false;
                     }
                     claim_blocks(&mut report, e.start, e.len, &owner);
                     allocated += e.len;
@@ -321,6 +334,34 @@ mod tests {
         obj::set_dirty(fs.region(), fe.ptr());
         let r = check(&fs, true);
         assert!(r.violations.iter().any(|v| v.what.contains("dirty")));
+    }
+
+    #[test]
+    fn flags_non_prefix_dense_inline_extents() {
+        use crate::obj::inode::{Extent, Inode};
+        use simurgh_fsapi::OpenFlags;
+
+        let (fs, ctx) = fresh();
+        let rw = OpenFlags { read: true, ..OpenFlags::CREATE };
+        let main = fs.open(&ctx, "/f", rw, FileMode::default()).unwrap();
+        let decoy = fs.open(&ctx, "/decoy", OpenFlags::CREATE, FileMode::default()).unwrap();
+        let chunk = vec![1u8; 4096];
+        for i in 0..3u64 {
+            fs.pwrite(&ctx, main, &chunk, i * 4096).unwrap();
+            fs.pwrite(&ctx, decoy, &chunk, i * 4096).unwrap();
+        }
+        let st = fs.fstat(&ctx, main).unwrap();
+        fs.close(&ctx, main).unwrap();
+        fs.close(&ctx, decoy).unwrap();
+        let ino = Inode(PPtr::new(st.ino));
+        assert!(!ino.extent(fs.region(), 2).is_empty(), "need three inline extents");
+        ino.set_extent(fs.region(), 1, Extent::default());
+        let r = check(&fs, true);
+        assert!(
+            r.violations.iter().any(|v| v.what.contains("prefix")),
+            "expected a prefix-density violation, got {:?}",
+            r.violations
+        );
     }
 
     #[test]

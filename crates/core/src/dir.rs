@@ -201,6 +201,11 @@ pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuar
         if start.elapsed() > env.max_hold {
             // Presumed-crashed holder: repair the line, then force-release
             // the flag so everyone can progress (paper §4.3 crash recovery).
+            crate::obs::trace(
+                crate::obs::EventKind::BusyTimeout,
+                first.ptr().off(),
+                line as u64,
+            );
             repair_line(env, first, line);
             first.release_busy(env.region, line);
         }

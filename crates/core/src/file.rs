@@ -394,6 +394,7 @@ pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
             // Crashed writer: clear *only* the writer bit. A blanket
             // store(0) would also wipe reader counts that raced in after
             // another waiter's reset, making their guards underflow on drop.
+            crate::obs::trace(crate::obs::EventKind::BusyTimeout, lock.off(), s);
             a.fetch_and(!WRITER, Ordering::AcqRel);
             start = Instant::now();
         }
@@ -423,6 +424,7 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
             if s & WRITER != 0 {
                 // Crashed writer: clear only its bit (see lock_read) so
                 // reader counts that raced in survive the steal.
+                crate::obs::trace(crate::obs::EventKind::BusyTimeout, lock.off(), s);
                 a.fetch_and(!WRITER, Ordering::AcqRel);
             } else if s != 0 {
                 // Readers still pinned after a full extra grace period are

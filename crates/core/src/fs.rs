@@ -28,6 +28,7 @@ use crate::file::{self, FileEnv};
 use crate::obj::dirblock::{DirBlock, DIRBLOCK_SIZE};
 use crate::obj::inode::{Extent, Inode};
 use crate::obj::{self};
+use crate::obs::{self, FsOp};
 use crate::recovery::{self, RecoveryReport};
 use crate::security::{OpClass, Security};
 use crate::super_block::{PoolKind, Superblock};
@@ -117,6 +118,9 @@ pub struct SimurghFs {
     dir_stats: dir::DirStats,
     /// Probe accounting for the file data hot paths.
     data_stats: file::DataStats,
+    /// Unified observability registry: per-op latency histograms plus the
+    /// single `to_json` export point for every counter battery.
+    obs: obs::ObsRegistry,
 }
 
 impl SimurghFs {
@@ -153,6 +157,7 @@ impl SimurghFs {
     pub fn mount(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
         // Mounting (recovery included) is bootstrap work: OS privilege.
         let _boot = simurgh_protfn::cpl::KernelGuard::enter();
+        let t_mount = std::time::Instant::now();
         if !Superblock::is_valid(&region) {
             return Err(FsError::Corrupt("bad superblock magic"));
         }
@@ -166,6 +171,13 @@ impl SimurghFs {
         fs.rebuild_index();
         report.rebuild_time = t.elapsed();
         let fs = SimurghFs { recovery: report, ..fs };
+        // Mount and recovery phases land in the same histograms as the
+        // regular ops, so `paper obs` reports them alongside.
+        fs.obs.record(FsOp::RecoverMark, fs.recovery.mark_time);
+        fs.obs.record(FsOp::RecoverRepair, fs.recovery.repair_time);
+        fs.obs.record(FsOp::RecoverSweep, fs.recovery.sweep_time);
+        fs.obs.record(FsOp::RecoverRebuild, fs.recovery.rebuild_time);
+        fs.obs.record(FsOp::Mount, t_mount.elapsed());
         Ok(fs)
     }
 
@@ -203,7 +215,7 @@ impl SimurghFs {
             Security::disabled()
         };
         Superblock::set_clean(&region, false);
-        SimurghFs {
+        let fs = SimurghFs {
             region,
             blocks,
             meta,
@@ -218,7 +230,14 @@ impl SimurghFs {
             index: DirIndex::new(),
             dir_stats: dir::DirStats::default(),
             data_stats: file::DataStats::default(),
-        }
+            obs: obs::ObsRegistry::default(),
+        };
+        // Trace every sfence boundary. Regions produced by `simulate_crash`
+        // are fresh, so each format/mount re-installs the hook.
+        fs.region.set_fence_hook(Box::new(|n| {
+            obs::trace(obs::EventKind::Fence, n, 0);
+        }));
+        fs
     }
 
     /// Installs full protected-function enforcement (bootstrap, §3.2).
@@ -269,6 +288,32 @@ impl SimurghFs {
     /// bench harness's `paper datastats` export).
     pub fn data_stats(&self) -> file::DataStatsSnapshot {
         self.data_stats.snapshot()
+    }
+
+    /// The unified observability registry of this mount (latency histograms
+    /// and the trace-ring export point).
+    pub fn obs(&self) -> &obs::ObsRegistry {
+        &self.obs
+    }
+
+    /// One JSON document bundling every counter battery of this mount:
+    /// latency histograms, directory and data-path probes, pmem traffic,
+    /// execution-time breakdown and the fault injector (`paper obs --json`).
+    pub fn obs_json(&self) -> String {
+        self.obs.to_json(
+            &self.dir_stats(),
+            &self.data_stats(),
+            &self.region.stats().snapshot(),
+            &self.timers,
+            self.meta.faults(),
+        )
+    }
+
+    /// Times one `FileSystem` op: latency histogram (`obs`) plus the
+    /// Table 1 execution-share counter, in one wrapper.
+    fn measure<R>(&self, op: FsOp, f: impl FnOnce() -> R) -> R {
+        let _t = self.obs.timer(op);
+        self.timers.time(TimerCategory::Fs, f)
     }
 
     /// Test support: the shared-DRAM directory index of this mount.
@@ -595,7 +640,7 @@ impl FileSystem for SimurghFs {
 
     fn open(&self, ctx: &ProcCtx, p: &str, flags: OpenFlags, mode: FileMode) -> FsResult<Fd> {
         self.sec.call(OpClass::Walk, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Open, || {
                 let ino = if flags.create {
                     self.open_create(ctx, p, flags, mode)?
                 } else {
@@ -612,7 +657,7 @@ impl FileSystem for SimurghFs {
 
     fn close(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
         self.sec.call(OpClass::Ctl, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Close, || {
                 let open = self.opens.remove(ctx.pid, fd)?;
                 self.close_ref(open.ino);
                 Ok(())
@@ -622,7 +667,7 @@ impl FileSystem for SimurghFs {
 
     fn read(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Read, || {
                 let open = self.with_open(ctx, fd)?;
                 let n = self.do_pread(&open, buf, open.pos)?;
                 self.opens.with_mut(ctx.pid, fd, |o| o.pos += n as u64)?;
@@ -633,7 +678,7 @@ impl FileSystem for SimurghFs {
 
     fn write(&self, ctx: &ProcCtx, fd: Fd, data: &[u8]) -> FsResult<usize> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Write, || {
                 let open = self.with_open(ctx, fd)?;
                 let off = if open.flags.append {
                     open.ino.size(&self.region)
@@ -649,7 +694,7 @@ impl FileSystem for SimurghFs {
 
     fn pread(&self, ctx: &ProcCtx, fd: Fd, buf: &mut [u8], off: u64) -> FsResult<usize> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Pread, || {
                 let open = self.with_open(ctx, fd)?;
                 self.do_pread(&open, buf, off)
             })
@@ -658,7 +703,7 @@ impl FileSystem for SimurghFs {
 
     fn pwrite(&self, ctx: &ProcCtx, fd: Fd, data: &[u8], off: u64) -> FsResult<usize> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Pwrite, || {
                 let open = self.with_open(ctx, fd)?;
                 self.do_pwrite(&open, data, off)
             })
@@ -667,7 +712,7 @@ impl FileSystem for SimurghFs {
 
     fn lseek(&self, ctx: &ProcCtx, fd: Fd, pos: SeekFrom) -> FsResult<u64> {
         self.sec.call(OpClass::Ctl, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Lseek, || {
                 let open = self.with_open(ctx, fd)?;
                 let size = open.ino.size(&self.region);
                 self.opens.with_mut(ctx.pid, fd, |o| {
@@ -688,7 +733,7 @@ impl FileSystem for SimurghFs {
 
     fn fsync(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<()> {
         self.sec.call(OpClass::Ctl, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Fsync, || {
                 let _ = self.with_open(ctx, fd)?;
                 // Data is persisted eagerly on write; a final fence orders
                 // anything still pending.
@@ -700,7 +745,7 @@ impl FileSystem for SimurghFs {
 
     fn fstat(&self, ctx: &ProcCtx, fd: Fd) -> FsResult<Stat> {
         self.sec.call(OpClass::Walk, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Fstat, || {
                 let open = self.with_open(ctx, fd)?;
                 Ok(open.ino.stat(&self.region))
             })
@@ -709,7 +754,7 @@ impl FileSystem for SimurghFs {
 
     fn ftruncate(&self, ctx: &ProcCtx, fd: Fd, len: u64) -> FsResult<()> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Ftruncate, || {
                 let open = self.with_open(ctx, fd)?;
                 if !open.flags.write {
                     return Err(FsError::BadFd);
@@ -723,7 +768,7 @@ impl FileSystem for SimurghFs {
 
     fn fallocate(&self, ctx: &ProcCtx, fd: Fd, off: u64, len: u64) -> FsResult<()> {
         self.sec.call(OpClass::Data, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Fallocate, || {
                 let open = self.with_open(ctx, fd)?;
                 if !open.flags.write {
                     return Err(FsError::BadFd);
@@ -737,7 +782,7 @@ impl FileSystem for SimurghFs {
 
     fn unlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Unlink, || {
                 let (_, first, name) = self.resolve_parent(ctx, p)?;
                 let env = self.dir_env();
                 // Refuse directories (POSIX unlink semantics).
@@ -755,7 +800,7 @@ impl FileSystem for SimurghFs {
 
     fn mkdir(&self, ctx: &ProcCtx, p: &str, mode: FileMode) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Mkdir, || {
                 let (_, first, name) = self.resolve_parent(ctx, p)?;
                 path::validate_name(name)?;
                 let env = self.dir_env();
@@ -786,7 +831,7 @@ impl FileSystem for SimurghFs {
 
     fn rmdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Rmdir, || {
                 let (_, first, name) = self.resolve_parent(ctx, p)?;
                 let env = self.dir_env();
                 let fe = dir::lookup(&env, first, name).ok_or(FsError::NotFound)?;
@@ -813,7 +858,7 @@ impl FileSystem for SimurghFs {
 
     fn rename(&self, ctx: &ProcCtx, old: &str, new: &str) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Rename, || {
                 let (_, src_blk, old_name) = self.resolve_parent(ctx, old)?;
                 let (_, dst_blk, new_name) = self.resolve_parent(ctx, new)?;
                 path::validate_name(new_name)?;
@@ -861,7 +906,7 @@ impl FileSystem for SimurghFs {
 
     fn stat(&self, ctx: &ProcCtx, p: &str) -> FsResult<Stat> {
         self.sec.call(OpClass::Walk, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Stat, || {
                 let ino = self.resolve(ctx, p, true)?;
                 Ok(ino.stat(&self.region))
             })
@@ -870,7 +915,7 @@ impl FileSystem for SimurghFs {
 
     fn readdir(&self, ctx: &ProcCtx, p: &str) -> FsResult<Vec<DirEntry>> {
         self.sec.call(OpClass::Walk, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Readdir, || {
                 let ino = self.resolve(ctx, p, true)?;
                 self.check_perm(ctx, ino, access::R)?;
                 let first = self.dir_block_of(ino)?;
@@ -887,7 +932,7 @@ impl FileSystem for SimurghFs {
 
     fn symlink(&self, ctx: &ProcCtx, target: &str, linkpath: &str) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Symlink, || {
                 let (_, first, name) = self.resolve_parent(ctx, linkpath)?;
                 path::validate_name(name)?;
                 let env = self.dir_env();
@@ -912,7 +957,7 @@ impl FileSystem for SimurghFs {
 
     fn readlink(&self, ctx: &ProcCtx, p: &str) -> FsResult<String> {
         self.sec.call(OpClass::Walk, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Readlink, || {
                 let ino = self.resolve(ctx, p, false)?;
                 if ino.mode(&self.region).ftype != FileType::Symlink {
                     return Err(FsError::Invalid);
@@ -924,7 +969,7 @@ impl FileSystem for SimurghFs {
 
     fn link(&self, ctx: &ProcCtx, existing: &str, new: &str) -> FsResult<()> {
         self.sec.call(OpClass::Meta, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Link, || {
                 let ino = self.resolve(ctx, existing, false)?;
                 let ftype = ino.mode(&self.region).ftype;
                 if ftype == FileType::Directory {
@@ -947,7 +992,7 @@ impl FileSystem for SimurghFs {
 
     fn chmod(&self, ctx: &ProcCtx, p: &str, perm: u16) -> FsResult<()> {
         self.sec.call(OpClass::Ctl, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::Chmod, || {
                 let ino = self.resolve(ctx, p, true)?;
                 if ctx.creds.uid != 0 && ctx.creds.uid != ino.uid(&self.region) {
                     return Err(FsError::Access);
@@ -963,17 +1008,19 @@ impl FileSystem for SimurghFs {
 
     fn statfs(&self, _ctx: &ProcCtx) -> FsResult<FsStats> {
         self.sec.call(OpClass::Ctl, || {
-            Ok(FsStats {
-                total_bytes: self.region.len() as u64,
-                free_bytes: self.blocks.free_blocks() * crate::BLOCK_SIZE as u64,
-                block_size: crate::BLOCK_SIZE as u32,
+            self.measure(FsOp::Statfs, || {
+                Ok(FsStats {
+                    total_bytes: self.region.len() as u64,
+                    free_bytes: self.blocks.free_blocks() * crate::BLOCK_SIZE as u64,
+                    block_size: crate::BLOCK_SIZE as u32,
+                })
             })
         })
     }
 
     fn set_times(&self, ctx: &ProcCtx, p: &str, atime: u64, mtime: u64) -> FsResult<()> {
         self.sec.call(OpClass::Ctl, || {
-            self.timers.time(TimerCategory::Fs, || {
+            self.measure(FsOp::SetTimes, || {
                 let ino = self.resolve(ctx, p, true)?;
                 if ctx.creds.uid != 0 && ctx.creds.uid != ino.uid(&self.region) {
                     return Err(FsError::Access);

@@ -47,6 +47,7 @@ pub mod file;
 pub mod fs;
 pub mod hash;
 pub mod obj;
+pub mod obs;
 pub mod recovery;
 pub mod security;
 pub mod super_block;

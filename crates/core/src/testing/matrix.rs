@@ -100,7 +100,14 @@ pub struct OpMatrix {
     pub capped: bool,
     /// Invariant violations; empty means every replay recovered correctly.
     pub failures: Vec<String>,
+    /// Flight recorder: the most recent trace events per thread (rendered
+    /// via [`crate::obs`]), captured when a replay failed. Empty for clean
+    /// matrices.
+    pub trace: Vec<String>,
 }
+
+/// Trace events per thread the flight recorder keeps when a cell fails.
+pub const FLIGHT_EVENTS: usize = 64;
 
 impl OpMatrix {
     /// True when every replay satisfied every invariant.
@@ -326,6 +333,16 @@ fn sample_boundaries(n: u64, cap: Option<u64>) -> (Vec<u64>, bool) {
 /// `cap` bounds the number of power-cut replays (head+tail sampling);
 /// `None` enumerates every boundary.
 pub fn run_op_matrix(spec: &OpSpec, cap: Option<u64>) -> OpMatrix {
+    let mut m = run_op_matrix_inner(spec, cap);
+    if !m.failures.is_empty() {
+        // Flight recorder: attach the tail of every thread's trace ring so
+        // the failure report shows what the code was doing at the end.
+        m.trace = crate::obs::flight_dump(FLIGHT_EVENTS);
+    }
+    m
+}
+
+fn run_op_matrix_inner(spec: &OpSpec, cap: Option<u64>) -> OpMatrix {
     let ctx = ProcCtx::root(1);
     let mut m = OpMatrix { op: spec.name.to_owned(), ..OpMatrix::default() };
 
@@ -460,6 +477,20 @@ pub fn run_matrix(cap: Option<u64>) -> Vec<OpMatrix> {
     scripted_ops().iter().map(|s| run_op_matrix(s, cap)).collect()
 }
 
+/// Test support: a spec whose op makes no durable change, so the matrix
+/// deterministically fails its pre≠post sanity check — used to assert the
+/// failure path (flight-recorder attachment) without planting a real bug.
+#[doc(hidden)]
+pub fn failing_spec_for_tests() -> OpSpec {
+    OpSpec {
+        name: "noop-injected-failure",
+        setup: |fs, ctx| {
+            fs.mkdir(ctx, "/d", FileMode::dir(0o755)).expect("setup mkdir /d");
+        },
+        op: |fs, ctx| fs.stat(ctx, "/d").map(|_| ()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSON report
 // ---------------------------------------------------------------------------
@@ -507,9 +538,11 @@ pub fn to_json(results: &[OpMatrix]) -> String {
                 .map(|c| format!("{{\"k\":{},\"error\":{}}}", c.k, json_str(&c.error)))
                 .collect();
             let failures: Vec<String> = m.failures.iter().map(|f| json_str(f)).collect();
+            let trace: Vec<String> = m.trace.iter().map(|t| json_str(t)).collect();
             format!(
                 "{{\"op\":{},\"boundaries\":{},\"commit_point\":{},\"capped\":{},\
-                 \"allocs\":{},\"cases\":[{}],\"enospc\":[{}],\"failures\":[{}]}}",
+                 \"allocs\":{},\"cases\":[{}],\"enospc\":[{}],\"failures\":[{}],\
+                 \"trace\":[{}]}}",
                 json_str(&m.op),
                 m.boundaries,
                 m.commit_point.map_or("null".to_owned(), |c| c.to_string()),
@@ -517,7 +550,8 @@ pub fn to_json(results: &[OpMatrix]) -> String {
                 m.allocs,
                 cases.join(","),
                 enospc.join(","),
-                failures.join(",")
+                failures.join(","),
+                trace.join(",")
             )
         })
         .collect();
@@ -554,6 +588,24 @@ mod tests {
         let (v, capped) = sample_boundaries(3, Some(8));
         assert!(!capped);
         assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn failing_cell_attaches_flight_recorder() {
+        let m = run_op_matrix(&failing_spec_for_tests(), Some(2));
+        assert!(!m.is_clean(), "the no-op spec must fail the pre≠post check");
+        assert!(!m.trace.is_empty(), "flight-recorder dump missing on failure");
+        let j = to_json(std::slice::from_ref(&m));
+        assert!(j.contains("\"trace\":[\""), "dump missing from the JSON report");
+    }
+
+    #[test]
+    fn clean_matrix_has_no_flight_dump() {
+        let ops = scripted_ops();
+        let spec = ops.iter().find(|s| s.name == "create").unwrap();
+        let m = run_op_matrix(spec, Some(2));
+        assert!(m.is_clean(), "{:#?}", m.failures);
+        assert!(m.trace.is_empty(), "clean runs must not carry a dump");
     }
 
     #[test]

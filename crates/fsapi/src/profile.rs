@@ -65,6 +65,17 @@ impl OpTimers {
         self.ops.load(Ordering::Relaxed)
     }
 
+    /// Renders the counters as a single-line JSON object, for embedding in
+    /// the unified observability registry (`simurgh_core::obs`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fs_ns\":{},\"copy_ns\":{},\"ops\":{}}}",
+            self.fs_ns(),
+            self.copy_ns(),
+            self.ops()
+        )
+    }
+
     /// Resets all counters (between benchmark phases).
     pub fn reset(&self) {
         self.fs_ns.store(0, Ordering::Relaxed);

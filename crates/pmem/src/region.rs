@@ -11,7 +11,7 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::prot::{AccessFault, AccessPolicy};
 use crate::stats::PmemStats;
@@ -130,6 +130,7 @@ impl RegionBuilder {
             tracker,
             policy: self.policy,
             stats: PmemStats::default(),
+            fence_hook: OnceLock::new(),
         })
     }
 }
@@ -146,6 +147,12 @@ pub struct PmemRegion {
     tracker: Option<Tracker>,
     policy: Option<Arc<dyn AccessPolicy>>,
     stats: PmemStats,
+    /// Observer invoked after every [`fence`](Self::fence) with the running
+    /// fence count — the hook by which the file system's trace ring records
+    /// sfence boundaries without `pmem` depending on upper layers. Set once
+    /// per region (a `simulate_crash` image is a *new* region: re-install
+    /// at mount).
+    fence_hook: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
 }
 
 // SAFETY: the raw allocation is only accessed through the methods below;
@@ -342,11 +349,21 @@ impl PmemRegion {
     /// non-temporal stores) become durable on the media image.
     #[inline]
     pub fn fence(&self) {
-        self.stats.count_fence();
+        let n = self.stats.count_fence();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         if let Some(t) = &self.tracker {
             t.fence();
         }
+        if let Some(hook) = self.fence_hook.get() {
+            hook(n);
+        }
+    }
+
+    /// Installs the fence observer (at most once per region; later calls
+    /// are ignored). Called with the running fence count after each
+    /// [`fence`](Self::fence).
+    pub fn set_fence_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>) {
+        let _ = self.fence_hook.set(hook);
     }
 
     /// Convenience `clwb + sfence` over one range.

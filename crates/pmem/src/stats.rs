@@ -78,9 +78,11 @@ impl PmemStats {
         self.flushed_lines.fetch_add(lines as u64, Ordering::Relaxed);
     }
 
+    /// Counts one fence and returns the new running total (the region's
+    /// fence hook reports it as the sfence-boundary number).
     #[inline]
-    pub(crate) fn count_fence(&self) {
-        self.fences.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn count_fence(&self) -> u64 {
+        self.fences.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Captures the current counter values.

@@ -13,13 +13,16 @@
 //!   there, remount, fsck, and assert roll-back/roll-forward atomicity;
 //!   plus injected ENOSPC at every allocation. `--json` emits the machine
 //!   report (schema in EXPERIMENTS.md), `--cap N` samples N boundaries per
-//!   op instead of all of them.
+//!   op instead of all of them, and `--trace` prints the flight-recorder
+//!   dump (the tail of every thread's trace ring) for failing ops — or,
+//!   when everything passed, the most recent events of the run.
 //!
 //! ```text
 //! cargo run -p simurgh-examples --bin crashlab
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix --json
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix --cap 8
+//! cargo run --release -p simurgh-examples --bin crashlab -- matrix --trace
 //! ```
 
 use std::sync::Arc;
@@ -34,18 +37,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("matrix") {
         let json = args.iter().any(|a| a == "--json");
+        let trace = args.iter().any(|a| a == "--trace");
         let cap = args
             .iter()
             .position(|a| a == "--cap")
             .and_then(|i| args.get(i + 1))
             .map(|v| v.parse::<u64>().expect("--cap takes a number"));
-        run_matrix(json, cap);
+        run_matrix(json, trace, cap);
     } else {
         run_demo();
     }
 }
 
-fn run_matrix(json: bool, cap: Option<u64>) {
+fn run_matrix(json: bool, trace: bool, cap: Option<u64>) {
     let results = matrix::run_matrix(cap);
     if json {
         println!("{}", matrix::to_json(&results));
@@ -67,6 +71,22 @@ fn run_matrix(json: bool, cap: Option<u64>) {
             );
             for f in &m.failures {
                 println!("    !! {f}");
+            }
+        }
+    }
+    if trace && !json {
+        let mut dumped = false;
+        for m in results.iter().filter(|m| !m.trace.is_empty()) {
+            println!("-- flight recorder: {} --", m.op);
+            for line in &m.trace {
+                println!("    {line}");
+            }
+            dumped = true;
+        }
+        if !dumped {
+            println!("-- flight recorder: all ops clean; most recent events --");
+            for line in simurgh_core::obs::flight_dump(16) {
+                println!("    {line}");
             }
         }
     }

@@ -71,6 +71,34 @@ fn remaining_ops_capped_matrix() {
 }
 
 #[test]
+fn failing_cell_ships_a_parseable_flight_recorder_dump() {
+    // A spec that deterministically fails its sanity check must come back
+    // with the flight-recorder dump attached, and the dump must survive the
+    // JSON rendering: present under "trace", balanced, and with every line
+    // following the `t<tid> #<seq> <kind> ...` shape.
+    let m = matrix::run_op_matrix(&matrix::failing_spec_for_tests(), Some(2));
+    assert!(!m.is_clean(), "the no-op spec is supposed to fail");
+    assert!(!m.trace.is_empty(), "failure report lacks the flight recorder");
+    for line in &m.trace {
+        assert!(line.starts_with('t'), "unexpected event shape: {line}");
+        assert!(line.contains('#'), "unexpected event shape: {line}");
+    }
+    let j = matrix::to_json(std::slice::from_ref(&m));
+    assert!(j.contains("\"trace\":[\""), "dump missing from --json report");
+    let depth = j.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "dump broke the JSON nesting");
+    // The dump must not smuggle in raw quotes or control characters that
+    // would terminate the JSON strings early.
+    for line in &m.trace {
+        assert!(!line.contains('"') && !line.contains('\\') && !line.contains('\n'));
+    }
+}
+
+#[test]
 fn json_report_carries_the_totals() {
     let m = run("create", Some(4));
     let j = matrix::to_json(std::slice::from_ref(&m));

@@ -163,7 +163,7 @@ fn golden_layouts_match_compiled_structs() {
 // ---------------------------------------------------------------------------
 
 #[test]
-fn all_six_rules_fire_on_bad_fixtures() {
+fn every_rule_fires_on_bad_fixtures() {
     let bad = workspace_root().join("crates/analyze/fixtures/bad");
     let report = scan_dirs(&[bad], &[]).expect("scan bad fixtures");
     for rule in Rule::ALL {
