@@ -1,0 +1,18 @@
+//! BAD fixture: a volatile cache struct missing from the REBUILDABLE_CACHES
+//! registry. Not compiled — scanned by
+//! `simurgh-analyze --path crates/analyze/fixtures/bad`.
+
+/// A per-process name cache nobody audited for shared-file mounts: a peer
+/// process inserting an entry cannot invalidate this map, so two mounts of
+/// the same region file silently diverge. The shared-region rule demands it
+/// be listed (with a rebuild story) in the REBUILDABLE_CACHES registry.
+pub struct RogueNameCache {
+    names: HashMap<u64, String>,
+    generation: u64,
+}
+
+/// Same defect with a lock-protected free list: stale entries here would
+/// hand out blocks a peer already claimed on media.
+pub struct RogueFreeList {
+    free: UnsafeCell<Vec<(u64, u64)>>,
+}

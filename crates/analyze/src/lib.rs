@@ -9,7 +9,7 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Seven rule families:
+//! Eight rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
@@ -44,6 +44,13 @@
 //!   battery declared in `core` must be wired into the `ObsRegistry`
 //!   (mentioned in the file declaring it) — an unregistered counter or an
 //!   untimed op is invisible to `paper obs` and to the flight recorder.
+//! * **shared-region** — a shared-file mount rebuilds every volatile cache
+//!   per process, trusting only media: any struct in `core` holding a
+//!   cache-shaped container (`HashMap`/`FastMap`/`UnsafeCell`/`SegQueue`)
+//!   must be listed, with its rebuild story, in the `REBUILDABLE_CACHES`
+//!   registry next to the shared mount protocol. An unlisted cache is DRAM
+//!   state no peer process can rebuild or invalidate — exactly the thing a
+//!   `kill -9` of one mount turns into silent divergence.
 //!
 //! False positives are suppressed in place with a justified
 //! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
@@ -54,7 +61,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The seven rule families.
+/// The eight rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
@@ -64,6 +71,7 @@ pub enum Rule {
     DataPathWalk,
     ApiSurface,
     ObsCoverage,
+    SharedRegion,
 }
 
 impl Rule {
@@ -77,10 +85,11 @@ impl Rule {
             Rule::DataPathWalk => "data-path-walk",
             Rule::ApiSurface => "api-surface",
             Rule::ObsCoverage => "obs-coverage",
+            Rule::SharedRegion => "shared-region",
         }
     }
 
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::PersistOrder,
         Rule::LockDiscipline,
         Rule::UnsafeAudit,
@@ -88,6 +97,7 @@ impl Rule {
         Rule::DataPathWalk,
         Rule::ApiSurface,
         Rule::ObsCoverage,
+        Rule::SharedRegion,
     ];
 }
 
@@ -1167,6 +1177,94 @@ fn rule_obs_coverage(files: &[SourceFile], report: &mut Report) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: shared-region
+// ---------------------------------------------------------------------------
+
+/// Structs whose body holds a cache-shaped container — the things a second
+/// process mounting the same region file cannot see into: `HashMap`/
+/// `FastMap` (name or state indexes), `UnsafeCell` (lock-protected free
+/// lists), `SegQueue` (free stacks). Returns `(0-based line, name)` pairs.
+fn cache_structs(file: &SourceFile) -> Vec<(usize, String)> {
+    const CACHE_TOKENS: [&str; 4] = ["HashMap<", "FastMap<", "UnsafeCell<", "SegQueue<"];
+    let mut out = Vec::new();
+    for (ln, line) in file.lines.iter().enumerate() {
+        if line.skip || !has_word(&line.code, "struct") {
+            continue;
+        }
+        let Some(rest) = file.lines[ln].code.split("struct").nth(1) else {
+            continue;
+        };
+        let name: String = rest.trim_start().chars().take_while(|&c| is_ident(c)).collect();
+        if name.is_empty() {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut entered = false;
+        let mut cached = false;
+        'body: for body_line in &file.lines[ln..] {
+            if CACHE_TOKENS.iter().any(|t| body_line.code.contains(t)) {
+                cached = true;
+            }
+            for c in body_line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth <= 0 {
+                            break 'body;
+                        }
+                    }
+                    ';' if !entered => break 'body, // unit/tuple struct
+                    _ => {}
+                }
+            }
+        }
+        if cached {
+            out.push((ln, name));
+        }
+    }
+    out
+}
+
+/// shared-region: every volatile cache struct in `core` must be in the
+/// `REBUILDABLE_CACHES` registry (the audited list, with rebuild stories,
+/// next to the shared mount protocol). A cache-shaped struct missing from
+/// the registry is per-process DRAM a peer mount can neither rebuild nor
+/// invalidate.
+fn rule_shared_region(files: &[SourceFile], report: &mut Report) {
+    // The registry entries are string literals (blanked in `code`), so the
+    // membership check reads `raw`.
+    let registry = files
+        .iter()
+        .find(|f| f.lines.iter().any(|l| !l.skip && l.code.contains("REBUILDABLE_CACHES")));
+    for file in files {
+        if !(file.label.contains("core/src") || file.label.contains("fixtures")) {
+            continue;
+        }
+        for (ln, name) in cache_structs(file) {
+            let listed = registry.is_some_and(|reg| {
+                reg.lines.iter().any(|l| l.raw.contains(&format!("\"{name}\"")))
+            });
+            if !listed && !allowed(file, ln, Rule::SharedRegion) {
+                report.findings.push(Finding {
+                    rule: Rule::SharedRegion,
+                    file: file.label.clone(),
+                    line: ln + 1,
+                    message: format!(
+                        "volatile cache struct `{name}` is not in the REBUILDABLE_CACHES \
+                         registry — a peer mount of the same region file cannot rebuild \
+                         or invalidate it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tolerance-factor guard (comparative benchmark assertions)
 // ---------------------------------------------------------------------------
 
@@ -1273,6 +1371,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
     }
     rule_media_layout(&files, manifest, &mut report);
     rule_obs_coverage(&files, &mut report);
+    rule_shared_region(&files, &mut report);
     report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report.findings.dedup();
     report
@@ -1905,6 +2004,88 @@ mod tests {
         ";
         let report = scan_files(&[("crates/core/src/fs.rs", src)], &[]);
         assert!(report.findings.iter().all(|f| f.rule != Rule::ObsCoverage));
+    }
+
+    // ----- shared-region ---------------------------------------------------
+
+    #[test]
+    fn shared_region_bad_unlisted_cache_struct() {
+        let src = "
+            struct RogueCache {
+                names: HashMap<u64, String>,
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/rogue.rs", src)], &[]);
+        let hits: Vec<_> =
+            report.findings.iter().filter(|f| f.rule == Rule::SharedRegion).collect();
+        assert_eq!(hits.len(), 1, "{:?}", report.findings);
+        assert!(hits[0].message.contains("RogueCache"));
+    }
+
+    #[test]
+    fn shared_region_good_listed_cache_struct() {
+        let registry = "
+            pub const REBUILDABLE_CACHES: &[&str] = &[
+                \"GoodCache\",
+            ];
+        ";
+        let src = "
+            struct GoodCache {
+                free: UnsafeCell<Vec<(u64, u64)>>,
+            }
+        ";
+        let report = scan_files(
+            &[("crates/core/src/shared.rs", registry), ("crates/core/src/good.rs", src)],
+            &[],
+        );
+        assert!(
+            report.findings.iter().all(|f| f.rule != Rule::SharedRegion),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn shared_region_ignores_plain_structs_and_locals() {
+        let src = "
+            struct NotACache {
+                count: u64,
+            }
+            fn helper() {
+                let mut owner: HashMap<u64, String> = HashMap::new();
+                owner.insert(1, String::new());
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/plain.rs", src)], &[]);
+        assert!(report.findings.iter().all(|f| f.rule != Rule::SharedRegion));
+    }
+
+    #[test]
+    fn shared_region_detects_real_registry_members() {
+        // The live shapes from core: SegQueue stacks and sharded FastMaps.
+        let src = "
+            pub struct MetaAllocator {
+                free: [SegQueue<u64>; 3],
+            }
+            pub struct DirIndex {
+                dirs: Vec<RwLock<FastMap<u64, DirState>>>,
+            }
+        ";
+        let file = load("crates/core/src/x.rs", src);
+        let names: Vec<String> = cache_structs(&file).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["MetaAllocator".to_owned(), "DirIndex".to_owned()]);
+    }
+
+    #[test]
+    fn shared_region_respects_allow_marker() {
+        let src = "
+            // analyze:allow(shared-region): scratch map, never consulted cross-process
+            struct ScratchMap {
+                names: HashMap<u64, String>,
+            }
+        ";
+        let report = scan_files(&[("crates/core/src/scratch.rs", src)], &[]);
+        assert!(report.findings.iter().all(|f| f.rule != Rule::SharedRegion));
     }
 
     // ----- plumbing --------------------------------------------------------

@@ -13,10 +13,11 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use simurgh_pmem::layout::Extent;
-use simurgh_pmem::PPtr;
+use simurgh_pmem::{PPtr, PmemRegion};
 
 use super::tslock::{Acquired, TsGuard, TsLock};
 use crate::BLOCK_SIZE;
@@ -41,6 +42,56 @@ unsafe impl Sync for Segment {}
 /// acquisition; publishing would race the thief's view of the free list.
 struct LockLost;
 
+/// The cross-process claim arbiter: one bit per block, living **in the
+/// shared region** (see `crate::shared` for the geometry words). The local
+/// free lists remain the fast path; under a shared mount every allocation
+/// additionally sets its bits here with `fetch_or`, and a set bit someone
+/// else owns means a peer process claimed the block first — our local view
+/// was stale, so we carve the block out and move on. The bitmap has
+/// volatile semantics: the recovering mount republishes it from its
+/// mark-and-sweep free lists, and nothing trusts it across a crash.
+struct SharedBits {
+    region: Arc<PmemRegion>,
+    base: PPtr,
+    words: u64,
+}
+
+impl SharedBits {
+    #[inline]
+    fn word(&self, w: u64) -> &AtomicU64 {
+        debug_assert!(w < self.words);
+        self.region.atomic_u64(self.base.add(w * 8))
+    }
+
+    /// Whether block `b` is claimed (attach-time snapshot).
+    fn used(&self, b: u64) -> bool {
+        self.word(b / 64).load(Ordering::Acquire) & (1 << (b % 64)) != 0
+    }
+
+    /// Claims `[start, start + count)`. On hitting a bit a peer already
+    /// owns, rolls back the bits set so far and returns the conflicting
+    /// block index.
+    fn claim(&self, start: u64, count: u64) -> Result<(), u64> {
+        for b in start..start + count {
+            let bit = 1u64 << (b % 64);
+            if self.word(b / 64).fetch_or(bit, Ordering::AcqRel) & bit != 0 {
+                for ours in start..b {
+                    self.word(ours / 64).fetch_and(!(1 << (ours % 64)), Ordering::AcqRel);
+                }
+                return Err(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `[start, start + count)`.
+    fn clear(&self, start: u64, count: u64) {
+        for b in start..start + count {
+            self.word(b / 64).fetch_and(!(1 << (b % 64)), Ordering::AcqRel);
+        }
+    }
+}
+
 /// The segmented block allocator over a data extent.
 pub struct BlockAlloc {
     data_start: u64,
@@ -52,6 +103,9 @@ pub struct BlockAlloc {
     /// parks for that many µs between deciding and publishing (one-shot),
     /// so tests can force a steal mid-section deterministically.
     stall_us: AtomicU64,
+    /// Cross-process claim bitmap; unset for exclusive (single-process)
+    /// mounts, where the local free lists are already authoritative.
+    shared: OnceLock<SharedBits>,
 }
 
 impl BlockAlloc {
@@ -101,7 +155,50 @@ impl BlockAlloc {
             segments: segments.into_boxed_slice(),
             max_hold: DEFAULT_MAX_HOLD,
             stall_us: AtomicU64::new(0),
+            shared: OnceLock::new(),
         }
+    }
+
+    /// Recoverer path of a shared mount: writes this allocator's post-sweep
+    /// view into the region-resident claim bitmap (free lists become clear
+    /// bits, everything else — including slack past `nblocks` — stays set),
+    /// then arms per-allocation claims. Must run before `shared::publish_up`
+    /// so no attacher reads a half-written bitmap.
+    pub fn publish_shared(&self, region: Arc<PmemRegion>, base: PPtr, words: u64) {
+        assert!(words * 64 >= self.nblocks, "bitmap too small for data area");
+        let bits = SharedBits { region, base, words };
+        let mut image = vec![u64::MAX; words as usize];
+        for seg in self.segments.iter() {
+            let (guard, how) = seg.lock.acquire(self.max_hold);
+            if how == Acquired::Stolen {
+                self.repair(seg);
+            }
+            // SAFETY: lock held.
+            let free = unsafe { &*seg.free.get() };
+            for &(s, l) in free.iter() {
+                for b in s..s + l {
+                    image[(b / 64) as usize] &= !(1 << (b % 64));
+                }
+            }
+            drop(guard);
+        }
+        for (w, val) in image.into_iter().enumerate() {
+            bits.word(w as u64).store(val, Ordering::Release);
+        }
+        let _ = self.shared.set(bits);
+    }
+
+    /// Attacher path of a shared mount: rebuilds the local free lists from
+    /// the published claim bitmap — media only, never a peer's DRAM. The
+    /// snapshot races live peers, but every subsequent allocation is
+    /// re-arbitrated by the bitmap CAS, so a stale run merely conflicts and
+    /// gets carved out.
+    pub fn attach(data: Extent, nsegs: usize, region: Arc<PmemRegion>, base: PPtr, words: u64) -> Self {
+        let bits = SharedBits { region, base, words };
+        let a = Self::rebuild(data, nsegs, |b| bits.used(b));
+        assert!(words * 64 >= a.nblocks, "bitmap too small for data area");
+        let _ = a.shared.set(bits);
+        a
     }
 
     /// One-shot test stall between a critical section's decision and its
@@ -238,9 +335,6 @@ impl BlockAlloc {
             (idx, start, len)
         };
         let got = want.min(start + len - b);
-        // Carve `[b, b+got)` out of the run.
-        let head = b - start;
-        let tail = (start + len) - (b + got);
         self.test_stall();
         if !guard.still_owned() {
             // Stolen mid-section: the run we decided on is the thief's now.
@@ -249,19 +343,24 @@ impl BlockAlloc {
             drop(guard);
             return 0;
         }
-        // SAFETY: lock held (ownership re-validated above).
-        let free = unsafe { &mut *free_ptr };
-        match (head > 0, tail > 0) {
-            (false, false) => {
-                free.remove(idx);
-            }
-            (false, true) => free[idx] = (b + got, tail),
-            (true, false) => free[idx] = (start, head),
-            (true, true) => {
-                free[idx] = (start, head);
-                free.insert(idx + 1, (b + got, tail));
+        // Under a shared mount the bitmap arbitrates; a conflict means a
+        // peer claimed part of the run our stale list shows free. Carve the
+        // conflicting block out locally (so retries converge) and fall back
+        // to the general allocator.
+        if let Some(bits) = self.shared.get() {
+            if let Err(conflict) = bits.claim(b, got) {
+                // SAFETY: lock held (ownership re-validated above).
+                let free = unsafe { &mut *free_ptr };
+                Self::carve_run(free, idx, start, len, conflict, 1);
+                seg.free_blocks.fetch_sub(1, Ordering::Relaxed);
+                drop(guard);
+                return 0;
             }
         }
+        // Carve `[b, b+got)` out of the run.
+        // SAFETY: lock held (ownership re-validated above).
+        let free = unsafe { &mut *free_ptr };
+        Self::carve_run(free, idx, start, len, b, got);
         seg.free_blocks.fetch_sub(got, Ordering::Relaxed);
         drop(guard);
         got
@@ -272,6 +371,13 @@ impl BlockAlloc {
     pub fn free(&self, p: PPtr, count: u64) {
         debug_assert!(count > 0);
         let b = self.ptr_block(p);
+        // Release the cross-process claims first: the bitmap is the arbiter,
+        // so a peer may claim these blocks before our local insert lands —
+        // its claim will simply conflict with our stale "free" run later and
+        // carve it out. Order-insensitive either way.
+        if let Some(bits) = self.shared.get() {
+            bits.clear(b, count);
+        }
         let seg = &self.segments[self.seg_of_block(b)];
         loop {
             let (guard, how) = seg.lock.acquire(self.max_hold);
@@ -328,31 +434,65 @@ impl BlockAlloc {
         count: u64,
     ) -> Result<Option<u64>, LockLost> {
         let free_ptr = seg.free.get();
-        // Decide: read-only scan, no exclusive borrow held across the
-        // validation window.
-        let (idx, start, len) = {
-            // SAFETY: caller holds seg.lock.
-            let free = unsafe { &*free_ptr };
-            let Some(idx) = free.iter().position(|&(_, len)| len >= count) else {
-                return Ok(None);
+        loop {
+            // Decide: read-only scan, no exclusive borrow held across the
+            // validation window.
+            let (idx, start, len) = {
+                // SAFETY: caller holds seg.lock.
+                let free = unsafe { &*free_ptr };
+                let Some(idx) = free.iter().position(|&(_, len)| len >= count) else {
+                    return Ok(None);
+                };
+                let (start, len) = free[idx];
+                (idx, start, len)
             };
-            let (start, len) = free[idx];
-            (idx, start, len)
-        };
-        self.test_stall();
-        if !guard.still_owned() {
-            return Err(LockLost);
+            self.test_stall();
+            if !guard.still_owned() {
+                return Err(LockLost);
+            }
+            // Under a shared mount, the bitmap is the cross-process arbiter:
+            // claim there before touching the local list. A conflict means a
+            // peer owns a block our list still shows free — carve just that
+            // block out (lock held, so the mutation is safe) and rescan.
+            if let Some(bits) = self.shared.get() {
+                if let Err(conflict) = bits.claim(start, count) {
+                    // SAFETY: caller holds seg.lock (re-validated above).
+                    let free = unsafe { &mut *free_ptr };
+                    Self::carve_run(free, idx, start, len, conflict, 1);
+                    seg.free_blocks.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            // Publish: ownership just re-validated, so no thief is editing.
+            // SAFETY: caller holds seg.lock (re-validated above).
+            let free = unsafe { &mut *free_ptr };
+            if len == count {
+                free.remove(idx);
+            } else {
+                free[idx] = (start + count, len - count);
+            }
+            seg.free_blocks.fetch_sub(count, Ordering::Relaxed);
+            return Ok(Some(start));
         }
-        // Publish: ownership just re-validated, so no thief is editing.
-        // SAFETY: caller holds seg.lock (re-validated above).
-        let free = unsafe { &mut *free_ptr };
-        if len == count {
-            free.remove(idx);
-        } else {
-            free[idx] = (start + count, len - count);
+    }
+
+    /// Removes `[at, at + take)` from the run `(start, len)` stored at
+    /// `free[idx]`, splitting when the cut is interior. Caller holds the
+    /// segment lock and guarantees the cut lies inside the run.
+    fn carve_run(free: &mut Vec<(u64, u64)>, idx: usize, start: u64, len: u64, at: u64, take: u64) {
+        let head = at - start;
+        let tail = (start + len) - (at + take);
+        match (head > 0, tail > 0) {
+            (false, false) => {
+                free.remove(idx);
+            }
+            (false, true) => free[idx] = (at + take, tail),
+            (true, false) => free[idx] = (start, head),
+            (true, true) => {
+                free[idx] = (start, head);
+                free.insert(idx + 1, (at + take, tail));
+            }
         }
-        seg.free_blocks.fetch_sub(count, Ordering::Relaxed);
-        Ok(Some(start))
     }
 
     /// Repairs a segment free list after a stolen lock: re-sorts and merges
@@ -561,6 +701,99 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 14);
+    }
+
+    fn shared_pair(
+        bytes: u64,
+        nsegs: usize,
+    ) -> (Arc<PmemRegion>, BlockAlloc, BlockAlloc) {
+        let r = Arc::new(PmemRegion::new(64 * 1024));
+        let base = PPtr::new(4096);
+        let words = 64; // covers up to 4096 blocks, plenty for these tests
+        let a = BlockAlloc::new(extent(bytes), nsegs);
+        a.publish_shared(r.clone(), base, words);
+        let b = BlockAlloc::attach(extent(bytes), nsegs, r.clone(), base, words);
+        (r, a, b)
+    }
+
+    #[test]
+    fn shared_bitmap_arbitrates_two_instances() {
+        // Two allocator instances (two "processes") with identical, fully
+        // free local lists over the same claim bitmap: every block is
+        // granted exactly once across both.
+        let (_r, a, b) = shared_pair(64 * 4096, 2);
+        assert_eq!(b.free_blocks(), 64, "attach sees the published view");
+        let mut seen = std::collections::HashSet::new();
+        let (mut hint, mut from_a, mut from_b) = (0, 0, 0);
+        loop {
+            let pa = a.alloc(hint, 1);
+            let pb = b.alloc(hint, 1);
+            hint += 1;
+            if pa.is_none() && pb.is_none() {
+                break;
+            }
+            if let Some(p) = pa {
+                assert!(seen.insert(p.off()), "double grant at {p}");
+                from_a += 1;
+            }
+            if let Some(p) = pb {
+                assert!(seen.insert(p.off()), "double grant at {p}");
+                from_b += 1;
+            }
+        }
+        assert_eq!(seen.len(), 64, "exactly capacity granted in total");
+        assert!(from_a > 0 && from_b > 0, "both instances got blocks");
+    }
+
+    #[test]
+    fn peer_claims_defeat_stale_extend_at() {
+        let (_r, a, b) = shared_pair(16 * 4096, 1);
+        // B claims the first 4 blocks; A's local list still shows them free.
+        let pb = b.alloc(0, 4).unwrap();
+        let first = b.ptr_block(pb);
+        // A's tail-extension into the claimed range must fail cleanly...
+        assert_eq!(a.extend_at(first, 2), 0);
+        // ...and A's general allocations never overlap B's claim.
+        let mut got = Vec::new();
+        while let Some(p) = a.alloc(0, 1) {
+            let blk = a.ptr_block(p);
+            assert!(!(first..first + 4).contains(&blk), "A granted B's block {blk}");
+            got.push(p);
+        }
+        assert_eq!(got.len(), 12, "A gets exactly the unclaimed remainder");
+    }
+
+    #[test]
+    fn freed_blocks_return_to_the_shared_pool() {
+        let (r, a, _b) = shared_pair(32 * 4096, 1);
+        let p = a.alloc(0, 32).unwrap();
+        a.free(p, 32);
+        // A fresh attach (cold cache, media only) sees everything free again.
+        let c = BlockAlloc::attach(extent(32 * 4096), 1, r, PPtr::new(4096), 64);
+        assert_eq!(c.free_blocks(), 32);
+        assert!(c.alloc(0, 32).is_some());
+    }
+
+    #[test]
+    fn shared_instances_stay_disjoint_under_contention() {
+        let (_r, a, b) = shared_pair(256 * 4096, 4);
+        let pair = [a, b];
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let alloc = &pair[(t % 2) as usize];
+                let seen = &seen;
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        if let Some(p) = alloc.alloc(t + i, 1) {
+                            assert!(seen.lock().insert(p.off()), "cross-process double grant");
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(seen.lock().len(), 200);
     }
 
     #[test]

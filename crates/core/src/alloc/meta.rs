@@ -167,6 +167,22 @@ impl MetaAllocator {
         Ok(())
     }
 
+    /// Attach path of a shared mount: refills the volatile free stacks from
+    /// a header scan of every recorded pool segment — media only, never a
+    /// peer's DRAM. The snapshot can race a live peer's alloc/free, but the
+    /// persistent header CAS in [`alloc`](Self::alloc) arbitrates: a stale
+    /// stack entry whose header is no longer zero simply loses and the next
+    /// candidate is tried.
+    pub fn adopt_from_scan(&self) {
+        for kind in [PoolKind::Inode, PoolKind::FileEntry, PoolKind::DirBlock] {
+            Self::for_each_slot(&self.region, kind, |obj| {
+                if self.region.atomic_u64(obj).load(Ordering::Acquire) == 0 {
+                    self.adopt_free(kind, obj);
+                }
+            });
+        }
+    }
+
     /// Iterates every object slot of every recorded segment of `kind`,
     /// calling `f(obj)`. Used by the recovery scan.
     pub fn for_each_slot(region: &PmemRegion, kind: PoolKind, mut f: impl FnMut(PPtr)) {

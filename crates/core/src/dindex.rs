@@ -106,6 +106,12 @@ impl DirState {
 pub struct DirIndex {
     entries: Vec<EntryShard>,
     dirs: Vec<RwLock<FastMap<u64, DirState>>>,
+    /// Whether completeness bits may turn a miss into an authoritative
+    /// `AbsentForSure`. Shared (multi-process) mounts turn this off: a peer
+    /// process inserting a name cannot invalidate *our* DRAM, so only the
+    /// verified positive hints, free-slot stacks and chain tails — all
+    /// re-checked against media on use — remain safe to serve.
+    negative_authority: std::sync::atomic::AtomicBool,
 }
 
 impl Default for DirIndex {
@@ -130,7 +136,19 @@ impl DirIndex {
         DirIndex {
             entries: (0..SHARDS).map(|_| RwLock::new(FastMap::default())).collect(),
             dirs: (0..SHARDS).map(|_| RwLock::new(FastMap::default())).collect(),
+            negative_authority: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Demotes the index to positive-hints-only (shared mounts): misses are
+    /// never authoritative and always fall back to the chain walk.
+    pub fn disable_negative_authority(&self) {
+        self.negative_authority.store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    #[inline]
+    fn negatives_on(&self) -> bool {
+        self.negative_authority.load(std::sync::atomic::Ordering::Acquire)
     }
 
     #[inline]
@@ -160,9 +178,10 @@ impl DirIndex {
         if let Some(&(fe, blk)) = shard.read().get(&(dir.off(), nhash)) {
             return IndexHit::Found(PPtr::new(fe), PPtr::new(blk));
         }
-        match self.read_dir(dir, |st| st.line_complete(line)) {
-            Some(true) => IndexHit::AbsentForSure,
-            _ => IndexHit::Unknown,
+        match self.negatives_on() && self.read_dir(dir, |st| st.line_complete(line)) == Some(true)
+        {
+            true => IndexHit::AbsentForSure,
+            false => IndexHit::Unknown,
         }
     }
 
@@ -205,12 +224,15 @@ impl DirIndex {
 
     /// Whether misses on `(dir, line)` are authoritative.
     pub fn is_line_complete(&self, dir: PPtr, line: usize) -> bool {
-        self.read_dir(dir, |st| st.line_complete(line)).unwrap_or(false)
+        self.negatives_on() && self.read_dir(dir, |st| st.line_complete(line)).unwrap_or(false)
     }
 
     /// Whether misses on every line of this directory are authoritative.
     pub fn is_complete(&self, dir: PPtr) -> bool {
-        self.read_dir(dir, |st| st.complete.iter().all(|w| *w == u64::MAX)).unwrap_or(false)
+        self.negatives_on()
+            && self
+                .read_dir(dir, |st| st.complete.iter().all(|w| *w == u64::MAX))
+                .unwrap_or(false)
     }
 
     /// Forgets everything about a directory (rmdir).

@@ -208,6 +208,14 @@ pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuar
             );
             repair_line(env, first, line);
             first.release_busy(env.region, line);
+            // The takeover is complete: the presumed-dead holder's line is
+            // repaired and its flag is ours to race for. Surviving
+            // processes prove decentralized recovery by this event.
+            crate::obs::trace(
+                crate::obs::EventKind::LockSteal,
+                first.ptr().off(),
+                line as u64,
+            );
         }
         std::hint::spin_loop();
         spins += 1;

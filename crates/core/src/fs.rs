@@ -31,6 +31,7 @@ use crate::obj::{self};
 use crate::obs::{self, FsOp};
 use crate::recovery::{self, RecoveryReport};
 use crate::security::{OpClass, Security};
+use crate::shared;
 use crate::super_block::{PoolKind, Superblock};
 
 const SYMLINK_HOPS: usize = 16;
@@ -121,6 +122,10 @@ pub struct SimurghFs {
     /// Unified observability registry: per-op latency histograms plus the
     /// single `to_json` export point for every counter battery.
     obs: obs::ObsRegistry,
+    /// This instance joined via [`SimurghFs::mount_shared`]: unmount goes
+    /// through the attach-count protocol and only the last process out
+    /// writes the clean flag.
+    shared_mode: bool,
 }
 
 impl SimurghFs {
@@ -131,8 +136,16 @@ impl SimurghFs {
         let _boot = simurgh_protfn::cpl::KernelGuard::enter();
         let mut carver = Carver::new(region.len() as u64);
         carver.take(PAGE_SIZE as u64, PAGE_SIZE as u64).map_err(|_| FsError::NoSpace)?;
+        // The cross-process block-claim bitmap sits right after the
+        // superblock page; exclusive mounts ignore it, shared mounts
+        // republish it at attach time (see `crate::shared`).
+        let bm_bytes = shared::bitmap_bytes(region.len());
+        let bm = carver.take(bm_bytes, PAGE_SIZE as u64).map_err(|_| FsError::NoSpace)?;
         let data = carver.remainder().map_err(|_| FsError::NoSpace)?;
         Superblock::format(&region, PPtr::NULL, data);
+        region.zero(bm.start, bm_bytes as usize);
+        shared::record_bitmap_geometry(&region, bm.start, bm_bytes / 8);
+        shared::reset(&region);
         let blocks = Arc::new(BlockAlloc::new(data, cfg.segment_count()));
         let meta = Arc::new(MetaAllocator::new(region.clone(), blocks.clone()));
         // Root inode + first hash block.
@@ -152,9 +165,78 @@ impl SimurghFs {
         Ok(fs)
     }
 
-    /// Mounts an existing file system, running crash recovery if the region
-    /// was not cleanly unmounted.
+    /// Mounts an existing file system **exclusively**, running crash
+    /// recovery if the region was not cleanly unmounted. This is the
+    /// recovery entry point after a whole-process-group crash: it also
+    /// resets the (volatile-semantics) shared-mount coordination words, so
+    /// stale `UP`/attach state leaked by `kill -9`'d processes cannot
+    /// divert it. Concurrent mounts of the same region file must use
+    /// [`mount_shared`](Self::mount_shared) instead.
     pub fn mount(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
+        if !Superblock::is_valid(&region) {
+            return Err(FsError::Corrupt("bad superblock magic"));
+        }
+        shared::reset(&region);
+        Self::mount_inner(region, cfg)
+    }
+
+    /// Joins a multi-process mount of a shared (file-backed) region. The
+    /// first process in wins the `DOWN → INITIALIZING` race and runs the
+    /// full recovery mount, then publishes the block-claim bitmap; later
+    /// processes attach by rebuilding every volatile cache from media alone
+    /// (bitmap → block free lists, header scan → metadata stacks, empty
+    /// directory index that converges verify-on-use). See `crate::shared`
+    /// for the ownership protocol.
+    pub fn mount_shared(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
+        let _boot = simurgh_protfn::cpl::KernelGuard::enter();
+        if !Superblock::is_valid(&region) {
+            return Err(FsError::Corrupt("bad superblock magic"));
+        }
+        let (bm_start, bm_words) = shared::bitmap_geometry(&region)
+            .ok_or(FsError::Corrupt("region formatted without a claim bitmap"))?;
+        match shared::begin_attach(&region)? {
+            shared::AttachRole::Recoverer => {
+                let fs = match Self::mount_inner(region.clone(), cfg) {
+                    Ok(fs) => fs,
+                    Err(e) => {
+                        shared::abort_init(&region);
+                        return Err(e);
+                    }
+                };
+                fs.blocks.publish_shared(region.clone(), bm_start, bm_words);
+                fs.index.disable_negative_authority();
+                shared::publish_up(&region);
+                Ok(SimurghFs { shared_mode: true, ..fs })
+            }
+            shared::AttachRole::Attacher => {
+                let t_mount = std::time::Instant::now();
+                let data = Superblock::data_extent(&region);
+                let blocks = Arc::new(BlockAlloc::attach(
+                    data,
+                    cfg.segment_count(),
+                    region.clone(),
+                    bm_start,
+                    bm_words,
+                ));
+                let meta = Arc::new(MetaAllocator::new(region.clone(), blocks.clone()));
+                meta.adopt_from_scan();
+                let root = Inode(Superblock::root_inode(&region));
+                let fs =
+                    Self::assemble(region, blocks, meta, root, cfg, RecoveryReport::default());
+                // No index rebuild: a walk would race live peers. Start
+                // empty; positive hints fill in on use and misses always
+                // verify against the persistent chains.
+                fs.index.disable_negative_authority();
+                fs.obs.record(FsOp::Mount, t_mount.elapsed());
+                Ok(SimurghFs { shared_mode: true, ..fs })
+            }
+        }
+    }
+
+    /// The exclusive-recovery mount body, shared by [`mount`](Self::mount)
+    /// and the recoverer arm of [`mount_shared`](Self::mount_shared) (which
+    /// must *not* reset the coordination words — it owns `INITIALIZING`).
+    fn mount_inner(region: Arc<PmemRegion>, cfg: SimurghConfig) -> FsResult<Self> {
         // Mounting (recovery included) is bootstrap work: OS privilege.
         let _boot = simurgh_protfn::cpl::KernelGuard::enter();
         let t_mount = std::time::Instant::now();
@@ -231,6 +313,7 @@ impl SimurghFs {
             dir_stats: dir::DirStats::default(),
             data_stats: file::DataStats::default(),
             obs: obs::ObsRegistry::default(),
+            shared_mode: false,
         };
         // Trace every sfence boundary. Regions produced by `simulate_crash`
         // are fresh, so each format/mount re-installs the hook.
@@ -247,9 +330,22 @@ impl SimurghFs {
     }
 
     /// Cleanly unmounts: marks the region clean so the next mount skips
-    /// repair. The instance is consumed.
+    /// repair. The instance is consumed. Shared mounts detach instead; only
+    /// the last process out writes the clean flag — a `kill -9`'d peer
+    /// never detaches, leaving the region unclean for the next recovery.
     pub fn unmount(self) {
-        Superblock::set_clean(&self.region, true);
+        if self.shared_mode {
+            if shared::detach(&self.region) {
+                Superblock::set_clean(&self.region, true);
+            }
+        } else {
+            Superblock::set_clean(&self.region, true);
+        }
+    }
+
+    /// Whether this instance is part of a multi-process shared mount.
+    pub fn is_shared(&self) -> bool {
+        self.shared_mode
     }
 
     /// The recovery report of the mount that produced this instance.

@@ -50,6 +50,7 @@ pub mod obj;
 pub mod obs;
 pub mod recovery;
 pub mod security;
+pub mod shared;
 pub mod super_block;
 pub mod testing;
 

@@ -336,7 +336,8 @@ pub const RING_EVENTS: usize = 1024;
 /// | kind | `a` | `b` |
 /// |---|---|---|
 /// | `OpBegin` / `OpEnd` | [`FsOp`] index | 0 / duration ns |
-/// | `LockSteal` | victim stamp (µs) | thief stamp (µs) |
+/// | `LockSteal` (TsLock) | victim stamp (µs) | thief stamp (µs) |
+/// | `LockSteal` (busy line) | first hash block offset | line index |
 /// | `BusyTimeout` | lock/flag address or line | observed word |
 /// | `AllocFault` | k-th attempt injected | 0 meta / 1 data |
 /// | `Fence` | running fence count | 0 |

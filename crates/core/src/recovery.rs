@@ -203,6 +203,9 @@ pub fn recover(
         return Err(FsError::Corrupt("bad superblock"));
     }
     let was_clean = Superblock::is_clean(region);
+    // Release pool-table slots a crashed grower left mid-claim; recovery
+    // runs exclusively, so no live claimer can be racing us.
+    Superblock::clear_torn_pool_claims(region);
     let data = Superblock::data_extent(region);
     let data_start = data.start.align_up(BLOCK_SIZE as u64).off();
     let data_blocks = (data.start.off() + data.len - data_start) / BLOCK_SIZE as u64;

@@ -27,7 +27,14 @@ const O_ROOT: u64 = 32;
 const O_DATA_START: u64 = 40;
 const O_DATA_LEN: u64 = 48;
 const O_EPOCH: u64 = 56;
-const O_POOLS: u64 = 64; // 3 kinds x 32 segs x (start,count) = 1536 bytes
+const O_POOLS: u64 = 64; // 3 kinds x 32 segs x (start,count) = 1536 bytes; ends at 1600
+
+// Bytes 1600..2048 reserved. Bytes 2048.. hold the shared-mount coordination
+// words and block-bitmap geometry — see `crate::shared` for their semantics.
+
+/// In-progress marker for a pool table slot being claimed by
+/// [`Superblock::add_pool_seg`] (never a real object count).
+const SEG_CLAIM: u64 = u64::MAX;
 
 /// Metadata pool kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,11 +101,15 @@ impl Superblock {
         r.persist(PPtr::new(O_MAGIC), 8);
     }
 
-    /// Whether the region carries a valid Simurgh superblock.
+    /// Whether the region carries a valid Simurgh superblock. Besides the
+    /// magic/version identity this checks the recorded region length against
+    /// the actual mapping, so a region file that was truncated or padded
+    /// behind our back is rejected instead of silently mounted.
     pub fn is_valid(r: &PmemRegion) -> bool {
         r.len() >= simurgh_pmem::PAGE_SIZE
             && r.read::<u64>(PPtr::new(O_MAGIC)) == MAGIC
             && r.read::<u64>(PPtr::new(O_VERSION)) == VERSION
+            && r.read::<u64>(PPtr::new(O_REGION_LEN)) == r.len() as u64
     }
 
     pub fn root_inode(r: &PmemRegion) -> PPtr {
@@ -144,14 +155,16 @@ impl Superblock {
         PPtr::new(O_POOLS + ((kind as usize * MAX_POOL_SEGS + idx) as u64) * 16)
     }
 
-    /// Reads pool segment `idx` of `kind`, if present.
+    /// Reads pool segment `idx` of `kind`, if present. A slot mid-claim by
+    /// a concurrent (or crashed) `add_pool_seg` reads as absent, exactly
+    /// like a torn record.
     pub fn pool_seg(r: &PmemRegion, kind: PoolKind, idx: usize) -> Option<PoolSeg> {
         if idx >= MAX_POOL_SEGS {
             return None;
         }
         let a = Self::seg_addr(kind, idx);
         let seg = r.read::<PoolSeg>(a);
-        if seg.count == 0 {
+        if seg.count == 0 || seg.count == SEG_CLAIM {
             return None;
         }
         Some(seg)
@@ -162,20 +175,50 @@ impl Superblock {
         (0..MAX_POOL_SEGS).map_while(|i| Self::pool_seg(r, kind, i)).collect()
     }
 
-    /// Records a new pool segment. Persists start before count so a torn
-    /// record reads as absent. Returns false if the table is full.
+    /// Records a new pool segment. The slot is claimed with a CAS on the
+    /// count word (0 → [`SEG_CLAIM`]) so two processes growing the same
+    /// pool through a shared mapping never write the same slot; start is
+    /// then persisted before the real count so a torn record reads as
+    /// absent. Returns false if the table is full.
     pub fn add_pool_seg(r: &PmemRegion, kind: PoolKind, seg: PoolSeg) -> bool {
+        debug_assert!(seg.count != 0 && seg.count != SEG_CLAIM);
         for i in 0..MAX_POOL_SEGS {
             let a = Self::seg_addr(kind, i);
-            if r.read::<u64>(a.add(8)) == 0 {
-                r.write(a, seg.start);
-                r.persist(a, 8);
-                r.write(a.add(8), seg.count);
-                r.persist(a.add(8), 8);
-                return true;
+            let count_word = r.atomic_u64(a.add(8));
+            if count_word
+                .compare_exchange(
+                    0,
+                    SEG_CLAIM,
+                    std::sync::atomic::Ordering::AcqRel,
+                    std::sync::atomic::Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue; // occupied or being claimed by a peer
             }
+            r.write(a, seg.start);
+            r.persist(a, 8);
+            count_word.store(seg.count, std::sync::atomic::Ordering::Release);
+            r.note_atomic(a.add(8), 8);
+            r.persist(a.add(8), 8);
+            return true;
         }
         false
+    }
+
+    /// Releases pool table slots whose claimer crashed mid-`add_pool_seg`
+    /// (count still [`SEG_CLAIM`]), making them recordable again. Called by
+    /// mount-time recovery, which runs exclusively — no live claimers exist.
+    pub fn clear_torn_pool_claims(r: &PmemRegion) {
+        for kind in PoolKind::ALL {
+            for i in 0..MAX_POOL_SEGS {
+                let a = Self::seg_addr(kind, i);
+                if r.read::<u64>(a.add(8)) == SEG_CLAIM {
+                    r.write(a.add(8), 0u64);
+                    r.persist(a.add(8), 8);
+                }
+            }
+        }
     }
 }
 

@@ -44,8 +44,8 @@ const REGION_BYTES: usize = 8 << 20;
 pub struct OpSpec {
     /// Report label ("create", "rename-crossdir", ...).
     pub name: &'static str,
-    setup: fn(&SimurghFs, &ProcCtx),
-    op: fn(&SimurghFs, &ProcCtx) -> FsResult<()>,
+    pub(crate) setup: fn(&SimurghFs, &ProcCtx),
+    pub(crate) op: fn(&SimurghFs, &ProcCtx) -> FsResult<()>,
 }
 
 /// Which snapshot a recovered tree matched.

@@ -11,6 +11,7 @@ use simurgh_fsapi::{FileSystem, ProcCtx};
 use crate::dir;
 
 pub mod matrix;
+pub mod procs;
 use crate::fs::SimurghFs;
 use crate::hash::dir_line;
 use crate::obj::{self, dirblock::NLINES};

@@ -10,6 +10,7 @@
 //! * traffic statistics can be attributed (Table 1 / Fig. 10 breakdowns).
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
 use std::sync::{Arc, OnceLock};
 
@@ -28,6 +29,14 @@ pub enum PmemError {
     /// The region image passed to [`RegionBuilder::from_image`] has an
     /// invalid size (must be a whole number of pages).
     BadImage { len: usize },
+    /// An existing region file's length does not match the requested region
+    /// size. Opening it anyway would either silently truncate the media or
+    /// map pages past EOF (SIGBUS on access), so it is a hard typed error.
+    SizeMismatch { file_len: usize, requested: usize },
+    /// A region file could not be opened, sized or mapped. Carries the path
+    /// and a rendered cause (`io::Error` is neither `Clone` nor `PartialEq`,
+    /// so the cause is stringified).
+    BadFile { path: String, reason: String },
 }
 
 impl std::fmt::Display for PmemError {
@@ -40,11 +49,65 @@ impl std::fmt::Display for PmemError {
             PmemError::BadImage { len } => {
                 write!(f, "pmem image length {len} is not a whole number of pages")
             }
+            PmemError::SizeMismatch { file_len, requested } => {
+                write!(
+                    f,
+                    "region file is {file_len} bytes but {requested} were requested \
+                     (refusing to truncate or extend an existing region)"
+                )
+            }
+            PmemError::BadFile { path, reason } => {
+                write!(f, "region file {path}: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for PmemError {}
+
+// ---------------------------------------------------------------------------
+// mmap FFI (file-backed regions)
+// ---------------------------------------------------------------------------
+
+/// Minimal `mmap`/`munmap` bindings. The workspace deliberately has no libc
+/// crate dependency; std already links libc, so declaring the two symbols we
+/// need is enough. Constants are the Linux values (the only supported host).
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_SHARED: i32 = 0x01;
+
+    extern "C" {
+        /// libc `mmap`. On 64-bit Linux `off_t` is `i64`.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        /// libc `munmap`.
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// `mmap`'s error return.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// What owns the bytes behind [`PmemRegion::base`].
+enum Backing {
+    /// Process-private heap allocation (the original emulation mode).
+    Heap { layout: Layout },
+    /// `MAP_SHARED` mapping of a region file: every process that maps the
+    /// same file sees the same bytes, DAX-style. The file handle is kept
+    /// only to document ownership; the mapping outlives any close.
+    File { _file: std::fs::File, path: PathBuf },
+}
 
 /// Values that can be stored to and loaded from persistent memory by plain
 /// byte copy.
@@ -71,13 +134,34 @@ pub struct RegionBuilder {
     mode: TrackMode,
     policy: Option<Arc<dyn AccessPolicy>>,
     image: Option<Vec<u8>>,
+    file: Option<PathBuf>,
+    /// True for [`open_file`](Self::open_file): the region length is taken
+    /// from the existing file rather than from `pages`.
+    size_from_file: bool,
 }
 
 impl RegionBuilder {
     /// Starts a builder for a region of `bytes` (rounded up to whole pages).
     pub fn new(bytes: usize) -> Self {
         let pages = bytes.div_ceil(PAGE_SIZE).max(1);
-        RegionBuilder { pages, mode: TrackMode::Raw, policy: None, image: None }
+        RegionBuilder {
+            pages,
+            mode: TrackMode::Raw,
+            policy: None,
+            image: None,
+            file: None,
+            size_from_file: false,
+        }
+    }
+
+    /// Starts a builder that maps an **existing** region file, taking the
+    /// region length from the file itself. `build` fails with a typed error
+    /// if the file is missing, empty or not a whole number of pages.
+    pub fn open_file(path: impl Into<PathBuf>) -> Self {
+        let mut b = RegionBuilder::new(PAGE_SIZE);
+        b.file = Some(path.into());
+        b.size_from_file = true;
+        b
     }
 
     /// Selects raw (fast) or tracked (crash-simulating) mode.
@@ -100,6 +184,21 @@ impl RegionBuilder {
         self
     }
 
+    /// Backs the region with a `MAP_SHARED` mapping of `path` instead of a
+    /// private heap allocation (DAX-style: other processes mapping the same
+    /// file share the bytes).
+    ///
+    /// * With [`new`](Self::new): the file is created at the requested size
+    ///   if missing; an existing file must already be exactly that size
+    ///   ([`PmemError::SizeMismatch`] otherwise — never truncated/extended).
+    ///   Existing contents are preserved, which is the shared-attach path.
+    /// * With [`from_image`](Self::from_image): materializes the image at
+    ///   `path`; the file must be new or empty (same mismatch rule).
+    pub fn file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+
     /// Builds the region.
     pub fn build(self) -> Result<PmemRegion, PmemError> {
         if let Some(img) = &self.image {
@@ -107,31 +206,117 @@ impl RegionBuilder {
                 return Err(PmemError::BadImage { len: img.len() });
             }
         }
-        let len = self.pages * PAGE_SIZE;
-        let layout = Layout::from_size_align(len, PAGE_SIZE).expect("valid layout");
-        // SAFETY: layout has non-zero size.
-        let base = unsafe { alloc_zeroed(layout) };
-        assert!(!base.is_null(), "pmem allocation of {len} bytes failed");
+        let (base, len, backing) = match &self.file {
+            None => {
+                let len = self.pages * PAGE_SIZE;
+                let layout = Layout::from_size_align(len, PAGE_SIZE).expect("valid layout");
+                // SAFETY: layout has non-zero size.
+                let base = unsafe { alloc_zeroed(layout) };
+                assert!(!base.is_null(), "pmem allocation of {len} bytes failed");
+                (base, len, Backing::Heap { layout })
+            }
+            Some(path) => {
+                let (base, len, backing) = Self::map_file(
+                    path,
+                    self.size_from_file,
+                    self.pages * PAGE_SIZE,
+                    self.image.is_some(),
+                )?;
+                (base, len, backing)
+            }
+        };
         if let Some(img) = &self.image {
-            // SAFETY: base is valid for len bytes and img.len() == len.
+            // SAFETY: base is valid for len bytes and img.len() == len
+            // (heap: len derives from the image; file: map_file verified it).
             unsafe { std::ptr::copy_nonoverlapping(img.as_ptr(), base, len) };
         }
         let tracker = match self.mode {
             TrackMode::Raw => None,
             TrackMode::Tracked => {
-                let initial = self.image.unwrap_or_else(|| vec![0u8; len]);
+                let initial = match self.image {
+                    Some(img) => img,
+                    // File backing may carry pre-existing contents: the
+                    // tracker's media image starts from what is mapped.
+                    None if matches!(backing, Backing::File { .. }) => {
+                        let mut v = vec![0u8; len];
+                        // SAFETY: base is valid for len bytes; v is len bytes.
+                        unsafe { std::ptr::copy_nonoverlapping(base, v.as_mut_ptr(), len) };
+                        v
+                    }
+                    None => vec![0u8; len],
+                };
                 Some(Tracker::new(initial))
             }
         };
         Ok(PmemRegion {
             base,
             len,
-            layout,
+            backing,
             tracker,
             policy: self.policy,
             stats: PmemStats::default(),
             fence_hook: OnceLock::new(),
         })
+    }
+
+    /// Opens/creates and maps a region file, enforcing the size rules.
+    fn map_file(
+        path: &Path,
+        size_from_file: bool,
+        requested: usize,
+        has_image: bool,
+    ) -> Result<(*mut u8, usize, Backing), PmemError> {
+        let bad = |reason: String| PmemError::BadFile {
+            path: path.display().to_string(),
+            reason,
+        };
+        let mut opts = std::fs::OpenOptions::new();
+        opts.read(true).write(true);
+        if !size_from_file {
+            opts.create(true);
+        }
+        let file = opts.open(path).map_err(|e| bad(format!("open failed: {e}")))?;
+        let file_len = file.metadata().map_err(|e| bad(format!("stat failed: {e}")))?.len()
+            as usize;
+        let len = if size_from_file {
+            if file_len == 0 || !file_len.is_multiple_of(PAGE_SIZE) {
+                return Err(bad(format!(
+                    "length {file_len} is not a whole, non-zero number of pages"
+                )));
+            }
+            file_len
+        } else {
+            // An existing file of a different size is never resized: with an
+            // image that would silently truncate media, without one it would
+            // change the device geometry under a peer that already mapped it.
+            if file_len != 0 && file_len != requested {
+                return Err(PmemError::SizeMismatch { file_len, requested });
+            }
+            let _ = has_image; // same rule either way; kept for clarity
+            if file_len != requested {
+                file.set_len(requested as u64)
+                    .map_err(|e| bad(format!("set_len({requested}) failed: {e}")))?;
+            }
+            requested
+        };
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: fd is open read-write, len is a non-zero page multiple no
+        // larger than the file, offset 0. A MAP_SHARED mapping of a regular
+        // file is valid for len bytes until munmap.
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if base == sys::map_failed() || base.is_null() {
+            return Err(bad(format!("mmap of {len} bytes failed")));
+        }
+        Ok((base as *mut u8, len, Backing::File { _file: file, path: path.to_owned() }))
     }
 }
 
@@ -143,7 +328,7 @@ impl RegionBuilder {
 pub struct PmemRegion {
     base: *mut u8,
     len: usize,
-    layout: Layout,
+    backing: Backing,
     tracker: Option<Tracker>,
     policy: Option<Arc<dyn AccessPolicy>>,
     stats: PmemStats,
@@ -164,8 +349,20 @@ unsafe impl Sync for PmemRegion {}
 
 impl Drop for PmemRegion {
     fn drop(&mut self) {
-        // SAFETY: base was allocated with this layout in RegionBuilder::build.
-        unsafe { dealloc(self.base, self.layout) };
+        match &self.backing {
+            Backing::Heap { layout } => {
+                // SAFETY: base was allocated with this layout in
+                // RegionBuilder::build.
+                unsafe { dealloc(self.base, *layout) };
+            }
+            Backing::File { .. } => {
+                // SAFETY: base/len are the mapping created in map_file and
+                // no references into it outlive the region (the accessors
+                // all borrow self).
+                let rc = unsafe { sys::munmap(self.base as *mut _, self.len) };
+                debug_assert_eq!(rc, 0, "munmap failed");
+            }
+        }
     }
 }
 
@@ -202,6 +399,20 @@ impl PmemRegion {
     #[inline]
     pub fn is_tracked(&self) -> bool {
         self.tracker.is_some()
+    }
+
+    /// Whether this region is a `MAP_SHARED` mapping of a region file.
+    #[inline]
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backing, Backing::File { .. })
+    }
+
+    /// The backing file's path, for file-backed regions.
+    pub fn file_path(&self) -> Option<&Path> {
+        match &self.backing {
+            Backing::File { path, .. } => Some(path),
+            Backing::Heap { .. } => None,
+        }
     }
 
     #[inline]
@@ -347,6 +558,13 @@ impl PmemRegion {
 
     /// Emulated `sfence`: all previously initiated write-backs (and
     /// non-temporal stores) become durable on the media image.
+    ///
+    /// The running fence count (both the [`stats`](Self::stats) counter and
+    /// the tracker's `FaultPlan` boundary counter) is **per region instance**
+    /// — i.e. per process, never in the shared mapping. Two mounts of the
+    /// same region file therefore keep independent fault-plan accounting: a
+    /// fence issued through one mapping is invisible to the other's counters,
+    /// exactly like per-CPU sfence retirement on real hardware.
     #[inline]
     pub fn fence(&self) {
         let n = self.stats.count_fence();
@@ -697,6 +915,148 @@ mod tests {
             r.check_access(PPtr::new(4000), 200, false),
             Err(PmemError::OutOfBounds { .. })
         ));
+    }
+
+    /// A unique temp path per test (no external tempfile dependency).
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "simurgh-region-{}-{}-{}.pmem",
+            tag,
+            std::process::id(),
+            n
+        ))
+    }
+
+    struct TempFile(std::path::PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_backing_roundtrip_and_persistence_across_mappings() {
+        let path = TempFile(temp_path("rt"));
+        {
+            let r = RegionBuilder::new(8192).file(&path.0).build().unwrap();
+            assert!(r.is_file_backed());
+            assert_eq!(r.file_path(), Some(path.0.as_path()));
+            r.write(PPtr::new(100), 0xfeed_face_u32);
+            r.atomic_u64(PPtr::new(4096)).store(77, Ordering::SeqCst);
+            r.persist(PPtr::new(100), 4);
+        } // unmapped
+        let r2 = RegionBuilder::open_file(&path.0).build().unwrap();
+        assert_eq!(r2.len(), 8192);
+        assert_eq!(r2.read::<u32>(PPtr::new(100)), 0xfeed_face);
+        assert_eq!(r2.atomic_u64(PPtr::new(4096)).load(Ordering::SeqCst), 77);
+    }
+
+    #[test]
+    fn two_mappings_of_one_file_share_bytes() {
+        // Two PmemRegion instances on the same file model two processes:
+        // stores through one mapping are visible through the other.
+        let path = TempFile(temp_path("share"));
+        let a = RegionBuilder::new(4096).file(&path.0).build().unwrap();
+        let b = RegionBuilder::new(4096).file(&path.0).build().unwrap();
+        a.atomic_u64(PPtr::new(64)).store(42, Ordering::SeqCst);
+        assert_eq!(b.atomic_u64(PPtr::new(64)).load(Ordering::SeqCst), 42);
+        b.write(PPtr::new(200), 7u8);
+        assert_eq!(a.read::<u8>(PPtr::new(200)), 7);
+    }
+
+    #[test]
+    fn mismatched_length_is_typed_error() {
+        let path = TempFile(temp_path("mismatch"));
+        drop(RegionBuilder::new(8192).file(&path.0).build().unwrap());
+        // Reopen at a different size: must be rejected, not resized.
+        let err = RegionBuilder::new(4096).file(&path.0).build().unwrap_err();
+        assert_eq!(err, PmemError::SizeMismatch { file_len: 8192, requested: 4096 });
+        // ... and an image of the wrong size must not truncate the file.
+        let err =
+            RegionBuilder::new(0).from_image(vec![0u8; 4096]).file(&path.0).build().unwrap_err();
+        assert_eq!(err, PmemError::SizeMismatch { file_len: 8192, requested: 4096 });
+        assert_eq!(std::fs::metadata(&path.0).unwrap().len(), 8192, "file untouched");
+    }
+
+    #[test]
+    fn open_file_rejects_missing_empty_and_ragged_files() {
+        let missing = temp_path("missing");
+        assert!(matches!(
+            RegionBuilder::open_file(&missing).build(),
+            Err(PmemError::BadFile { .. })
+        ));
+        let path = TempFile(temp_path("ragged"));
+        std::fs::write(&path.0, vec![0u8; 100]).unwrap(); // not a page multiple
+        assert!(matches!(
+            RegionBuilder::open_file(&path.0).build(),
+            Err(PmemError::BadFile { .. })
+        ));
+        std::fs::write(&path.0, b"").unwrap();
+        assert!(matches!(
+            RegionBuilder::open_file(&path.0).build(),
+            Err(PmemError::BadFile { .. })
+        ));
+    }
+
+    #[test]
+    fn from_image_materializes_file() {
+        let path = TempFile(temp_path("img"));
+        let mut img = vec![0u8; 8192];
+        img[4100] = 0xcd;
+        drop(RegionBuilder::new(0).from_image(img).file(&path.0).build().unwrap());
+        let r = RegionBuilder::open_file(&path.0).build().unwrap();
+        assert_eq!(r.read::<u8>(PPtr::new(4100)), 0xcd);
+    }
+
+    #[test]
+    fn fence_accounting_is_per_mapping() {
+        // Satellite: FaultPlan boundary counting lives in the region
+        // *instance* (per process), not in the shared mapping. A second
+        // mount fencing away must not advance — let alone trip — the first
+        // mount's armed plan.
+        let path = TempFile(temp_path("fence"));
+        let a = RegionBuilder::new(4096)
+            .file(&path.0)
+            .mode(TrackMode::Tracked)
+            .build()
+            .unwrap();
+        let b = RegionBuilder::new(4096)
+            .file(&path.0)
+            .mode(TrackMode::Tracked)
+            .build()
+            .unwrap();
+        a.arm_faults(FaultPlan::cut_after(2));
+        b.arm_faults(FaultPlan::record());
+        for _ in 0..5 {
+            b.fence();
+        }
+        assert_eq!(a.fence_count(), 0, "peer fences leaked into our plan");
+        assert!(!a.powercut_tripped(), "peer fences tripped our powercut");
+        assert_eq!(b.fence_count(), 5);
+        assert_eq!(a.stats().snapshot().fences, 0, "stats are per mapping too");
+        a.fence();
+        a.fence();
+        a.fence();
+        assert_eq!(a.fence_count(), 3);
+        assert!(a.powercut_tripped(), "own fences still drive own plan");
+    }
+
+    #[test]
+    fn tracked_file_region_keeps_crash_semantics() {
+        // The crash tracker composes with file backing: unflushed stores
+        // still vanish from the media image (per-process media model).
+        let path = TempFile(temp_path("tracked"));
+        let r = RegionBuilder::new(4096)
+            .file(&path.0)
+            .mode(TrackMode::Tracked)
+            .build()
+            .unwrap();
+        r.write(PPtr::new(0), 0x11u8);
+        assert_eq!(r.media_image()[0], 0, "unfenced store not on media");
+        r.persist(PPtr::new(0), 1);
+        assert_eq!(r.media_image()[0], 0x11);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Uses the crash-simulating region mode: stores survive a simulated power
 //! failure only if they were flushed *and* fenced.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **demo** (default) — cut the power mid-workload, remount, show the
 //!   mark-and-sweep recovery report; then the decentralized runtime
@@ -16,6 +16,15 @@
 //!   op instead of all of them, and `--trace` prints the flight-recorder
 //!   dump (the tail of every thread's trace ring) for failing ops — or,
 //!   when everything passed, the most recent events of the run.
+//! * **procs** — the multi-process `kill -9` matrix: N real OS processes
+//!   mount the same `MAP_SHARED` region file, one is `SIGKILL`ed mid-op at
+//!   a scripted persistence boundary, and the survivors must steal its
+//!   stale line lock and keep working; an exclusive remount then proves
+//!   fsck-clean convergence with no leaked blocks. `--procs N` sets the
+//!   group size, `--cap K` the kill points per op, `--ops a,b` the op
+//!   shapes, `--json` the machine report (schema in EXPERIMENTS.md).
+//!   (The binary re-execs itself with a hidden `procs-worker` argv0 mode
+//!   for the worker processes.)
 //!
 //! ```text
 //! cargo run -p simurgh-examples --bin crashlab
@@ -23,29 +32,92 @@
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix --json
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix --cap 8
 //! cargo run --release -p simurgh-examples --bin crashlab -- matrix --trace
+//! cargo run --release -p simurgh-examples --bin crashlab -- procs --procs 4 --json
 //! ```
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use simurgh_core::testing::matrix;
+use simurgh_core::testing::{matrix, procs};
 use simurgh_core::{SimurghConfig, SimurghFs};
 use simurgh_fsapi::{FileMode, FileSystem, ProcCtx};
 use simurgh_pmem::PmemRegion;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("matrix") {
-        let json = args.iter().any(|a| a == "--json");
-        let trace = args.iter().any(|a| a == "--trace");
-        let cap = args
-            .iter()
-            .position(|a| a == "--cap")
-            .and_then(|i| args.get(i + 1))
-            .map(|v| v.parse::<u64>().expect("--cap takes a number"));
-        run_matrix(json, trace, cap);
+    match args.first().map(String::as_str) {
+        Some("matrix") => {
+            let json = args.iter().any(|a| a == "--json");
+            let trace = args.iter().any(|a| a == "--trace");
+            let cap = args
+                .iter()
+                .position(|a| a == "--cap")
+                .and_then(|i| args.get(i + 1))
+                .map(|v| v.parse::<u64>().expect("--cap takes a number"));
+            run_matrix(json, trace, cap);
+        }
+        // Hidden worker mode: this process was spawned by `procs` below.
+        Some("procs-worker") if procs::is_worker() => procs::worker_main(),
+        Some("procs") => {
+            let json = args.iter().any(|a| a == "--json");
+            let flag = |name: &str| {
+                args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+            };
+            let mut opts = procs::ProcsOpts::default();
+            if let Some(n) = flag("--procs") {
+                opts.nprocs = n.parse().expect("--procs takes a number");
+            }
+            if let Some(k) = flag("--cap") {
+                opts.cap = k.parse().expect("--cap takes a number");
+            }
+            if let Some(ops) = flag("--ops") {
+                opts.ops = ops.split(',').map(str::to_owned).collect();
+            }
+            run_procs(&opts, json);
+        }
+        _ => run_demo(),
+    }
+}
+
+fn run_procs(opts: &procs::ProcsOpts, json: bool) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let spawn = move |env: &[(String, String)]| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("procs-worker").stdout(std::process::Stdio::piped());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    };
+    let report = procs::run_procs(opts, &spawn);
+    if json {
+        println!("{}", procs::to_json(&report));
     } else {
-        run_demo();
+        println!(
+            "{:<16} {:>5} {:>10} {:>7} {:>7} {:>9} {:>9}  status",
+            "op", "kill", "boundaries", "killed", "steals", "reclaim1", "reclaim2"
+        );
+        for c in &report.cells {
+            let steals: u64 = c.survivors.iter().map(|s| s.lock_steals).sum();
+            println!(
+                "{:<16} {:>5} {:>10} {:>7} {:>7} {:>9} {:>9}  {}",
+                c.op,
+                c.kill_fence,
+                c.boundaries,
+                if c.victim_killed { "sig9" } else { "NO" },
+                steals,
+                c.reclaimed_first,
+                c.reclaimed_second,
+                if c.is_clean() { "ok" } else { "FAIL" },
+            );
+            for f in &c.failures {
+                println!("    !! {f}");
+            }
+        }
+    }
+    if !report.is_clean() {
+        eprintln!("{} unrecoverable state(s)", report.unrecoverable());
+        std::process::exit(1);
     }
 }
 

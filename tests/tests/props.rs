@@ -137,6 +137,50 @@ proptest! {
         }
     }
 
+    /// A tracked region's media image, materialized into a region *file*
+    /// and reopened through the file backing, mounts to the identical tree:
+    /// the shared-file path preserves exactly the durable bytes.
+    #[test]
+    fn media_image_survives_file_round_trip(
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+    ) {
+        use simurgh_core::{SimurghConfig, SimurghFs};
+        use simurgh_pmem::RegionBuilder;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let fs = simurgh_tracked(8 << 20);
+        for op in &ops {
+            apply(&fs, op);
+        }
+        let tree = snapshot_tree(&fs);
+        let region = Arc::clone(fs.region());
+        fs.unmount(); // clean unmount: every tree byte is durable
+        let image = region.media_image();
+
+        let path = std::env::temp_dir().join(format!(
+            "simurgh-prop-{}-{}.img",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Materialize the image at the file and mount through the mapping.
+        let r2 = Arc::new(
+            RegionBuilder::new(image.len()).from_image(image).file(&path).build().unwrap(),
+        );
+        let fs2 = SimurghFs::mount(r2, SimurghConfig::default()).unwrap();
+        prop_assert!(fs2.recovery_report().was_clean);
+        prop_assert_eq!(snapshot_tree(&fs2), tree.clone());
+        fs2.unmount();
+        // The bytes persisted in the file: a cold reopen sees the same tree.
+        let r3 = Arc::new(RegionBuilder::open_file(&path).build().unwrap());
+        let fs3 = SimurghFs::mount(r3, SimurghConfig::default()).unwrap();
+        prop_assert_eq!(snapshot_tree(&fs3), tree);
+        fs3.unmount();
+        let _ = std::fs::remove_file(&path);
+    }
+
     /// Persistent-pointer arithmetic never aliases distinct pool objects.
     #[test]
     fn pool_objects_are_disjoint(count in 1usize..300) {
