@@ -1,0 +1,12 @@
+//! BAD fixture: a group-commit fence scope reaches a publish point with
+//! stores staged and no intervening `scope.commit()`.
+//! Not compiled — scanned by `simurgh-analyze --path crates/analyze/fixtures/bad`.
+
+fn publish_with_staged_stores(r: &PmemRegion, blk: DirBlock, fe: PPtr) {
+    let scope = r.fence_scope();
+    r.write(fe, 0xdead_beef_u64);
+    r.persist(fe, 8);
+    // missing: scope.commit() — the persist above is elided by the scope
+    blk.set_line(r, 0, fe);
+    drop(scope);
+}

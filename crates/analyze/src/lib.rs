@@ -9,13 +9,20 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Eight rule families:
+//! Nine rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
-//!   busy flag / valid bit / rename flag, a `persist`/`fence` call must sit
-//!   between the last store and the release (§4.3: "metadata updates occur
-//!   after the data has been persisted").
+//!   busy flag / valid bit / rename flag, a `persist`/`fence` (or
+//!   `persist_now`/`fence_now`/scope-`commit`) call must sit between the
+//!   last store and the release (§4.3: "metadata updates occur after the
+//!   data has been persisted").
+//! * **fence-scope** — a group-commit `fence_scope()` elides `persist`/
+//!   `fence` calls until the scope closes, so a commit-point publish
+//!   (`set_line`, `set_flag`, `write_log`, `clear_dirty`, `invalidate`)
+//!   reached with stores staged and no intervening `scope.commit()` would
+//!   let the publish become durable before the preparation it vouches for;
+//!   the scope must commit first.
 //! * **lock-discipline** — a raw `try_busy` acquire, an armed rename log
 //!   (`write_log`) or a set `DF_RENAME` flag must be matched by a release
 //!   on every exit path; `?`/`return` while held is flagged. Returning an
@@ -61,10 +68,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The eight rule families.
+/// The nine rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
+    FenceScope,
     LockDiscipline,
     UnsafeAudit,
     MediaLayout,
@@ -79,6 +87,7 @@ impl Rule {
     pub fn id(self) -> &'static str {
         match self {
             Rule::PersistOrder => "persist-order",
+            Rule::FenceScope => "fence-scope",
             Rule::LockDiscipline => "lock-discipline",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::MediaLayout => "media-layout",
@@ -89,8 +98,9 @@ impl Rule {
         }
     }
 
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::PersistOrder,
+        Rule::FenceScope,
         Rule::LockDiscipline,
         Rule::UnsafeAudit,
         Rule::MediaLayout,
@@ -493,7 +503,7 @@ fn function_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
 // ---------------------------------------------------------------------------
 
 const STORE_CALLS: [&str; 4] = ["write", "write_from", "nt_write_from", "zero"];
-const FENCE_CALLS: [&str; 2] = ["persist", "fence"];
+const FENCE_CALLS: [&str; 5] = ["persist", "fence", "persist_now", "fence_now", "commit"];
 const RELEASE_CALLS: [&str; 4] = ["release_busy", "clear_flag", "clear_log", "invalidate"];
 
 fn rule_persist_order(file: &SourceFile, report: &mut Report) {
@@ -525,6 +535,78 @@ fn rule_persist_order(file: &SourceFile, report: &mut Report) {
                     }
                     pending = None; // one finding per unfenced store
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1b: fence scopes
+// ---------------------------------------------------------------------------
+
+/// Publish helpers that make protocol state reachable (each fences its own
+/// store eagerly): a crash right after one must observe every preparation
+/// persist as durable, so inside a group-commit scope — where `persist`/
+/// `fence` are elided — they must be preceded by a `scope.commit()`.
+const COMMIT_POINT_CALLS: [&str; 5] =
+    ["set_line", "set_flag", "write_log", "clear_dirty", "invalidate"];
+/// Calls that make the scope's staged stores durable immediately.
+const EAGER_FENCE_CALLS: [&str; 3] = ["commit", "persist_now", "fence_now"];
+
+fn rule_fence_scope(file: &SourceFile, report: &mut Report) {
+    for &(start, end) in &function_ranges(file) {
+        let mut open = false;
+        // Line of the newest store/persist staged (elided) since the last
+        // eager fence, while a scope is open.
+        let mut staged: Option<usize> = None;
+        for ln in start..=end {
+            let line = &file.lines[ln];
+            if line.skip {
+                continue;
+            }
+            if has_invocation(&line.code, "fence_scope") {
+                // Opening a scope declares intent to stage: the allocator
+                // claims inside helper calls stage without a visible token.
+                open = true;
+                staged = Some(ln);
+                continue;
+            }
+            if !open {
+                continue;
+            }
+            if has_invocation(&line.code, "drop") {
+                // Dropping the scope performs the deferred fence.
+                open = false;
+                staged = None;
+                continue;
+            }
+            if EAGER_FENCE_CALLS.iter().any(|s| has_call(&line.code, s)) {
+                staged = None;
+                continue;
+            }
+            if COMMIT_POINT_CALLS.iter().any(|s| has_call(&line.code, s)) {
+                if let Some(st) = staged {
+                    if !allowed(file, ln, Rule::FenceScope) {
+                        report.findings.push(Finding {
+                            rule: Rule::FenceScope,
+                            file: file.label.clone(),
+                            line: ln + 1,
+                            message: format!(
+                                "commit-point publish inside a fence scope with stores \
+                                 staged since line {} and no intervening scope.commit()",
+                                st + 1
+                            ),
+                        });
+                    }
+                }
+                staged = None; // the publish helper fenced eagerly itself
+                continue;
+            }
+            if STORE_CALLS.iter().any(|s| has_call(&line.code, s))
+                || has_call(&line.code, "persist")
+                || has_call(&line.code, "fence")
+            {
+                staged = Some(ln);
             }
         }
     }
@@ -1364,6 +1446,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
     let mut report = Report { files_scanned: files.len(), ..Report::default() };
     for file in &files {
         rule_persist_order(file, &mut report);
+        rule_fence_scope(file, &mut report);
         rule_lock_discipline(file, &mut report);
         rule_unsafe_audit(file, &mut report);
         rule_data_path_walk(file, &mut report);
@@ -1552,6 +1635,91 @@ mod tests {
             }
         ";
         assert!(findings_of(src, Rule::PersistOrder).is_empty());
+    }
+
+    // ----- fence-scope -----------------------------------------------------
+
+    #[test]
+    fn fence_scope_publish_without_commit_flagged() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                let scope = r.fence_scope();
+                r.write(p, 7u64);
+                r.persist(p, 8);
+                b.set_line(r, 0, p);
+            }
+        ";
+        let f = findings_of(src, Rule::FenceScope);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("scope.commit()"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn fence_scope_commit_before_publish_is_clean() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                let scope = r.fence_scope();
+                r.write(p, 7u64);
+                r.persist(p, 8);
+                scope.commit();
+                b.set_line(r, 0, p);
+            }
+        ";
+        assert!(findings_of(src, Rule::FenceScope).is_empty());
+    }
+
+    #[test]
+    fn fence_scope_publish_outside_any_scope_is_clean() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                r.write(p, 7u64);
+                r.persist(p, 8);
+                b.set_line(r, 0, p);
+            }
+        ";
+        assert!(findings_of(src, Rule::FenceScope).is_empty());
+    }
+
+    #[test]
+    fn fence_scope_rearms_on_stores_after_commit() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                let scope = r.fence_scope();
+                r.write(p, 7u64);
+                scope.commit();
+                b.set_line(r, 0, p);
+                r.write(q, 9u64);
+                b.set_line(r, 1, q);
+            }
+        ";
+        let f = findings_of(src, Rule::FenceScope);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn fence_scope_drop_closes_the_scope() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                let scope = r.fence_scope();
+                r.write(p, 7u64);
+                drop(scope);
+                b.set_line(r, 0, p);
+            }
+        ";
+        assert!(findings_of(src, Rule::FenceScope).is_empty());
+    }
+
+    #[test]
+    fn fence_scope_allow_marker_suppresses() {
+        let src = "
+            fn publish(r: &R, b: B) {
+                let scope = r.fence_scope();
+                r.write(p, 7u64);
+                // analyze:allow(fence-scope) — publish target is unreachable
+                b.set_line(r, 0, p);
+            }
+        ";
+        assert!(findings_of(src, Rule::FenceScope).is_empty());
     }
 
     // ----- lock-discipline -------------------------------------------------

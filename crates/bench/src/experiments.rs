@@ -375,12 +375,45 @@ pub fn data_probe_stats(scale: &Scale) -> String {
 /// an aligned per-op count/p50/p99/max latency table.
 pub fn obs_probe(scale: &Scale, json: bool) -> String {
     use simurgh_core::obs::FsOp;
-    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
 
     let region = Arc::new(PmemRegion::new(64 << 20));
     let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
-    let ctx = ProcCtx::root(1);
     let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
+    mixed_metadata_workload(&fs, rounds);
+
+    if json {
+        return fs.obs_json();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
+        "op", "count", "p50_ns", "p99_ns", "max_ns"
+    ));
+    for op in FsOp::ALL {
+        let s = fs.obs().snapshot(op);
+        if s.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
+            op.name(),
+            s.count,
+            s.p50_ns,
+            s.p99_ns,
+            s.max_ns
+        ));
+    }
+    out
+}
+
+/// The mixed metadata workload behind `paper obs` and `paper
+/// bench-snapshot`: `rounds` times over, create / append+fsync /
+/// truncate-shrink / both rename shapes / symlink / readlink / stat /
+/// unlink — every op shape the crash matrix scripts, so the latency
+/// histograms cover the same vocabulary the cost probe pins.
+fn mixed_metadata_workload(fs: &SimurghFs, rounds: u64) {
+    use simurgh_fsapi::{FileMode, OpenFlags, ProcCtx};
+    let ctx = ProcCtx::root(1);
 
     fs.mkdir(&ctx, "/d", FileMode::dir(0o755)).expect("mkdir /d");
     fs.mkdir(&ctx, "/e", FileMode::dir(0o755)).expect("mkdir /e");
@@ -411,30 +444,86 @@ pub fn obs_probe(scale: &Scale, json: bool) -> String {
         fs.unlink(&ctx, &format!("/e/r{i}")).expect("unlink file");
     }
     fs.statfs(&ctx).expect("statfs");
+}
 
-    if json {
-        return fs.obs_json();
-    }
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
-        "op", "count", "p50_ns", "p99_ns", "max_ns"
-    ));
+/// Machine-readable group-commit profile (`paper bench-snapshot`): the
+/// deterministic per-op persistence costs (fences crossed, fences absorbed
+/// by scopes, allocator round trips), per-op p50/p99 tail latency over the
+/// mixed metadata workload, Simurgh throughput on four representative
+/// Fig. 7 panels, and the full observability registry. One JSON object —
+/// redirect to a file to pin a change's before/after profile.
+pub fn bench_snapshot(scale: &Scale) -> String {
+    use simurgh_core::obs::FsOp;
+    use simurgh_core::testing::matrix::probe_costs;
+
+    let costs = probe_costs()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"op\":\"{}\",\"fences\":{},\"fences_elided\":{},\"pool_trips\":{},\"seg_trips\":{}}}",
+                c.op, c.fences, c.fences_elided, c.pool_trips, c.seg_trips
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let region = Arc::new(PmemRegion::new(64 << 20));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
+    mixed_metadata_workload(&fs, rounds);
+    let mut latency = Vec::new();
     for op in FsOp::ALL {
         let s = fs.obs().snapshot(op);
         if s.count == 0 {
             continue;
         }
-        out.push_str(&format!(
-            "{:<16}{:>10}{:>12}{:>12}{:>12}\n",
+        let ratio = if s.p50_ns > 0 { s.p99_ns as f64 / s.p50_ns as f64 } else { 0.0 };
+        latency.push(format!(
+            "{{\"op\":\"{}\",\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"p99_over_p50\":{ratio:.2}}}",
             op.name(),
             s.count,
             s.p50_ns,
-            s.p99_ns,
-            s.max_ns
+            s.p99_ns
         ));
     }
-    out
+    let registry = fs.obs_json();
+
+    let threads = scale.threads.iter().copied().max().unwrap_or(1);
+    let create_private = fxmark::create_private(
+        FsKind::Simurgh.make(scale.meta_region).as_ref(),
+        threads,
+        scale.meta_files,
+    )
+    .kops();
+    let create_shared = fxmark::create_shared(
+        FsKind::Simurgh.make(scale.meta_region).as_ref(),
+        threads,
+        scale.meta_files,
+    )
+    .kops();
+    let rename_shared = fxmark::rename_shared(
+        FsKind::Simurgh.make(scale.meta_region).as_ref(),
+        threads,
+        scale.meta_files,
+    )
+    .kops();
+    let append = fxmark::append_private(
+        FsKind::Simurgh.make(scale.data_region).as_ref(),
+        threads,
+        scale.appends,
+    )
+    .gibs();
+
+    format!(
+        "{{\"snapshot\":\"group-commit\",\"threads\":{threads},\
+         \"op_costs\":[{costs}],\"latency\":[{latency}],\
+         \"fig7_simurgh\":{{\"create_private_kops\":{create_private:.1},\
+         \"create_shared_kops\":{create_shared:.1},\
+         \"rename_shared_kops\":{rename_shared:.1},\
+         \"append_gibs\":{append:.3}}},\
+         \"registry\":{registry}}}",
+        latency = latency.join(",")
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,7 @@
 //! by the mark-and-sweep scan, so block allocation itself never needs
 //! journaling.
 
-use std::cell::UnsafeCell;
+use std::cell::{RefCell, UnsafeCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -24,6 +24,31 @@ use crate::BLOCK_SIZE;
 
 /// Default maximum lock-hold duration before a waiter presumes a crash.
 pub const DEFAULT_MAX_HOLD: Duration = Duration::from_millis(500);
+
+/// Default tail over-claim (in blocks) once reservations are enabled via
+/// [`BlockAlloc::set_tail_reserve`]: each tail extension claims up to this
+/// many extra blocks so the next appends land without a segment lock trip.
+pub const DEFAULT_TAIL_RESERVE: u64 = 8;
+
+/// Distinguishes allocator instances: per-thread tail reservations are keyed
+/// by instance id, so a reservation taken against a dropped mount can never
+/// be spent against a new allocator that happens to reuse its address.
+static NEXT_BLOCK_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How many per-thread reservation entries to keep before forgetting the
+/// oldest. Entries for dropped allocators cannot be returned (no handle);
+/// their blocks only existed in that instance's volatile view, which the
+/// next mount rebuilds from reachability anyway.
+const RESERVATION_CAP: usize = 8;
+
+thread_local! {
+    /// Per-thread tail reservations: `(allocator id, first block, blocks)`
+    /// runs already carved out of the free lists (and, under a shared
+    /// mount, claimed in the bitmap). Volatile by design — a crash loses the
+    /// cache, and the mark-and-sweep rebuild returns unreferenced blocks to
+    /// the free lists.
+    static TAIL_RESERVED: RefCell<Vec<(u64, u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
 
 struct Segment {
     lock: TsLock,
@@ -94,15 +119,25 @@ impl SharedBits {
 
 /// The segmented block allocator over a data extent.
 pub struct BlockAlloc {
+    /// Instance id keying the per-thread tail reservations.
+    id: u64,
     data_start: u64,
     nblocks: u64,
     blocks_per_seg: u64,
     segments: Box<[Segment]>,
     max_hold: Duration,
+    /// Tail over-claim in blocks (see [`set_tail_reserve`](Self::set_tail_reserve)); 0 disables
+    /// reservations, keeping [`extend_at`](Self::extend_at) exact — the
+    /// default, and what the unit tests rely on.
+    tail_reserve: AtomicU64,
     /// Test-only stall injector: when nonzero, the next critical section
     /// parks for that many µs between deciding and publishing (one-shot),
     /// so tests can force a steal mid-section deterministically.
     stall_us: AtomicU64,
+    /// Segment-lock round trips: critical sections entered on any segment
+    /// (alloc, tail-extension, free). Exported through the `ObsRegistry`
+    /// alloc section; the reservation batching asserts this drops per op.
+    seg_trips: AtomicU64,
     /// Cross-process claim bitmap; unset for exclusive (single-process)
     /// mounts, where the local free lists are already authoritative.
     shared: OnceLock<SharedBits>,
@@ -149,14 +184,32 @@ impl BlockAlloc {
             });
         }
         BlockAlloc {
+            id: NEXT_BLOCK_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
             data_start,
             nblocks,
             blocks_per_seg,
             segments: segments.into_boxed_slice(),
             max_hold: DEFAULT_MAX_HOLD,
+            tail_reserve: AtomicU64::new(0),
             stall_us: AtomicU64::new(0),
+            seg_trips: AtomicU64::new(0),
             shared: OnceLock::new(),
         }
+    }
+
+    /// Enables (nonzero) or disables (zero) tail reservations: every
+    /// [`extend_at`](Self::extend_at) over-claims up to `blocks` extra
+    /// blocks into a per-thread cache that later extensions of the same
+    /// tail spend without touching a segment lock. The mount path turns
+    /// this on; allocator-level users that assert exact accounting leave
+    /// it off.
+    pub fn set_tail_reserve(&self, blocks: u64) {
+        self.tail_reserve.store(blocks, Ordering::Relaxed);
+    }
+
+    /// Segment-lock round trips so far (diagnostics / perf assertions).
+    pub fn seg_trips(&self) -> u64 {
+        self.seg_trips.load(Ordering::Relaxed)
     }
 
     /// Recoverer path of a shared mount: writes this allocator's post-sweep
@@ -262,6 +315,7 @@ impl BlockAlloc {
         for i in 0..n {
             let seg = &self.segments[(start + i) % n];
             if let Some(guard) = seg.lock.try_acquire() {
+                self.seg_trips.fetch_add(1, Ordering::Relaxed);
                 let got = self.take_first_fit(seg, &guard, count);
                 drop(guard);
                 if let Ok(Some(b)) = got {
@@ -275,6 +329,7 @@ impl BlockAlloc {
             let seg = &self.segments[(start + i) % n];
             let got = loop {
                 let (guard, how) = seg.lock.acquire(self.max_hold);
+                self.seg_trips.fetch_add(1, Ordering::Relaxed);
                 if how == Acquired::Stolen {
                     self.repair(seg);
                 }
@@ -304,7 +359,98 @@ impl BlockAlloc {
     /// extent so the extent map grows in place instead of gaining an entry.
     /// Returns the number of blocks claimed (0 when `b` is taken), clamped
     /// to the free run containing `b` and to the owning segment.
+    ///
+    /// With [`set_tail_reserve`](Self::set_tail_reserve) armed, a successful
+    /// extension over-claims and parks the surplus in a per-thread
+    /// reservation; the next `extend_at` whose `b` continues that run is
+    /// served from the reservation with **zero** segment-lock trips.
     pub fn extend_at(&self, b: u64, want: u64) -> u64 {
+        debug_assert!(want > 0);
+        let got = self.take_reserved(b, want);
+        if got > 0 {
+            return got;
+        }
+        let reserve = self.tail_reserve.load(Ordering::Relaxed);
+        if reserve == 0 {
+            return self.extend_at_locked(b, want);
+        }
+        let claimed = self.extend_at_locked(b, want + reserve);
+        if claimed > want {
+            self.stash_reserved(b + want, claimed - want);
+            want
+        } else {
+            claimed
+        }
+    }
+
+    /// Spends up to `want` blocks at `b` from this thread's reservation.
+    /// A reservation whose run does not continue at `b` (the thread moved
+    /// to a different file tail) is returned to the free lists first.
+    fn take_reserved(&self, b: u64, want: u64) -> u64 {
+        TAIL_RESERVED.with(|r| {
+            let mut r = r.borrow_mut();
+            let Some(i) = r.iter().position(|&(id, _, _)| id == self.id) else {
+                return 0;
+            };
+            let (_, start, len) = r[i];
+            if start != b {
+                r.remove(i);
+                drop(r); // free() below may recurse into this thread-local
+                self.free(self.block_ptr(start), len);
+                return 0;
+            }
+            let take = want.min(len);
+            if take == len {
+                r.remove(i);
+            } else {
+                r[i] = (self.id, start + take, len - take);
+            }
+            take
+        })
+    }
+
+    /// Parks `[start, start + len)` as this thread's reservation for this
+    /// allocator, returning any previous run to the free lists.
+    fn stash_reserved(&self, start: u64, len: u64) {
+        let evicted = TAIL_RESERVED.with(|r| {
+            let mut r = r.borrow_mut();
+            let old = r
+                .iter()
+                .position(|&(id, _, _)| id == self.id)
+                .map(|i| r.remove(i))
+                .map(|(_, s, l)| (s, l));
+            r.push((self.id, start, len));
+            if r.len() > RESERVATION_CAP {
+                // Oldest entry belongs to another (likely dropped) allocator
+                // instance; its blocks only existed in that instance's
+                // volatile view, so forgetting them is safe.
+                r.remove(0);
+            }
+            old
+        });
+        if let Some((s, l)) = evicted {
+            self.free(self.block_ptr(s), l);
+        }
+    }
+
+    /// Returns this thread's parked reservation (if any) to the free lists —
+    /// diagnostics and tests that want exact accounting back.
+    pub fn release_thread_reservation(&self) {
+        let parked = TAIL_RESERVED.with(|r| {
+            let mut r = r.borrow_mut();
+            r.iter()
+                .position(|&(id, _, _)| id == self.id)
+                .map(|i| r.remove(i))
+                .map(|(_, s, l)| (s, l))
+        });
+        if let Some((s, l)) = parked {
+            self.free(self.block_ptr(s), l);
+        }
+    }
+
+    /// The locked tail-extension: one segment-lock round trip, exact-position
+    /// first-fit against the free run containing `b`.
+    fn extend_at_locked(&self, b: u64, want: u64) -> u64 {
         debug_assert!(want > 0);
         if b >= self.nblocks {
             return 0;
@@ -315,6 +461,7 @@ impl BlockAlloc {
             // rather than stalling the append on a neighbour's work.
             return 0;
         };
+        self.seg_trips.fetch_add(1, Ordering::Relaxed);
         let free_ptr = seg.free.get();
         // Decide: read-only scan, no exclusive borrow across validation.
         let (idx, start, len) = {
@@ -381,6 +528,7 @@ impl BlockAlloc {
         let seg = &self.segments[self.seg_of_block(b)];
         loop {
             let (guard, how) = seg.lock.acquire(self.max_hold);
+            self.seg_trips.fetch_add(1, Ordering::Relaxed);
             if how == Acquired::Stolen {
                 self.repair(seg);
             }
@@ -628,6 +776,63 @@ mod tests {
         assert_eq!(a.extend_at(b0, 1), 0, "allocated blocks are never handed out");
         // Out-of-range positions fail cleanly.
         assert_eq!(a.extend_at(1 << 40, 1), 0);
+    }
+
+    #[test]
+    fn tail_reserve_serves_followup_extensions_lock_free() {
+        let a = alloc_with(64 * 4096, 1);
+        a.set_tail_reserve(8);
+        let p = a.alloc(0, 2).unwrap();
+        let tail = a.ptr_block(p) + 2;
+        let trips = a.seg_trips();
+        // First extension: one locked trip, over-claims 8 extra.
+        assert_eq!(a.extend_at(tail, 2), 2);
+        assert_eq!(a.seg_trips(), trips + 1);
+        assert_eq!(a.free_blocks(), 64 - 2 - 2 - 8, "surplus parked in the reservation");
+        // The next 4 extensions continue the run: zero further trips.
+        for i in 0..4u64 {
+            assert_eq!(a.extend_at(tail + 2 + i * 2, 2), 2);
+        }
+        assert_eq!(a.seg_trips(), trips + 1, "reservation hits take no segment trip");
+        a.release_thread_reservation();
+        assert_eq!(a.free_blocks(), 64 - 2 - 2 - 8, "reservation was fully spent");
+    }
+
+    #[test]
+    fn stale_reservation_is_returned_not_leaked() {
+        let a = alloc_with(64 * 4096, 1);
+        a.set_tail_reserve(8);
+        let p = a.alloc(0, 1).unwrap();
+        let tail = a.ptr_block(p) + 1;
+        assert_eq!(a.extend_at(tail, 1), 1);
+        let parked = 8;
+        assert_eq!(a.free_blocks(), 64 - 1 - 1 - parked);
+        // Extending a *different* position first releases the stale run,
+        // so nothing is lost to the cache.
+        let far = tail + 30;
+        assert_eq!(a.extend_at(far, 1), 1);
+        a.release_thread_reservation();
+        assert_eq!(a.free_blocks(), 64 - 1 - 1 - 1);
+    }
+
+    #[test]
+    fn reservations_are_instance_scoped() {
+        // A reservation parked against one allocator must never be spent
+        // against another covering the same extent.
+        let a = alloc_with(64 * 4096, 1);
+        a.set_tail_reserve(8);
+        let p = a.alloc(0, 1).unwrap();
+        let tail = a.ptr_block(p) + 1;
+        assert_eq!(a.extend_at(tail, 1), 1);
+        let b = alloc_with(64 * 4096, 1);
+        b.set_tail_reserve(8);
+        let trips = b.seg_trips();
+        // Same block index on the fresh allocator: must take a locked trip,
+        // not a's parked run.
+        assert_eq!(b.extend_at(tail + 1, 1), 1);
+        assert!(b.seg_trips() > trips);
+        a.release_thread_reservation();
+        b.release_thread_reservation();
     }
 
     #[test]

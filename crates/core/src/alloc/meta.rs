@@ -16,7 +16,8 @@
 //! and recording them in the superblock, so recovery always knows where
 //! objects live.
 
-use std::sync::atomic::Ordering;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::queue::SegQueue;
@@ -36,8 +37,33 @@ use crate::BLOCK_SIZE;
 const GROW_BLOCKS: u64 = 64; // 256 KB
 const GROW_CAP_BLOCKS: u64 = 1 << 18; // 1 GB
 
+/// Slots pre-claimed from the shared pool per thread-cache refill. One
+/// refill amortizes one pool round trip (and, with flush-then-fence
+/// batching, one sfence) over `REFILL_SLOTS` allocations.
+const REFILL_SLOTS: usize = 8;
+
+/// Distinguishes allocator instances across remounts: thread-local caches
+/// are keyed by instance id so a cache filled against a previous mount of
+/// the same region can never leak stale claims into a new one.
+static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One thread's refill batches: pre-claimed object offsets keyed by
+/// `(allocator id, pool kind)`.
+type RefillCache = Vec<((u64, u8), Vec<u64>)>;
+
+thread_local! {
+    /// Per-thread refill caches: pre-claimed (header already `valid|dirty`,
+    /// persisted) object offsets, keyed by (allocator id, pool kind). The
+    /// cache is volatile: slots a thread never hands out are exactly the
+    /// "allocated but unreachable" state the mark-and-sweep recovery frees,
+    /// so a kill-9 (or just a dropped mount) leaks nothing durable.
+    static REFILL: RefCell<RefillCache> = const { RefCell::new(Vec::new()) };
+}
+
 /// The slab allocator. One instance is shared by all processes of a mount.
 pub struct MetaAllocator {
+    /// Instance id keying the per-thread refill caches (see [`REFILL`]).
+    id: u64,
     region: Arc<PmemRegion>,
     blocks: Arc<BlockAlloc>,
     free: [SegQueue<u64>; 3],
@@ -45,6 +71,10 @@ pub struct MetaAllocator {
     /// Resource-fault injector shared with the data path (see
     /// [`AllocFaults`]); disarmed by default.
     faults: Arc<AllocFaults>,
+    /// Round trips to the shared free stacks / grow path (the contended
+    /// structures): one per [`refill`](Self::refill), not per alloc, so the
+    /// group-commit tests can assert the k-fold amortization directly.
+    pool_trips: AtomicU64,
 }
 
 impl MetaAllocator {
@@ -52,12 +82,19 @@ impl MetaAllocator {
     /// [`adopt_free`](Self::adopt_free) (mount) or let it grow on demand.
     pub fn new(region: Arc<PmemRegion>, blocks: Arc<BlockAlloc>) -> Self {
         MetaAllocator {
+            id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
             region,
             blocks,
             free: [SegQueue::new(), SegQueue::new(), SegQueue::new()],
             grow_lock: Mutex::new(()),
             faults: Arc::new(AllocFaults::default()),
+            pool_trips: AtomicU64::new(0),
         }
+    }
+
+    /// Shared-pool round trips so far (diagnostics / perf assertions).
+    pub fn pool_trips(&self) -> u64 {
+        self.pool_trips.load(Ordering::Relaxed)
     }
 
     /// The mount's shared resource-fault injector.
@@ -78,24 +115,106 @@ impl MetaAllocator {
     /// Allocates one object: returns it with `valid|dirty` set and the body
     /// zeroed. The caller initializes fields, links the object, and finally
     /// clears the dirty bit.
+    ///
+    /// The fast path pops a pre-claimed slot from this thread's refill
+    /// cache — no shared-stack traffic, no header CAS, no persist. A miss
+    /// claims a batch of [`REFILL_SLOTS`] in one pool round trip
+    /// ([`refill`](Self::refill)) and caches the surplus.
     pub fn alloc(&self, kind: PoolKind) -> FsResult<PPtr> {
         self.faults.check("meta-alloc")?;
+        let key = (self.id, kind as u8);
+        let cached = REFILL.with(|c| {
+            let mut c = c.borrow_mut();
+            c.iter_mut().find(|(k, _)| *k == key).and_then(|(_, batch)| batch.pop())
+        });
+        if let Some(off) = cached {
+            return Ok(PPtr::new(off));
+        }
+        let mut batch = self.refill(kind)?;
+        let obj = PPtr::new(batch.pop().expect("refill returns at least one slot"));
+        if !batch.is_empty() {
+            REFILL.with(|c| {
+                let mut c = c.borrow_mut();
+                match c.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, slots)) => slots.extend_from_slice(&batch),
+                    None => c.push((key, batch)),
+                }
+            });
+        }
+        Ok(obj)
+    }
+
+    /// Claims up to [`REFILL_SLOTS`] objects from the shared pool in one
+    /// round trip: each winning header CAS is noted and flushed, then one
+    /// ordering point arms the whole batch (a single sfence eagerly; elided
+    /// inside a [`FenceScope`](simurgh_pmem::FenceScope), whose close or
+    /// commit covers it). A crash before that fence leaves the claims
+    /// volatile — the objects are still free after the remount scan; a crash
+    /// after it leaves claimed-but-unreachable objects, exactly the
+    /// `valid|dirty` state the mark-and-sweep recovery frees. Either way the
+    /// cache itself is never trusted across a crash.
+    fn refill(&self, kind: PoolKind) -> FsResult<Vec<u64>> {
         let claim = H_VALID | H_DIRTY | kind.tag().bits();
         loop {
-            let Some(off) = self.free[kind as usize].pop() else {
-                self.grow(kind)?;
-                continue;
-            };
-            let obj = PPtr::new(off);
-            let header = self.region.atomic_u64(obj);
-            if header.compare_exchange(0, claim, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-                self.region.note_atomic(obj, 8);
-                self.region.persist(obj, 8);
-                return Ok(obj);
+            self.pool_trips.fetch_add(1, Ordering::Relaxed);
+            let mut got = Vec::with_capacity(REFILL_SLOTS);
+            while got.len() < REFILL_SLOTS {
+                let Some(off) = self.free[kind as usize].pop() else { break };
+                let obj = PPtr::new(off);
+                let header = self.region.atomic_u64(obj);
+                if header.compare_exchange(0, claim, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                    self.region.note_atomic(obj, 8);
+                    self.region.flush(obj, 8);
+                    got.push(off);
+                }
+                // A lost CAS means another process claimed this object
+                // through a stale stack entry; try the next candidate.
             }
-            // Raced with another process that claimed this object through a
-            // stale stack entry; try the next candidate.
+            if !got.is_empty() {
+                self.region.fence();
+                return Ok(got);
+            }
+            // Never grow while holding claims: a short stack just yields a
+            // short batch, so the pool only grows when it is truly empty.
+            self.grow(kind)?;
         }
+    }
+
+    /// Returns every pre-claimed slot in the calling thread's refill cache
+    /// to the shared pools, un-claiming the headers (the bodies were never
+    /// touched, so a zeroed header makes them free again). The quiesce path
+    /// for orderly handoffs; a crashed thread's cache is reclaimed by the
+    /// mark-and-sweep recovery instead.
+    pub fn drain_thread_cache(&self) {
+        let mut any = false;
+        for kind in [PoolKind::Inode, PoolKind::FileEntry, PoolKind::DirBlock] {
+            let key = (self.id, kind as u8);
+            let batch = REFILL.with(|c| {
+                let mut c = c.borrow_mut();
+                c.iter().position(|(k, _)| *k == key).map(|i| c.remove(i).1)
+            });
+            let Some(batch) = batch else { continue };
+            for off in batch {
+                let obj = PPtr::new(off);
+                self.region.atomic_u64(obj).store(0, Ordering::Release);
+                self.region.note_atomic(obj, 8);
+                self.region.flush(obj, 8);
+                self.free[kind as usize].push(off);
+                any = true;
+            }
+        }
+        if any {
+            self.region.fence();
+        }
+    }
+
+    /// Pre-claimed slots of `kind` sitting in the calling thread's refill
+    /// cache (diagnostics / tests).
+    pub fn thread_cached(&self, kind: PoolKind) -> usize {
+        let key = (self.id, kind as u8);
+        REFILL.with(|c| {
+            c.borrow().iter().find(|(k, _)| *k == key).map_or(0, |(_, batch)| batch.len())
+        })
     }
 
     /// Frees an object following the paper's unset-valid → zero → unset-dirty
@@ -294,6 +413,44 @@ mod tests {
         MetaAllocator::for_each_slot(&region, PoolKind::Inode, |_| n += 1);
         // The second segment doubles the first (geometric growth).
         assert_eq!(n as u64, per_seg * 3);
+    }
+
+    #[test]
+    fn refill_amortizes_pool_trips() {
+        let (region, _, meta) = setup(1 << 20);
+        // First alloc: one failed pop round + grow + one claiming round.
+        let first = meta.alloc(PoolKind::Inode).unwrap();
+        let trips_after_first = meta.pool_trips();
+        assert_eq!(meta.thread_cached(PoolKind::Inode), REFILL_SLOTS - 1);
+        // The rest of the batch comes from the thread cache: zero new trips,
+        // and every slot is already claimed (valid|dirty|tag) on media.
+        let mut got = vec![first];
+        for _ in 0..REFILL_SLOTS - 1 {
+            let p = meta.alloc(PoolKind::Inode).unwrap();
+            let h = obj::header(&region, p);
+            assert!(obj::is_valid(h) && obj::is_dirty(h));
+            assert_eq!(Tag::from_header(h), Some(Tag::Inode));
+            got.push(p);
+        }
+        assert_eq!(meta.pool_trips(), trips_after_first, "cache hits take no pool trip");
+        assert_eq!(meta.thread_cached(PoolKind::Inode), 0);
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), REFILL_SLOTS, "batch slots are distinct");
+        // The next alloc refills again: exactly one more trip.
+        let _ = meta.alloc(PoolKind::Inode).unwrap();
+        assert_eq!(meta.pool_trips(), trips_after_first + 1);
+    }
+
+    #[test]
+    fn caches_are_instance_scoped() {
+        // A second allocator over the same region must never see the first
+        // one's cached claims (remount hygiene: ids differ, keys miss).
+        let (_, blocks, meta) = setup(1 << 20);
+        let _ = meta.alloc(PoolKind::FileEntry).unwrap();
+        assert!(meta.thread_cached(PoolKind::FileEntry) > 0);
+        let fresh = MetaAllocator::new(meta.region.clone(), blocks);
+        assert_eq!(fresh.thread_cached(PoolKind::FileEntry), 0);
     }
 
     #[test]

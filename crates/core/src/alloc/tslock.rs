@@ -21,6 +21,115 @@ fn monotonic_us() -> u64 {
     epoch.elapsed().as_micros() as u64 + 1
 }
 
+// ---------------------------------------------------------------------------
+// Backoff policy
+// ---------------------------------------------------------------------------
+
+/// Tunables for the adaptive busy-wait schedule shared by every spin path
+/// (segment locks, file rw-locks, directory line flags). Replaces the old
+/// fixed ladder — one `pause` per probe, one `yield` every 64th — with
+/// bounded exponential backoff: round *r* issues `min(2^r, spin_cap)` pause
+/// instructions, and once `yield_after` total pauses have been burnt every
+/// further round also yields the CPU (oversubscribed-host courtesy).
+///
+/// The schedule is deterministic (no randomized jitter): waiters desynchronize
+/// naturally because their round counters differ, and determinism keeps the
+/// crash matrix and the spin-accounting assertions reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Cap on pause instructions per round (the plateau of the exponential).
+    pub spin_cap: u32,
+    /// Total pause instructions after which rounds start yielding.
+    pub yield_after: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        // 1+2+…+64 ≈ 127 pauses reach the plateau; eight plateau rounds
+        // (~640 pauses total) before conceding the core — roughly the point
+        // where the old ladder had yielded ten times.
+        BackoffPolicy { spin_cap: 64, yield_after: 640 }
+    }
+}
+
+/// Per-wait state driving one [`BackoffPolicy`] schedule. Create one per
+/// blocking acquisition; call [`wait`](Backoff::wait) once per failed probe.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    round: u32,
+    spun: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new(BackoffPolicy::default())
+    }
+}
+
+impl Backoff {
+    pub fn new(policy: BackoffPolicy) -> Self {
+        Backoff { policy, round: 0, spun: 0 }
+    }
+
+    /// One backoff round: exponentially more pause instructions up to the
+    /// cap, then cooperative yields. Also feeds the process-wide
+    /// [`LockStats`] spin-round counter.
+    pub fn wait(&mut self) {
+        let n = 1u32.checked_shl(self.round.min(31)).unwrap_or(u32::MAX).min(self.policy.spin_cap);
+        for _ in 0..n {
+            std::hint::spin_loop();
+        }
+        self.round += 1;
+        self.spun += n as u64;
+        if self.spun >= self.policy.yield_after {
+            std::thread::yield_now();
+        }
+        lock_stats().spin_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rounds waited so far (diagnostics).
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide lock battery
+// ---------------------------------------------------------------------------
+
+/// Process-wide busy-wait accounting, exported through the `ObsRegistry`
+/// lock section: blocking acquisitions, crash steals, and backoff rounds.
+/// Tests assert contention deltas (steals/op, spin-rounds/op) against it.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Blocking acquisitions completed (any spin path).
+    pub acquires: AtomicU64,
+    /// Crash steals: a waiter replaced a presumed-dead holder's stamp.
+    pub steals: AtomicU64,
+    /// Backoff rounds burnt across all waits.
+    pub spin_rounds: AtomicU64,
+}
+
+impl LockStats {
+    /// `{"acquires":…,"steals":…,"spin_rounds":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"acquires\":{},\"steals\":{},\"spin_rounds\":{}}}",
+            self.acquires.load(Ordering::Relaxed),
+            self.steals.load(Ordering::Relaxed),
+            self.spin_rounds.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// The process-wide [`LockStats`] battery.
+pub fn lock_stats() -> &'static LockStats {
+    use std::sync::OnceLock;
+    static STATS: OnceLock<LockStats> = OnceLock::new();
+    STATS.get_or_init(LockStats::default)
+}
+
 /// A busy-wait lock whose held-state is the acquisition timestamp.
 #[derive(Debug, Default)]
 pub struct TsLock {
@@ -62,9 +171,10 @@ impl TsLock {
     /// than `max_hold`, the lock is stolen and [`Acquired::Stolen`] returned.
     pub fn acquire(&self, max_hold: Duration) -> (TsGuard<'_>, Acquired) {
         let max_us = max_hold.as_micros() as u64;
-        let mut spins = 0u32;
+        let mut backoff = Backoff::default();
         loop {
             if let Some(g) = self.try_acquire() {
+                lock_stats().acquires.fetch_add(1, Ordering::Relaxed);
                 return (g, Acquired::Fresh);
             }
             let seen = self.state.load(Ordering::Acquire);
@@ -82,15 +192,14 @@ impl TsLock {
                         .is_ok()
                     {
                         crate::obs::trace(crate::obs::EventKind::LockSteal, seen, stamp);
+                        let stats = lock_stats();
+                        stats.acquires.fetch_add(1, Ordering::Relaxed);
+                        stats.steals.fetch_add(1, Ordering::Relaxed);
                         return (TsGuard { lock: self, stamp }, Acquired::Stolen);
                     }
                 }
             }
-            std::hint::spin_loop();
-            spins += 1;
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now(); // oversubscribed-host courtesy
-            }
+            backoff.wait();
         }
     }
 
@@ -259,6 +368,42 @@ mod tests {
             let want = expected.iter().filter(|&&p| p == (victim, thief)).count();
             assert_eq!(hits, want, "steal ({victim} -> {thief}) traced {hits}/{want} times");
         }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let mut b = Backoff::new(BackoffPolicy { spin_cap: 16, yield_after: u64::MAX });
+        let before = lock_stats().spin_rounds.load(Ordering::Relaxed);
+        for _ in 0..8 {
+            b.wait(); // 1,2,4,8,16,16,16,16 — capped at the plateau
+        }
+        assert_eq!(b.rounds(), 8);
+        assert_eq!(b.spun, 1 + 2 + 4 + 8 + 16 * 4);
+        assert!(
+            lock_stats().spin_rounds.load(Ordering::Relaxed) >= before + 8,
+            "rounds feed the process-wide battery"
+        );
+    }
+
+    #[test]
+    fn acquisitions_and_steals_feed_lock_stats() {
+        let stats = lock_stats();
+        let (a0, s0) =
+            (stats.acquires.load(Ordering::Relaxed), stats.steals.load(Ordering::Relaxed));
+        let l = TsLock::new();
+        let (g, how) = l.acquire(Duration::from_millis(50));
+        assert_eq!(how, Acquired::Fresh);
+        drop(g);
+        let g = l.try_acquire().unwrap();
+        TsLock::crash_while_held(g);
+        let (g2, how) = l.acquire(Duration::from_millis(5));
+        assert_eq!(how, Acquired::Stolen);
+        drop(g2);
+        // Other tests run concurrently, so the battery is monotone, not exact.
+        assert!(stats.acquires.load(Ordering::Relaxed) >= a0 + 2);
+        assert!(stats.steals.load(Ordering::Relaxed) > s0);
+        let j = stats.to_json();
+        assert!(j.contains("\"acquires\":") && j.contains("\"steals\":"));
     }
 
     #[test]

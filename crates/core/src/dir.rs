@@ -18,7 +18,7 @@ use simurgh_fsapi::types::FileType;
 use simurgh_fsapi::{FsError, FsResult};
 use simurgh_pmem::{PPtr, PmemRegion};
 
-use crate::alloc::MetaAllocator;
+use crate::alloc::{lock_stats, Backoff, MetaAllocator};
 use crate::dindex::{DirIndex, IndexHit};
 use crate::hash::{dir_line, fnv1a};
 use crate::obj::dirblock::{logop, DirBlock, RenameLog, DF_RENAME, NLINES};
@@ -193,9 +193,10 @@ impl Drop for LineGuard<'_> {
 /// Acquires the busy flag of `line`, running crash recovery on timeout.
 pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuard<'a> {
     let start = Instant::now();
-    let mut spins = 0u32;
+    let mut backoff = Backoff::default();
     loop {
         if first.try_busy(env.region, line) {
+            lock_stats().acquires.fetch_add(1, Ordering::Relaxed);
             return LineGuard { region: env.region, first, line };
         }
         if start.elapsed() > env.max_hold {
@@ -208,6 +209,7 @@ pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuar
             );
             repair_line(env, first, line);
             first.release_busy(env.region, line);
+            lock_stats().steals.fetch_add(1, Ordering::Relaxed);
             // The takeover is complete: the presumed-dead holder's line is
             // repaired and its flag is ours to race for. Surviving
             // processes prove decentralized recovery by this event.
@@ -217,13 +219,7 @@ pub fn lock_line<'a>(env: &DirEnv<'a>, first: DirBlock, line: usize) -> LineGuar
                 line as u64,
             );
         }
-        std::hint::spin_loop();
-        spins += 1;
-        if spins.is_multiple_of(64) {
-            // The paper's busy-wait assumes a core per process; on
-            // oversubscribed hosts, give the holder a chance to run.
-            std::thread::yield_now();
-        }
+        backoff.wait();
     }
 }
 
@@ -399,6 +395,10 @@ pub fn insert(
     if find_entry(env, first, line, nhash, name).is_some() {
         return Err(FsError::Exists);
     }
+    // Group commit: the preparation persists (entry body, chain extension,
+    // allocator claims) only need to be durable before the step-5 publish,
+    // so coalesce their fences into the single `commit()` below.
+    let scope = env.region.fence_scope();
     // Step 2: create and persist the file entry (allocated valid|dirty).
     let fe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
     let fe = FileEntry(fe_ptr);
@@ -412,7 +412,10 @@ pub fn insert(
             return Err(e);
         }
     };
-    // Step 5: publish & persist the pointer — the commit point.
+    // Step 5: publish & persist the pointer — the commit point. The scope
+    // commit makes every staged preparation line durable *before* the
+    // pointer store can be observed after a crash.
+    scope.commit();
     blk.set_line(env.region, line, fe_ptr);
     if let Some(ix) = env.index {
         ix.insert(first.ptr(), nhash, fe_ptr, blk.ptr());
@@ -445,14 +448,21 @@ pub fn remove(
     let Some((blk, fe)) = find_entry(env, first, line, nhash, name) else {
         return Err(FsError::NotFound);
     };
-    // Step 2: unset valid, set dirty on the file entry.
+    // Step 2: unset valid, set dirty on the file entry. Eagerly fenced: the
+    // invalidation is the state recovery keys the delete roll-forward on.
     obj::invalidate(env.region, fe.ptr());
+    // Group commit over the disposal: the entry is already invalid, so a
+    // crash anywhere in steps 3–4 maps to the same repair (finish the free,
+    // null the slot) regardless of which staged line became durable.
+    let scope = env.region.fence_scope();
     // Step 3: dispose of the inode (zeroed via the metadata allocator when
     // its link count reaches zero).
     dispose_inode(fe);
     // Step 4: zero the file entry (persistently; not yet re-allocatable).
     env.meta.free_no_recycle(PoolKind::FileEntry, fe.ptr());
-    // Step 5: zero the pointer in the hash block.
+    // Step 5: zero the pointer in the hash block, after a commit that makes
+    // the disposal durable first.
+    scope.commit();
     blk.set_line(env.region, line, PPtr::NULL);
     if let Some(ix) = env.index {
         ix.remove(first.ptr(), nhash);
@@ -537,6 +547,9 @@ pub fn rename_same_dir(
     let ftype = old_fe.ftype(env.region);
     // Replace semantics: a live target is deleted under the same lock.
     let replaced = find_entry(env, first, new_line, new_hash, new_name);
+    // Group commit over the preparation (shadow entry + slot reservation):
+    // nothing is reachable until DF_RENAME is set, so one fence suffices.
+    let scope = env.region.fence_scope();
     // Steps 1–2: shadow entry pointing at the same inode.
     let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
     let nfe = FileEntry(nfe_ptr);
@@ -557,7 +570,9 @@ pub fn rename_same_dir(
             }
         }
     };
-    // Step 3: mark the directory as rename-in-progress.
+    // Step 3: mark the directory as rename-in-progress, with the prepared
+    // entry made durable first by the scope commit.
+    scope.commit();
     first.set_flag(env.region, DF_RENAME);
     // Step 5: point the old line at the new entry — the hash mismatch is the
     // recoverable inconsistency the paper exploits.
@@ -620,6 +635,10 @@ pub fn rename_cross_dir(
     let inode = old_fe.inode(env.region);
     let ftype = old_fe.ftype(env.region);
     let replaced = find_entry(env, dst, new_line, new_hash, new_name);
+    // Group commit over the preparation: the new entry and the reserved
+    // slot are unreachable until the log is armed, so their persists
+    // coalesce into the commit before `write_log`.
+    let scope = env.region.fence_scope();
     // New entry for the destination directory.
     let nfe_ptr = env.meta.alloc(PoolKind::FileEntry)?;
     let nfe = FileEntry(nfe_ptr);
@@ -640,7 +659,9 @@ pub fn rename_cross_dir(
             }
         }
     };
-    // Steps 1–2: arm the log in the source directory and set its dirty flag.
+    // Steps 1–2: arm the log in the source directory and set its dirty flag,
+    // with the preparation made durable first by the scope commit.
+    scope.commit();
     src.write_log(
         env.region,
         &RenameLog {

@@ -31,7 +31,7 @@ use parking_lot::RwLock;
 use simurgh_fsapi::{FsError, FsResult};
 use simurgh_pmem::{PPtr, PmemRegion};
 
-use crate::alloc::{AllocFaults, BlockAlloc};
+use crate::alloc::{lock_stats, AllocFaults, Backoff, BlockAlloc};
 use crate::obj::inode::{extblock, Extent, Inode, INLINE_EXTENTS};
 use crate::BLOCK_SIZE;
 
@@ -383,11 +383,12 @@ pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
     let lock = ino.lock_ptr();
     let a = env.region.atomic_u64(lock);
     let mut start = Instant::now();
-    let mut spins = 0u32;
+    let mut backoff = Backoff::default();
     loop {
         let s = a.load(Ordering::Acquire);
         if s & WRITER == 0 {
             if a.compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                lock_stats().acquires.fetch_add(1, Ordering::Relaxed);
                 return ReadGuard { region: env.region, lock };
             }
         } else if start.elapsed() > env.max_hold {
@@ -396,13 +397,10 @@ pub fn lock_read<'a>(env: &FileEnv<'a>, ino: Inode) -> ReadGuard<'a> {
             // another waiter's reset, making their guards underflow on drop.
             crate::obs::trace(crate::obs::EventKind::BusyTimeout, lock.off(), s);
             a.fetch_and(!WRITER, Ordering::AcqRel);
+            lock_stats().steals.fetch_add(1, Ordering::Relaxed);
             start = Instant::now();
         }
-        std::hint::spin_loop();
-        spins += 1;
-        if spins.is_multiple_of(64) {
-            std::thread::yield_now(); // oversubscribed-host courtesy
-        }
+        backoff.wait();
     }
 }
 
@@ -414,9 +412,10 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
     }
     let a = env.region.atomic_u64(lock);
     let mut start = Instant::now();
-    let mut spins = 0u32;
+    let mut backoff = Backoff::default();
     loop {
         if a.compare_exchange_weak(0, WRITER, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            lock_stats().acquires.fetch_add(1, Ordering::Relaxed);
             return WriteGuard { region: Some(env.region), lock };
         }
         if start.elapsed() > env.max_hold {
@@ -426,6 +425,7 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
                 // reader counts that raced in survive the steal.
                 crate::obs::trace(crate::obs::EventKind::BusyTimeout, lock.off(), s);
                 a.fetch_and(!WRITER, Ordering::AcqRel);
+                lock_stats().steals.fetch_add(1, Ordering::Relaxed);
             } else if s != 0 {
                 // Readers still pinned after a full extra grace period are
                 // presumed crashed. CAS the exact observed count — never a
@@ -436,11 +436,7 @@ pub fn lock_write<'a>(env: &FileEnv<'a>, ino: Inode) -> WriteGuard<'a> {
             // Fresh grace period for whoever survived the reset.
             start = Instant::now();
         }
-        std::hint::spin_loop();
-        spins += 1;
-        if spins.is_multiple_of(64) {
-            std::thread::yield_now(); // oversubscribed-host courtesy
-        }
+        backoff.wait();
     }
 }
 
@@ -788,6 +784,10 @@ pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResul
     env.bump(|s| &s.writes);
     let r = env.region;
     let end = off + data.len() as u64;
+    // Group commit: extent-map persists from the allocation growth coalesce
+    // into the data fence below — they only need to be durable before the
+    // size update, exactly like the payload itself.
+    let scope = r.fence_scope();
     ensure_allocated(env, ino, end)?;
     let old_size = ino.size(r);
     // Zero any hole between the current end and the write start.
@@ -805,8 +805,10 @@ pub fn write_at(env: &FileEnv<'_>, ino: Inode, off: u64, data: &[u8]) -> FsResul
     if done < data.len() {
         return Err(FsError::Corrupt("write past allocation"));
     }
-    // sfence: data durable before the size update (paper ordering).
-    r.fence();
+    // sfence: data + extent map durable before the size update (paper
+    // ordering). The commit is the one fence of the whole growth path.
+    scope.commit();
+    drop(scope);
     if end > old_size {
         ino.set_size(r, end);
     }
@@ -846,9 +848,13 @@ pub fn truncate(env: &FileEnv<'_>, ino: Inode, len: u64) -> FsResult<()> {
     let r = env.region;
     let old = ino.size(r);
     if len > old {
+        // Group commit: extent-map persists coalesce into the fence that
+        // orders the zero-fill before the size update.
+        let scope = r.fence_scope();
         ensure_allocated(env, ino, len)?;
         zero_range(env, ino, old, len - old);
-        r.fence();
+        scope.commit();
+        drop(scope);
         ino.set_size(r, len);
         return Ok(());
     }
@@ -900,7 +906,9 @@ fn shrink_allocation(env: &FileEnv<'_>, ino: Inode, keep: u64) {
         }
         logical += e.len;
     }
-    // Rewrite the trimmed map in place.
+    // Rewrite the trimmed map in place, coalescing the per-slot persists
+    // into the single commit below.
+    let scope = r.fence_scope();
     for i in 0..INLINE_EXTENTS {
         ino.set_extent(r, i, kept.get(i).copied().unwrap_or_default());
     }
@@ -917,7 +925,8 @@ fn shrink_allocation(env: &FileEnv<'_>, ino: Inode, keep: u64) {
         ino.set_ext_next(r, PPtr::NULL);
     }
     // Trimmed map durable; only now do the surplus blocks go back.
-    r.fence();
+    scope.commit();
+    drop(scope);
     for b in &chain[used..] {
         env.blocks.free(*b, 1);
     }

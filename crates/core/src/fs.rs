@@ -296,6 +296,9 @@ impl SimurghFs {
         } else {
             Security::disabled()
         };
+        // Mounted file systems run with the append-path tail reservation on
+        // (group commit); raw-allocator users keep the exact default.
+        blocks.set_tail_reserve(crate::alloc::blocks::DEFAULT_TAIL_RESERVE);
         Superblock::set_clean(&region, false);
         let fs = SimurghFs {
             region,
@@ -334,6 +337,11 @@ impl SimurghFs {
     /// the last process out writes the clean flag — a `kill -9`'d peer
     /// never detaches, leaving the region unclean for the next recovery.
     pub fn unmount(self) {
+        // Un-claim this thread's parked refill slots and return its block
+        // reservation: a clean unmount must leave no allocated-but-
+        // unreachable objects behind. (Other threads' parked batches can't
+        // be reached from here; the next mount's sweep frees those.)
+        self.quiesce_thread_caches();
         if self.shared_mode {
             if shared::detach(&self.region) {
                 Superblock::set_clean(&self.region, true);
@@ -366,6 +374,20 @@ impl SimurghFs {
     /// Block allocator statistics (benchmark assertions).
     pub fn block_alloc(&self) -> &Arc<BlockAlloc> {
         &self.blocks
+    }
+
+    /// Metadata allocator statistics (group-commit trip assertions).
+    pub fn meta_alloc(&self) -> &Arc<MetaAllocator> {
+        &self.meta
+    }
+
+    /// Returns the calling thread's allocator caches — pre-claimed metadata
+    /// refill slots and the parked tail reservation — to the shared pools.
+    /// An orderly quiesce before handoff or a planned crash witness; caches
+    /// abandoned by `kill -9` are reclaimed by recovery instead.
+    pub fn quiesce_thread_caches(&self) {
+        self.meta.drain_thread_cache();
+        self.blocks.release_thread_reservation();
     }
 
     /// The mount's resource-fault injector: arms ENOSPC at the *k*-th
@@ -402,6 +424,9 @@ impl SimurghFs {
             &self.region.stats().snapshot(),
             &self.timers,
             self.meta.faults(),
+            &self.meta,
+            &self.blocks,
+            crate::alloc::lock_stats(),
         )
     }
 
@@ -706,11 +731,20 @@ impl SimurghFs {
         }
         self.check_perm(ctx, parent, access::W | access::X)?;
         path::validate_name(name)?;
+        // Group commit: the inode claim + init persists coalesce with the
+        // insert's own preparation; `dir::insert` fences them all at once
+        // right before publishing the hash-line pointer.
+        let scope = self.region.fence_scope();
         let ino = self.new_inode(ctx, FileMode::file(mode.perm), 1)?;
-        match dir::insert(&env, first, name, FileType::Regular, ino.ptr()) {
-            Ok(_) => Ok(ino),
+        let inserted = dir::insert(&env, first, name, FileType::Regular, ino.ptr());
+        match inserted {
+            Ok(_) => {
+                drop(scope);
+                Ok(ino)
+            }
             Err(e) => {
                 self.meta.free(PoolKind::Inode, ino.ptr());
+                drop(scope);
                 // A concurrent creator may have won the race.
                 if e == FsError::Exists && !flags.excl {
                     let ino = self.resolve(ctx, p, true)?;
@@ -900,6 +934,10 @@ impl FileSystem for SimurghFs {
                 let (_, first, name) = self.resolve_parent(ctx, p)?;
                 path::validate_name(name)?;
                 let env = self.dir_env();
+                // Group commit: inode + hash-block preparation persists
+                // coalesce into one fence before the block's dirty-bit clear
+                // (the first point a crash can observe the block as final).
+                let scope = self.region.fence_scope();
                 let ino = self.new_inode(ctx, FileMode::dir(mode.perm), 2)?;
                 let blk = match self.meta.alloc(PoolKind::DirBlock) {
                     Ok(b) => b,
@@ -910,6 +948,7 @@ impl FileSystem for SimurghFs {
                 };
                 DirBlock(blk).init(&self.region, true);
                 ino.set_extent(&self.region, 0, Extent { start: blk.off(), len: DIRBLOCK_SIZE });
+                scope.commit();
                 obj::clear_dirty(&self.region, blk);
                 self.index.mark_complete(blk);
                 self.index.set_tail(blk, blk);
@@ -1032,7 +1071,13 @@ impl FileSystem for SimurghFs {
                 let (_, first, name) = self.resolve_parent(ctx, linkpath)?;
                 path::validate_name(name)?;
                 let env = self.dir_env();
+                // Group commit over the inode claim + init only: the target
+                // write below relies on the data path's own data-before-size
+                // fencing, so the scope must not extend over it.
+                let scope = self.region.fence_scope();
                 let ino = self.new_inode(ctx, FileMode::symlink(), 1)?;
+                scope.commit();
+                drop(scope);
                 let fenv = self.file_env();
                 if let Err(e) = file::write_at(&fenv, ino, 0, target.as_bytes()) {
                     file::free_all(&fenv, ino);

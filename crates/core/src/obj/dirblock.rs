@@ -85,7 +85,7 @@ impl DirBlock {
     pub fn set_next(self, r: &PmemRegion, p: PPtr) {
         r.atomic_u64(self.0.add(O_NEXT)).store(p.off(), Ordering::Release);
         r.note_atomic(self.0.add(O_NEXT), 8);
-        r.persist(self.0.add(O_NEXT), 8);
+        r.persist_now(self.0.add(O_NEXT), 8);
     }
 
     /// Links `p` after this block only if no other writer extended the chain
@@ -99,7 +99,7 @@ impl DirBlock {
             .is_ok();
         if won {
             r.note_atomic(self.0.add(O_NEXT), 8);
-            r.persist(self.0.add(O_NEXT), 8);
+            r.persist_now(self.0.add(O_NEXT), 8);
         }
         won
     }
@@ -111,13 +111,13 @@ impl DirBlock {
     pub fn set_flag(self, r: &PmemRegion, flag: u64) {
         r.atomic_u64(self.0.add(O_FLAGS)).fetch_or(flag, Ordering::AcqRel);
         r.note_atomic(self.0.add(O_FLAGS), 8);
-        r.persist(self.0.add(O_FLAGS), 8);
+        r.persist_now(self.0.add(O_FLAGS), 8);
     }
 
     pub fn clear_flag(self, r: &PmemRegion, flag: u64) {
         r.atomic_u64(self.0.add(O_FLAGS)).fetch_and(!flag, Ordering::AcqRel);
         r.note_atomic(self.0.add(O_FLAGS), 8);
-        r.persist(self.0.add(O_FLAGS), 8);
+        r.persist_now(self.0.add(O_FLAGS), 8);
     }
 
     pub fn is_first(self, r: &PmemRegion) -> bool {
@@ -142,7 +142,7 @@ impl DirBlock {
         let addr = self.0.add(O_LINES + (line as u64) * 8);
         r.atomic_u64(addr).store(p.off(), Ordering::Release);
         r.note_atomic(addr, 8);
-        r.persist(addr, 8);
+        r.persist_now(addr, 8);
     }
 
     // ----- busy flags (first block only) -------------------------------------
@@ -194,15 +194,15 @@ impl DirBlock {
         r.write(b.add(40), log.new_fentry);
         r.write(b.add(48), log.old_line);
         r.write(b.add(56), log.new_line);
-        r.persist(b.add(8), 56);
+        r.persist_now(b.add(8), 56);
         r.write(b, log.op);
-        r.persist(b, 8);
+        r.persist_now(b, 8);
     }
 
     /// Disarms the log (operation completed).
     pub fn clear_log(self, r: &PmemRegion) {
         r.write(self.0.add(O_LOG), logop::IDLE);
-        r.persist(self.0.add(O_LOG), 8);
+        r.persist_now(self.0.add(O_LOG), 8);
     }
 }
 

@@ -71,22 +71,29 @@ pub fn is_dirty(h: u64) -> bool {
 /// Clears the dirty bit and persists the header — the final step of the
 /// create/rename protocols ("the dirty bits for the newly created data
 /// structures are unset", Fig. 5a step 6).
+///
+/// Commit point: eagerly fenced even inside a [`FenceScope`](simurgh_pmem::FenceScope), because a
+/// dirty-bit flip changes which recovery action a crash maps to.
 pub fn clear_dirty(region: &PmemRegion, obj: PPtr) {
     region.atomic_u64(obj).fetch_and(!H_DIRTY, Ordering::AcqRel);
     region.note_atomic(obj, 8);
-    region.persist(obj, 8);
+    region.persist_now(obj, 8);
 }
 
 /// Sets the dirty bit and persists the header (marks an operation on a live
 /// object as in flight, e.g. the file entry being removed in Fig. 5b).
+///
+/// Commit point: eagerly fenced even inside a [`FenceScope`](simurgh_pmem::FenceScope).
 pub fn set_dirty(region: &PmemRegion, obj: PPtr) {
     region.atomic_u64(obj).fetch_or(H_DIRTY, Ordering::AcqRel);
     region.note_atomic(obj, 8);
-    region.persist(obj, 8);
+    region.persist_now(obj, 8);
 }
 
 /// Clears the valid bit (keeping dirty set) and persists — the first step
 /// of deallocation (Fig. 5b step 2).
+///
+/// Commit point: eagerly fenced even inside a [`FenceScope`](simurgh_pmem::FenceScope).
 pub fn invalidate(region: &PmemRegion, obj: PPtr) {
     let a = region.atomic_u64(obj);
     let mut h = a.load(Ordering::Acquire);
@@ -98,7 +105,7 @@ pub fn invalidate(region: &PmemRegion, obj: PPtr) {
         }
     }
     region.note_atomic(obj, 8);
-    region.persist(obj, 8);
+    region.persist_now(obj, 8);
 }
 
 #[cfg(test)]

@@ -249,6 +249,11 @@ fn fresh(spec: &OpSpec, ctx: &ProcCtx) -> SimurghFs {
 /// Crash `fs` now and remount through recovery; returns the recovered fs
 /// and its reclaimed-object count.
 fn crash_remount(fs: &SimurghFs) -> Result<(SimurghFs, u64), String> {
+    // Quiesce first: the per-thread refill cache and tail reservation are
+    // claimed-but-unreachable *by design* (bounded, reclaimed by any
+    // recovery — the group-commit tests assert that separately). Draining
+    // them keeps the reclaimed-object witness focused on protocol garbage.
+    fs.quiesce_thread_caches();
     let image = Arc::new(fs.region().simulate_crash());
     let fs2 = SimurghFs::mount(image, matrix_config()).map_err(|e| format!("recovery mount: {e}"))?;
     let reclaimed = fs2.recovery_report().reclaimed_objects;
@@ -477,6 +482,48 @@ pub fn run_matrix(cap: Option<u64>) -> Vec<OpMatrix> {
     scripted_ops().iter().map(|s| run_op_matrix(s, cap)).collect()
 }
 
+/// Persistence-cost profile of one scripted operation: counter deltas
+/// across the op alone (setup excluded) on a fresh deterministic region.
+/// This is the group-commit ledger — fences issued, fences absorbed by an
+/// active [`simurgh_pmem::FenceScope`], and allocator round trips.
+#[derive(Debug, Clone, Default)]
+pub struct OpCosts {
+    /// Operation label (same vocabulary as [`OpMatrix::op`]).
+    pub op: String,
+    /// `sfence` boundaries the op crossed.
+    pub fences: u64,
+    /// Fence requests absorbed by group-commit scopes during the op.
+    pub fences_elided: u64,
+    /// Metadata-allocator round trips to the shared pools.
+    pub pool_trips: u64,
+    /// Block-allocator segment-lock round trips.
+    pub seg_trips: u64,
+}
+
+/// Measures [`OpCosts`] for every scripted op, in [`scripted_ops`] order.
+/// Deterministic: same fixed-segment config the crash matrix records with.
+pub fn probe_costs() -> Vec<OpCosts> {
+    let ctx = ProcCtx::root(1);
+    scripted_ops()
+        .iter()
+        .map(|spec| {
+            let fs = fresh(spec, &ctx);
+            let s0 = fs.region().stats().snapshot();
+            let p0 = fs.meta_alloc().pool_trips();
+            let g0 = fs.block_alloc().seg_trips();
+            (spec.op)(&fs, &ctx).expect("cost probe op");
+            let d = fs.region().stats().snapshot().since(&s0);
+            OpCosts {
+                op: spec.name.to_owned(),
+                fences: d.fences,
+                fences_elided: d.fences_elided,
+                pool_trips: fs.meta_alloc().pool_trips() - p0,
+                seg_trips: fs.block_alloc().seg_trips() - g0,
+            }
+        })
+        .collect()
+}
+
 /// Test support: a spec whose op makes no durable change, so the matrix
 /// deterministically fails its pre≠post sanity check — used to assert the
 /// failure path (flight-recorder attachment) without planting a real bug.
@@ -606,6 +653,17 @@ mod tests {
         let m = run_op_matrix(spec, Some(2));
         assert!(m.is_clean(), "{:#?}", m.failures);
         assert!(m.trace.is_empty(), "clean runs must not carry a dump");
+    }
+
+    #[test]
+    fn probe_costs_prints_current_persistence_profile() {
+        for c in probe_costs() {
+            println!(
+                "BASELINE {}: fences={} elided={} pool_trips={} seg_trips={}",
+                c.op, c.fences, c.fences_elided, c.pool_trips, c.seg_trips
+            );
+            assert!(c.fences > 0, "{} crossed no fence", c.op);
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod tracker;
 pub use clock::SpinClock;
 pub use pptr::PPtr;
 pub use prot::{AccessFault, AccessPolicy, PageFlags, PageTable};
-pub use region::{PmemError, PmemRegion, Pod, RegionBuilder};
+pub use region::{FenceScope, PmemError, PmemRegion, Pod, RegionBuilder};
 pub use stats::PmemStats;
 pub use tracker::{FaultPlan, TrackMode};
 

@@ -10,6 +10,7 @@
 //! * traffic statistics can be attributed (Table 1 / Fig. 10 breakdowns).
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
 use std::sync::{Arc, OnceLock};
@@ -256,6 +257,7 @@ impl RegionBuilder {
             policy: self.policy,
             stats: PmemStats::default(),
             fence_hook: OnceLock::new(),
+            id: REGION_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
@@ -338,6 +340,93 @@ pub struct PmemRegion {
     /// per region (a `simulate_crash` image is a *new* region: re-install
     /// at mount).
     fence_hook: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
+    /// Process-unique instance id keying this region's entries in the
+    /// thread-local [`FenceScope`] registry (a `simulate_crash` image is a
+    /// *new* region and gets a fresh id, so stale scope entries from a
+    /// pre-crash region can never absorb post-remount fences).
+    id: u64,
+}
+
+/// Source of [`PmemRegion::id`] values. Starts at 1 so 0 can never key a
+/// live registry entry.
+static REGION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// One thread's view of an active group-commit scope on one region.
+struct TlScope {
+    region_id: u64,
+    /// Nesting depth: inner `fence_scope()` calls on the same region reuse
+    /// the entry; only the outermost drop closes the group.
+    depth: u32,
+    /// Whether a fence was requested (and deferred) since the last real
+    /// fence on this thread. The closing fence is skipped when false.
+    pending: bool,
+}
+
+thread_local! {
+    /// Active group-commit scopes on this thread. Tiny (0–2 entries), so a
+    /// linear scan beats any map.
+    static ACTIVE_SCOPES: RefCell<Vec<TlScope>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII group-commit scope returned by [`PmemRegion::fence_scope`].
+///
+/// While the scope is alive **on the creating thread**, every
+/// [`fence`](PmemRegion::fence) (and the fence half of
+/// [`persist`](PmemRegion::persist)) on this region is deferred: `clwb`s
+/// still stage their lines, but the `sfence` is issued once, when the scope
+/// drops — the paper's `store → clwb → … → single sfence` group-commit
+/// pattern. Ordering-critical persists inside the scope either call
+/// [`commit`](Self::commit) or go through the always-eager
+/// [`fence_now`](PmemRegion::fence_now)/[`persist_now`](PmemRegion::persist_now)
+/// primitives, which fence immediately *and* mark the group clean (one
+/// `sfence` retires every previously staged line, so the scope need not
+/// fence again unless more deferred work follows).
+///
+/// Crash-soundness: in the deterministic tracker model, all lines staged
+/// between two fences become durable atomically. Coalescing N fences into
+/// one therefore only *removes* intermediate crash states — every state
+/// reachable with a scope active is also reachable in the eager schedule
+/// (cut before the group or after it). Commit points keep their own
+/// boundary via the `_now` primitives, so recovery-relevant orderings are
+/// never coalesced across.
+pub struct FenceScope<'r> {
+    region: &'r PmemRegion,
+    /// Scopes are registered in thread-local state: keep the guard on the
+    /// thread that opened it.
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl FenceScope<'_> {
+    /// Issues the group's fence *now* (an explicit intra-scope commit
+    /// point). Deferred flushes staged so far become durable; the scope is
+    /// marked clean and will only fence at drop if further deferred fences
+    /// accumulate. May be called any number of times.
+    pub fn commit(&self) {
+        self.region.fence_now();
+    }
+}
+
+impl Drop for FenceScope<'_> {
+    fn drop(&mut self) {
+        let fence_needed = ACTIVE_SCOPES.with(|s| {
+            let mut v = s.borrow_mut();
+            let i = v
+                .iter()
+                .position(|e| e.region_id == self.region.id)
+                .expect("FenceScope dropped on a thread that never opened it");
+            if v[i].depth > 1 {
+                v[i].depth -= 1;
+                false
+            } else {
+                let pending = v[i].pending;
+                v.remove(i);
+                pending
+            }
+        });
+        if fence_needed {
+            self.region.fence_now();
+        }
+    }
 }
 
 // SAFETY: the raw allocation is only accessed through the methods below;
@@ -565,8 +654,27 @@ impl PmemRegion {
     /// same region file therefore keep independent fault-plan accounting: a
     /// fence issued through one mapping is invisible to the other's counters,
     /// exactly like per-CPU sfence retirement on real hardware.
+    /// With a [`FenceScope`] active on the calling thread, the `sfence` is
+    /// *deferred* to the scope (counted in `fences_elided`, invisible to
+    /// fault plans and the fence hook — no persistence boundary is crossed
+    /// until the group commits). Use [`fence_now`](Self::fence_now) at
+    /// ordering-critical commit points.
     #[inline]
     pub fn fence(&self) {
+        if self.defer_to_scope() {
+            self.stats.count_elided_fence();
+            return;
+        }
+        self.fence_now();
+    }
+
+    /// Emulated `sfence`, issued unconditionally — bypasses any active
+    /// [`FenceScope`]. One `sfence` retires *every* previously staged line,
+    /// so this also marks the thread's active scope (if any) clean: the
+    /// scope will not issue a redundant closing fence for work this call
+    /// already made durable.
+    #[inline]
+    pub fn fence_now(&self) {
         let n = self.stats.count_fence();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         if let Some(t) = &self.tracker {
@@ -575,6 +683,42 @@ impl PmemRegion {
         if let Some(hook) = self.fence_hook.get() {
             hook(n);
         }
+        ACTIVE_SCOPES.with(|s| {
+            if let Some(e) = s.borrow_mut().iter_mut().find(|e| e.region_id == self.id) {
+                e.pending = false;
+            }
+        });
+    }
+
+    /// True if a [`FenceScope`] on this region is active on this thread (the
+    /// deferred fence is recorded as pending).
+    #[inline]
+    fn defer_to_scope(&self) -> bool {
+        ACTIVE_SCOPES.with(|s| {
+            let mut v = s.borrow_mut();
+            match v.iter_mut().find(|e| e.region_id == self.id) {
+                Some(e) => {
+                    e.pending = true;
+                    true
+                }
+                None => false,
+            }
+        })
+    }
+
+    /// Opens a group-commit scope on this region for the calling thread:
+    /// until the returned guard drops, [`fence`](Self::fence) requests are
+    /// coalesced into (at most) one `sfence` at scope close. Nests — inner
+    /// scopes are free, only the outermost drop fences.
+    pub fn fence_scope(&self) -> FenceScope<'_> {
+        ACTIVE_SCOPES.with(|s| {
+            let mut v = s.borrow_mut();
+            match v.iter_mut().find(|e| e.region_id == self.id) {
+                Some(e) => e.depth += 1,
+                None => v.push(TlScope { region_id: self.id, depth: 1, pending: false }),
+            }
+        });
+        FenceScope { region: self, _not_send: std::marker::PhantomData }
     }
 
     /// Installs the fence observer (at most once per region; later calls
@@ -584,11 +728,21 @@ impl PmemRegion {
         let _ = self.fence_hook.set(hook);
     }
 
-    /// Convenience `clwb + sfence` over one range.
+    /// Convenience `clwb + sfence` over one range. Scope-aware: the fence
+    /// half defers to an active [`FenceScope`].
     #[inline]
     pub fn persist(&self, p: PPtr, len: usize) {
         self.flush(p, len);
         self.fence();
+    }
+
+    /// Convenience `clwb + sfence` that always fences immediately — the
+    /// commit-point flavour of [`persist`](Self::persist), immune to
+    /// [`FenceScope`] coalescing.
+    #[inline]
+    pub fn persist_now(&self, p: PPtr, len: usize) {
+        self.flush(p, len);
+        self.fence_now();
     }
 
     // ----- atomics ----------------------------------------------------------
@@ -889,6 +1043,107 @@ mod tests {
             let crashed = r.simulate_crash();
             assert_eq!(crashed.read::<u64>(PPtr::new(0)), cut, "cut at boundary {cut}");
         }
+    }
+
+    #[test]
+    fn scope_coalesces_fences_into_one() {
+        let r = PmemRegion::new_tracked(4096);
+        {
+            let _scope = r.fence_scope();
+            for i in 0u64..3 {
+                r.write(PPtr::new(i * 64), 0xa0 + i);
+                r.persist(PPtr::new(i * 64), 8);
+            }
+            // All three fences deferred: nothing on media yet.
+            let crashed = r.simulate_crash();
+            assert_eq!(crashed.read::<u64>(PPtr::new(0)), 0);
+            let s = r.stats().snapshot();
+            assert_eq!(s.fences, 0);
+            assert_eq!(s.fences_elided, 3);
+        }
+        // Scope close issued the single group fence.
+        let s = r.stats().snapshot();
+        assert_eq!(s.fences, 1);
+        let crashed = r.simulate_crash();
+        for i in 0u64..3 {
+            assert_eq!(crashed.read::<u64>(PPtr::new(i * 64)), 0xa0 + i);
+        }
+    }
+
+    #[test]
+    fn empty_scope_issues_no_fence() {
+        let r = PmemRegion::new(4096);
+        drop(r.fence_scope());
+        assert_eq!(r.stats().snapshot().fences, 0);
+    }
+
+    #[test]
+    fn fence_now_inside_scope_is_eager_and_clears_pending() {
+        let r = PmemRegion::new_tracked(4096);
+        {
+            let _scope = r.fence_scope();
+            r.write(PPtr::new(0), 7u64);
+            r.persist(PPtr::new(0), 8); // deferred
+            r.persist_now(PPtr::new(0), 8); // real boundary; retires the above too
+            let crashed = r.simulate_crash();
+            assert_eq!(crashed.read::<u64>(PPtr::new(0)), 7, "persist_now is durable in-scope");
+            assert_eq!(r.stats().snapshot().fences, 1);
+        }
+        // The eager fence covered everything staged: no redundant close fence.
+        assert_eq!(r.stats().snapshot().fences, 1);
+    }
+
+    #[test]
+    fn commit_is_an_intra_scope_boundary() {
+        // Boundary accounting (FaultPlan) must see commit() and the closing
+        // fence, and none of the deferred ones.
+        let r = PmemRegion::new_tracked(4096);
+        r.arm_faults(FaultPlan::record());
+        {
+            let scope = r.fence_scope();
+            r.write(PPtr::new(0), 1u64);
+            r.persist(PPtr::new(0), 8); // deferred
+            scope.commit(); // boundary 1
+            r.write(PPtr::new(64), 2u64);
+            r.persist(PPtr::new(64), 8); // deferred
+        } // boundary 2
+        assert_eq!(r.fence_count(), 2);
+    }
+
+    #[test]
+    fn scopes_nest_and_only_outermost_fences() {
+        let r = PmemRegion::new(4096);
+        {
+            let _outer = r.fence_scope();
+            {
+                let _inner = r.fence_scope();
+                r.write(PPtr::new(0), 1u64);
+                r.persist(PPtr::new(0), 8);
+            }
+            // Inner drop must not fence.
+            assert_eq!(r.stats().snapshot().fences, 0);
+            r.persist(PPtr::new(8), 8);
+        }
+        assert_eq!(r.stats().snapshot().fences, 1);
+        assert_eq!(r.stats().snapshot().fences_elided, 2);
+    }
+
+    #[test]
+    fn scope_is_per_thread_and_per_region() {
+        let r = std::sync::Arc::new(PmemRegion::new(4096));
+        let other = PmemRegion::new(4096);
+        let _scope = r.fence_scope();
+        // Another thread fencing the same region is unaffected by our scope.
+        crossbeam::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move |_| r.fence());
+        })
+        .unwrap();
+        assert_eq!(r.stats().snapshot().fences, 1, "peer thread fence is real");
+        // Another region on this thread is unaffected too.
+        other.fence();
+        assert_eq!(other.stats().snapshot().fences, 1);
+        assert_eq!(other.stats().snapshot().fences_elided, 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct PmemStats {
     bytes_nt_written: AtomicU64,
     flushed_lines: AtomicU64,
     fences: AtomicU64,
+    fences_elided: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -26,6 +27,10 @@ pub struct StatsSnapshot {
     pub bytes_nt_written: u64,
     pub flushed_lines: u64,
     pub fences: u64,
+    /// Fences requested while a [`FenceScope`](crate::FenceScope) was active
+    /// on the calling thread and therefore deferred to the scope's single
+    /// closing `sfence` — the group-commit win, directly observable.
+    pub fences_elided: u64,
 }
 
 impl StatsSnapshot {
@@ -42,6 +47,7 @@ impl StatsSnapshot {
             bytes_nt_written: self.bytes_nt_written.saturating_sub(earlier.bytes_nt_written),
             flushed_lines: self.flushed_lines.saturating_sub(earlier.flushed_lines),
             fences: self.fences.saturating_sub(earlier.fences),
+            fences_elided: self.fences_elided.saturating_sub(earlier.fences_elided),
         }
     }
 
@@ -50,9 +56,9 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"bytes_read\":{},\"bytes_written\":{},\"bytes_nt_written\":{},\
-             \"flushed_lines\":{},\"fences\":{}}}",
+             \"flushed_lines\":{},\"fences\":{},\"fences_elided\":{}}}",
             self.bytes_read, self.bytes_written, self.bytes_nt_written, self.flushed_lines,
-            self.fences
+            self.fences, self.fences_elided
         )
     }
 }
@@ -85,6 +91,12 @@ impl PmemStats {
         self.fences.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Counts one fence request absorbed by an active group-commit scope.
+    #[inline]
+    pub(crate) fn count_elided_fence(&self) {
+        self.fences_elided.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Captures the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -93,6 +105,7 @@ impl PmemStats {
             bytes_nt_written: self.bytes_nt_written.load(Ordering::Relaxed),
             flushed_lines: self.flushed_lines.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
+            fences_elided: self.fences_elided.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,7 +137,14 @@ mod tests {
         let snap = StatsSnapshot { bytes_read: 1, fences: 5, ..Default::default() };
         let j = snap.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
-        for key in ["bytes_read", "bytes_written", "bytes_nt_written", "flushed_lines", "fences"] {
+        for key in [
+            "bytes_read",
+            "bytes_written",
+            "bytes_nt_written",
+            "flushed_lines",
+            "fences",
+            "fences_elided",
+        ] {
             assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }
         assert!(j.contains("\"bytes_read\":1"));
