@@ -1,0 +1,28 @@
+// Bad fixture for the wire-parity rule: a self-contained mini gateway
+// whose wire surface drifted from the trait in all three directions.
+
+/// The trait side of the mirror.
+pub trait FileSystem {
+    /// Served over the wire below.
+    fn open(&self, path: &str) -> u32;
+    /// Served, but its dispatch arm was dropped: leg-3 finding.
+    fn close(&self, fd: u32);
+    /// No `Request::SnapshotTree` variant exists: leg-1 finding.
+    fn snapshot_tree(&self, root: &str) -> Vec<String>;
+}
+
+/// The wire side of the mirror.
+pub enum Request {
+    Open { path: String },
+    Close { fd: u32 },
+    // No `chmod` trait method above: leg-2 finding.
+    Chmod { path: String },
+}
+
+/// The handler: `Close` has no explicit arm, only a wildcard.
+pub fn dispatch(req: Request) -> u32 {
+    match req {
+        Request::Open { .. } => 1,
+        _ => 0,
+    }
+}

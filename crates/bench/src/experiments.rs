@@ -377,9 +377,10 @@ pub fn obs_probe(scale: &Scale, json: bool) -> String {
     use simurgh_core::obs::FsOp;
 
     let region = Arc::new(PmemRegion::new(64 << 20));
-    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let fs = Arc::new(SimurghFs::format(region, SimurghConfig::default()).expect("format"));
     let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
     mixed_metadata_workload(&fs, rounds);
+    let gw = gateway_burst(&fs, 8, 50);
 
     if json {
         return fs.obs_json();
@@ -403,7 +404,52 @@ pub fn obs_probe(scale: &Scale, json: bool) -> String {
             s.max_ns
         ));
     }
+    let g = &fs.obs().gateway;
+    let o = std::sync::atomic::Ordering::Relaxed;
+    out.push_str(&format!(
+        "\ngateway: conns {} ops {} flushes {} batched_ops {} busy {}\n\
+         loadgen: {:.0} ops/s, p50 {} ns, p99 {} ns\n",
+        g.connections.load(o),
+        g.ops.load(o),
+        g.flushes.load(o),
+        g.batched_ops.load(o),
+        g.admission_rejections.load(o),
+        gw.throughput(),
+        gw.latency.p50_ns,
+        gw.latency.p99_ns,
+    ));
     out
+}
+
+/// Serves `fs` on a throwaway unix socket and drives it with an
+/// in-process loadgen burst, so the registry's `gateway` section (and the
+/// snapshot's `gateway_loadgen` object) report a live serving path rather
+/// than zeros. Small on purpose: 8 connections × `ops_per_conn` ops keep
+/// `paper obs` interactive.
+fn gateway_burst(
+    fs: &Arc<SimurghFs>,
+    connections: usize,
+    ops_per_conn: usize,
+) -> simurgh_served::LoadgenReport {
+    use simurgh_served::{LoadgenConfig, Server, ServerConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static N: AtomicU32 = AtomicU32::new(0);
+    let sock = std::env::temp_dir().join(format!(
+        "sg-bench-gw-{}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let handle = Server::start(Arc::clone(fs), ServerConfig::new(sock.clone()))
+        .expect("gateway server starts");
+    let mut cfg = LoadgenConfig::new(sock);
+    cfg.connections = connections;
+    cfg.ops_per_conn = ops_per_conn;
+    cfg.pipeline = 8;
+    let report = simurgh_served::loadgen::run(&cfg);
+    handle.shutdown();
+    assert_eq!(report.protocol_errors, 0, "gateway burst must be protocol-clean");
+    report
 }
 
 /// The mixed metadata workload behind `paper obs` and `paper
@@ -468,9 +514,10 @@ pub fn bench_snapshot(scale: &Scale) -> String {
         .join(",");
 
     let region = Arc::new(PmemRegion::new(64 << 20));
-    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let fs = Arc::new(SimurghFs::format(region, SimurghConfig::default()).expect("format"));
     let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
     mixed_metadata_workload(&fs, rounds);
+    let gw = gateway_burst(&fs, 8, 50);
     let mut latency = Vec::new();
     for op in FsOp::ALL {
         let s = fs.obs().snapshot(op);
@@ -521,8 +568,10 @@ pub fn bench_snapshot(scale: &Scale) -> String {
          \"create_shared_kops\":{create_shared:.1},\
          \"rename_shared_kops\":{rename_shared:.1},\
          \"append_gibs\":{append:.3}}},\
+         \"gateway_loadgen\":{gateway},\
          \"registry\":{registry}}}",
-        latency = latency.join(",")
+        latency = latency.join(","),
+        gateway = gw.to_json()
     )
 }
 

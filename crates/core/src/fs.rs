@@ -414,6 +414,13 @@ impl SimurghFs {
         &self.obs
     }
 
+    /// Number of descriptors currently open across every owner id — the
+    /// gateway's reap tests assert this returns to zero after a client is
+    /// killed mid-pipeline.
+    pub fn open_count(&self) -> usize {
+        self.opens.len()
+    }
+
     /// One JSON document bundling every counter battery of this mount:
     /// latency histograms, directory and data-path probes, pmem traffic,
     /// execution-time breakdown and the fault injector (`paper obs --json`).

@@ -170,8 +170,17 @@ pub struct HistSnapshot {
     pub max_ns: u64,
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram. Public so out-of-crate recorders (the gateway
+    /// load generator measures client-side latency) can reuse the same
+    /// bucketing as the in-FS probes.
+    pub fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             max_ns: AtomicU64::new(0),
@@ -242,6 +251,90 @@ impl Drop for OpTimer<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Gateway counters
+// ---------------------------------------------------------------------------
+
+/// Counter battery of the `simurgh-served` gateway: connection lifecycle,
+/// admission control and batch-flush accounting. Owned by the
+/// [`ObsRegistry`] so `paper obs` reports a `gateway` section without any
+/// extra plumbing; the serving crate bumps these through
+/// `SimurghFs::obs()`. All fields are relaxed monotonic counters except
+/// [`in_flight`](Self::in_flight), which is a gauge.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: AtomicU64,
+    /// Connections closed, for any reason (client EOF, kill, timeout,
+    /// protocol error, shutdown).
+    pub disconnects: AtomicU64,
+    /// Gauge: ops decoded but not yet answered, across all connections.
+    pub in_flight: AtomicU64,
+    /// Ops dispatched into the file system (admission rejections excluded).
+    pub ops: AtomicU64,
+    /// Ops that shared a fence-scope flush with at least one pipelined
+    /// sibling — the gateway's group-commit win.
+    pub batched_ops: AtomicU64,
+    /// Batch flushes: one per drained pipeline burst (fence-scope commit).
+    pub flushes: AtomicU64,
+    /// Requests refused with `Busy` because the in-flight budget was spent.
+    pub admission_rejections: AtomicU64,
+    /// Descriptors force-closed when their connection died with fds open.
+    pub fds_reaped: AtomicU64,
+    /// Connections closed by the idle/half-open deadline.
+    pub idle_timeouts: AtomicU64,
+    /// Connections dropped for unparseable or oversized frames.
+    pub protocol_errors: AtomicU64,
+}
+
+impl GatewayStats {
+    /// An all-zero battery.
+    pub const fn new() -> Self {
+        GatewayStats {
+            connections: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
+            fds_reaped: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Relaxed `+1` on one counter (the gateway's hot-path increment).
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of one counter.
+    pub fn get(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// The `"gateway"` JSON object of [`ObsRegistry::to_json`].
+    pub fn to_json(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "{{\"connections\":{},\"disconnects\":{},\"in_flight\":{},\"ops\":{},\
+             \"batched_ops\":{},\"flushes\":{},\"admission_rejections\":{},\
+             \"fds_reaped\":{},\"idle_timeouts\":{},\"protocol_errors\":{}}}",
+            g(&self.connections),
+            g(&self.disconnects),
+            g(&self.in_flight),
+            g(&self.ops),
+            g(&self.batched_ops),
+            g(&self.flushes),
+            g(&self.admission_rejections),
+            g(&self.fds_reaped),
+            g(&self.idle_timeouts),
+            g(&self.protocol_errors),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -249,6 +342,9 @@ impl Drop for OpTimer<'_> {
 /// for every counter surface in the workspace.
 pub struct ObsRegistry {
     hists: [Histogram; FsOp::COUNT],
+    /// Serving-gateway counters (`simurgh-served`); zero when this mount
+    /// is not behind a daemon.
+    pub gateway: GatewayStats,
 }
 
 impl Default for ObsRegistry {
@@ -260,7 +356,10 @@ impl Default for ObsRegistry {
 impl ObsRegistry {
     /// An empty registry (all histograms zero).
     pub fn new() -> Self {
-        ObsRegistry { hists: std::array::from_fn(|_| Histogram::new()) }
+        ObsRegistry {
+            hists: std::array::from_fn(|_| Histogram::new()),
+            gateway: GatewayStats::new(),
+        }
     }
 
     /// Starts timing `op`; the returned guard records on drop.
@@ -332,7 +431,7 @@ impl ObsRegistry {
         );
         format!(
             "{{\"latency\":{},\"dir\":{},\"data\":{},\"pmem\":{},\"timers\":{},\
-             \"alloc_faults\":{},\"alloc\":{},\"lock\":{}}}",
+             \"alloc_faults\":{},\"alloc\":{},\"lock\":{},\"gateway\":{}}}",
             self.latency_json(),
             dir.to_json(),
             data.to_json(),
@@ -340,7 +439,8 @@ impl ObsRegistry {
             timers.to_json(),
             faults.to_json(),
             alloc,
-            lock.to_json()
+            lock.to_json(),
+            self.gateway.to_json()
         )
     }
 }

@@ -180,8 +180,17 @@ pub type TreeEntry = (String, crate::types::FileType, u64);
 /// A sharded open-file table mapping descriptors to per-open state.
 ///
 /// Implementations keep their own `T` (position, flags, inode handle).
-/// Descriptors are process-scoped: a descriptor returned to pid A is
-/// invisible to pid B, as with kernel fd tables.
+/// Descriptors are scoped by the `pid` word of the caller's [`ProcCtx`]: a
+/// descriptor returned to owner A is invisible to owner B, as with kernel
+/// fd tables.
+///
+/// **The scoping id must come from a trusted source.** In process that is
+/// the caller's own pid; over a wire it must be the *server-assigned*
+/// connection id, never an id the client supplied — a client choosing its
+/// own `pid` could name another connection's `(pid, fd)` keys and read or
+/// close descriptors it never opened (see `wire::Hello`/`wire::HelloOk`:
+/// requests carry no identity at all, so the collision is impossible by
+/// construction).
 pub struct OpenTable<T> {
     shards: Vec<RwLock<HashMap<(u32, u32), T>>>,
     next_fd: AtomicU32,

@@ -21,6 +21,8 @@ pub mod profile;
 pub mod reffs;
 /// Shared vocabulary types: modes, flags, stat, credentials.
 pub mod types;
+/// Serializable wire form of the trait: `Request`/`Response` + codec.
+pub mod wire;
 
 pub use error::{FsError, FsResult};
 pub use fs::{DirEntry, FileSystem, ProcCtx, TreeEntry};

@@ -1,0 +1,56 @@
+//! The server-side extension of `FileSystem`: pipeline batching and the
+//! gateway counter surface.
+
+use simurgh_core::obs::GatewayStats;
+use simurgh_core::SimurghFs;
+use simurgh_fsapi::reffs::RefFs;
+use simurgh_fsapi::FileSystem;
+
+/// Counters for file systems that do not carry an `ObsRegistry` (the
+/// in-memory reference oracle in conformance tests).
+static FALLBACK_STATS: GatewayStats = GatewayStats::new();
+
+/// A file system the gateway can serve: `FileSystem` plus two hooks the
+/// wire front end needs — a persistence batch around a drained pipeline
+/// burst and the counter battery to report into.
+///
+/// The default implementations are no-ops, so any `FileSystem` is
+/// servable; `SimurghFs` overrides both to coalesce the burst's fences
+/// into one [`FenceScope`] and to surface the daemon's counters through
+/// `paper obs`.
+///
+/// [`FenceScope`]: simurgh_pmem::region::FenceScope
+pub trait Served: FileSystem + 'static {
+    /// Runs `f` — every op of one drained pipeline burst — under one
+    /// persistence batch. Implementations may defer intermediate fences
+    /// to the end of the batch, but each op's own commit points must keep
+    /// their program order (crash states remain a subset of the eager
+    /// ones; see the group-commit notes in DESIGN.md §4.6).
+    fn with_batch<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// The gateway counter battery the server reports into.
+    fn gateway_stats(&self) -> &GatewayStats {
+        &FALLBACK_STATS
+    }
+}
+
+impl Served for RefFs {}
+
+impl Served for SimurghFs {
+    /// One fence scope around the whole burst: persists inside stage
+    /// their clwbs and elide per-op sfences into the commit below. Inner
+    /// scopes opened by individual ops nest (their commits fence
+    /// eagerly), so ordering boundaries inside an op are untouched.
+    fn with_batch<R>(&self, f: impl FnOnce() -> R) -> R {
+        let scope = self.region().fence_scope();
+        let r = f();
+        scope.commit();
+        r
+    }
+
+    fn gateway_stats(&self) -> &GatewayStats {
+        &self.obs().gateway
+    }
+}

@@ -1,0 +1,56 @@
+//! The gateway load generator: hundreds of client connections against a
+//! running `simurgh-served`, reporting throughput and client-observed
+//! p50/p99 latency as one JSON object (schema in EXPERIMENTS.md).
+//!
+//! ```text
+//! loadgen --socket /tmp/simurgh.sock --connections 256 [--ops 200]
+//!         [--pipeline 8] [--payload 1024] [--mix pwrite=4,pread=4,create=1,stat=1]
+//!         [--seed 7]
+//! ```
+//!
+//! Exit status is nonzero if any protocol error occurred — the gateway's
+//! acceptance bar is zero.
+
+use simurgh_served::LoadgenConfig;
+use simurgh_workloads::gateway::OpMix;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: loadgen --socket PATH [--connections N] [--ops N] [--pipeline N] \
+             [--payload BYTES] [--mix op=w,op=w,...] [--seed N]"
+        );
+        return;
+    }
+    let socket = flag(&args, "--socket").unwrap_or_else(|| "/tmp/simurgh.sock".into());
+    let mut cfg = LoadgenConfig::new(socket);
+    if let Some(v) = flag(&args, "--connections") {
+        cfg.connections = v.parse().expect("--connections takes a number");
+    }
+    if let Some(v) = flag(&args, "--ops") {
+        cfg.ops_per_conn = v.parse().expect("--ops takes a number");
+    }
+    if let Some(v) = flag(&args, "--pipeline") {
+        cfg.pipeline = v.parse::<usize>().expect("--pipeline takes a number").max(1);
+    }
+    if let Some(v) = flag(&args, "--payload") {
+        cfg.payload = v.parse().expect("--payload takes bytes");
+    }
+    if let Some(v) = flag(&args, "--mix") {
+        cfg.mix = OpMix::parse(&v).expect("valid --mix spec");
+    }
+    if let Some(v) = flag(&args, "--seed") {
+        cfg.seed = v.parse().expect("--seed takes a number");
+    }
+
+    let report = simurgh_served::loadgen::run(&cfg);
+    println!("{}", report.to_json());
+    if report.protocol_errors > 0 || report.connections_ok != report.connections {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! The gateway daemon: owns a file-backed region (formatting it on first
+//! run, shared-mounting it afterwards) and serves the full `FileSystem`
+//! surface on a Unix socket until killed.
+//!
+//! ```text
+//! simurgh-served --socket /tmp/simurgh.sock --region /tmp/simurgh.img \
+//!                [--size 268435456] [--shards 4] \
+//!                [--max-in-flight 1024] [--idle-timeout-ms 30000]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simurgh_core::{SimurghConfig, SimurghFs};
+use simurgh_pmem::region::RegionBuilder;
+use simurgh_served::{Server, ServerConfig};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: simurgh-served --socket PATH --region PATH [--size BYTES] \
+             [--shards N] [--max-in-flight N] [--idle-timeout-ms MS]"
+        );
+        return;
+    }
+    let socket = flag(&args, "--socket").unwrap_or_else(|| "/tmp/simurgh.sock".into());
+    let region_path = flag(&args, "--region").unwrap_or_else(|| "/tmp/simurgh.img".into());
+    let size: usize = flag(&args, "--size")
+        .map(|v| v.parse().expect("--size takes bytes"))
+        .unwrap_or(256 << 20);
+
+    let fresh = !std::path::Path::new(&region_path).exists();
+    let region = if fresh {
+        Arc::new(
+            RegionBuilder::new(size)
+                .file(&region_path)
+                .build()
+                .expect("create region file"),
+        )
+    } else {
+        Arc::new(RegionBuilder::open_file(&region_path).build().expect("open region file"))
+    };
+    if fresh {
+        // Format writes the superblock; the serving instance below is a
+        // proper shared mount like any other attaching process.
+        drop(SimurghFs::format(Arc::clone(&region), SimurghConfig::default()).expect("format"));
+    }
+    let fs = Arc::new(
+        SimurghFs::mount_shared(region, SimurghConfig::default()).expect("mount_shared"),
+    );
+
+    let mut cfg = ServerConfig::new(&socket);
+    if let Some(n) = flag(&args, "--shards") {
+        cfg.shards = n.parse().expect("--shards takes a number");
+    }
+    if let Some(n) = flag(&args, "--max-in-flight") {
+        cfg.max_in_flight = n.parse().expect("--max-in-flight takes a number");
+    }
+    if let Some(ms) = flag(&args, "--idle-timeout-ms") {
+        cfg.idle_timeout =
+            Duration::from_millis(ms.parse().expect("--idle-timeout-ms takes milliseconds"));
+    }
+
+    let handle = Server::start(Arc::clone(&fs), cfg).expect("start server");
+    eprintln!(
+        "simurgh-served: pid {} serving {} on {} ({} mount)",
+        std::process::id(),
+        region_path,
+        handle.socket().display(),
+        if fresh { "fresh" } else { "shared" },
+    );
+    // Serve until killed; the region is crash-consistent by construction,
+    // so a later shared mount recovers whatever a kill left behind.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,396 @@
+//! The wire-level load generator: N client connections hammering a
+//! running daemon with a weighted op mix, measuring client-observed
+//! latency through the same log2 histogram the in-FS probes use.
+//!
+//! Each connection runs pipelined rounds: a burst of requests goes out in
+//! one write, then the replies are read back in order. `Busy` pushback is
+//! obeyed — the refused request is retried in the next round and counted
+//! separately from errors. Any framing, shape or handshake violation is a
+//! *protocol error*; the acceptance bar for the gateway is zero of them.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use simurgh_core::obs::{HistSnapshot, Histogram};
+use simurgh_fsapi::wire::{self, Hello, HelloOk, Request, Response, PROTOCOL_VERSION};
+use simurgh_fsapi::{Credentials, Fd, FileMode, OpenFlags};
+use simurgh_workloads::gateway::{GatewayOp, OpMix};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon socket to connect to.
+    pub socket: PathBuf,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Ops each connection issues (excluding setup and retries).
+    pub ops_per_conn: usize,
+    /// Requests per pipelined burst.
+    pub pipeline: usize,
+    /// Weighted op mix sampled per request.
+    pub mix: OpMix,
+    /// Bytes per `pwrite` payload / `pread` span.
+    pub payload: usize,
+    /// Seed for the per-connection RNGs (connection index is mixed in).
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// Defaults: 64 connections × 200 ops, pipeline depth 8, 1 KiB
+    /// payloads, the default mix.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        LoadgenConfig {
+            socket: socket.into(),
+            connections: 64,
+            ops_per_conn: 200,
+            pipeline: 8,
+            mix: OpMix::default_mix(),
+            payload: 1024,
+            seed: 0x5349,
+        }
+    }
+}
+
+/// Aggregate result of a run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Connections that completed their op budget.
+    pub connections_ok: usize,
+    /// Connections configured.
+    pub connections: usize,
+    /// Ops acknowledged by the server (any non-Busy reply).
+    pub ops: u64,
+    /// Replies carrying an `FsError` (visible failures, not wire faults).
+    pub fs_errors: u64,
+    /// Framing / shape / handshake violations — must be zero.
+    pub protocol_errors: u64,
+    /// `Busy` pushbacks obeyed and retried.
+    pub busy_retries: u64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Client-observed per-op latency (burst send → reply decoded).
+    pub latency: HistSnapshot,
+}
+
+impl LoadgenReport {
+    /// Acknowledged ops per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The report as one JSON object (schema documented in
+    /// EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"connections\":{},\"connections_ok\":{},\"ops\":{},",
+                "\"fs_errors\":{},\"protocol_errors\":{},\"busy_retries\":{},",
+                "\"elapsed_ms\":{},\"throughput_ops_s\":{:.0},",
+                "\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}"
+            ),
+            self.connections,
+            self.connections_ok,
+            self.ops,
+            self.fs_errors,
+            self.protocol_errors,
+            self.busy_retries,
+            self.elapsed.as_millis(),
+            self.throughput(),
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.latency.max_ns,
+        )
+    }
+}
+
+/// Expected reply shape of an issued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Unit,
+    Fd,
+    Size,
+    Data,
+    Stat,
+    Entries,
+}
+
+fn shape_ok(e: Expect, r: &Response) -> bool {
+    matches!(
+        (e, r),
+        (_, Response::Err(_))
+            | (Expect::Unit, Response::Unit)
+            | (Expect::Fd, Response::Fd(_))
+            | (Expect::Size, Response::Size(_))
+            | (Expect::Data, Response::Data(_))
+            | (Expect::Stat, Response::Stat(_))
+            | (Expect::Entries, Response::Entries(_))
+    )
+}
+
+/// Shared tallies, bumped relaxed from every connection thread.
+#[derive(Default)]
+struct Tallies {
+    ops: AtomicU64,
+    fs_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy_retries: AtomicU64,
+    conns_ok: AtomicU64,
+}
+
+/// Runs the full load against `cfg.socket`, one thread per connection
+/// (client-side threads are fine — the daemon under test is the thing
+/// that must not spend a thread per connection).
+pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
+    let hist = Histogram::new();
+    let tallies = Tallies::default();
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for i in 0..cfg.connections {
+            let (hist, tallies) = (&hist, &tallies);
+            s.spawn(move || {
+                match drive_connection(cfg, i, hist, tallies) {
+                    Ok(()) => {
+                        tallies.conns_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("loadgen: connection {i} failed: {e}");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    LoadgenReport {
+        connections_ok: tallies.conns_ok.load(Ordering::Relaxed) as usize,
+        connections: cfg.connections,
+        ops: tallies.ops.load(Ordering::Relaxed),
+        fs_errors: tallies.fs_errors.load(Ordering::Relaxed),
+        protocol_errors: tallies.protocol_errors.load(Ordering::Relaxed),
+        busy_retries: tallies.busy_retries.load(Ordering::Relaxed),
+        elapsed,
+        latency: hist.snapshot(),
+    }
+}
+
+/// A framed, shape-checked client connection.
+struct Client {
+    stream: UnixStream,
+    rd: Vec<u8>,
+}
+
+impl Client {
+    fn connect(cfg: &LoadgenConfig) -> io::Result<(Client, u32)> {
+        let stream = UnixStream::connect(&cfg.socket)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let mut c = Client { stream, rd: Vec::new() };
+        let hello = Hello { version: PROTOCOL_VERSION, creds: Credentials::ROOT };
+        c.stream.write_all(&wire::frame(&hello.encode()))?;
+        let body = c.next_frame()?;
+        let ok = HelloOk::decode(&body).map_err(bad_wire)?;
+        if ok.version != PROTOCOL_VERSION {
+            return Err(bad_wire("server speaks a different protocol version"));
+        }
+        Ok((c, ok.conn_id))
+    }
+
+    /// Reads until one complete frame is buffered and returns its body.
+    fn next_frame(&mut self) -> io::Result<Vec<u8>> {
+        let mut tmp = [0u8; 16384];
+        loop {
+            if let Some((used, body)) = wire::split_frame(&self.rd).map_err(bad_wire)? {
+                let body = body.to_vec();
+                self.rd.drain(..used);
+                return Ok(body);
+            }
+            let n = self.stream.read(&mut tmp)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.rd.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// Sends one burst in a single write.
+    fn send_burst(&mut self, reqs: &[(Request, Expect)]) -> io::Result<()> {
+        let mut out = Vec::new();
+        for (req, _) in reqs {
+            out.extend_from_slice(&wire::frame(&req.encode()));
+        }
+        self.stream.write_all(&out)
+    }
+}
+
+fn bad_wire(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Per-connection namespace and op synthesis state.
+struct ConnState {
+    dir: String,
+    data_fd: Fd,
+    /// Names created and not yet unlinked.
+    created: Vec<String>,
+    /// Fds returned by `create` ops, closed in the next burst.
+    to_close: Vec<Fd>,
+    next_name: u64,
+    file_span: u64,
+}
+
+impl ConnState {
+    fn synthesize(
+        &mut self,
+        op: GatewayOp,
+        payload: usize,
+        rng: &mut StdRng,
+    ) -> (Request, Expect) {
+        match op {
+            GatewayOp::Pwrite => {
+                let off = rng.random_range(0..self.file_span);
+                let data = vec![(off as u8) ^ 0x5a; payload];
+                (Request::Pwrite { fd: self.data_fd, data, off }, Expect::Size)
+            }
+            GatewayOp::Pread => {
+                let off = rng.random_range(0..self.file_span);
+                (Request::Pread { fd: self.data_fd, len: payload as u32, off }, Expect::Data)
+            }
+            GatewayOp::Create => {
+                let name = format!("{}/f{}", self.dir, self.next_name);
+                self.next_name += 1;
+                self.created.push(name.clone());
+                (Request::Create { path: name, mode: FileMode::default() }, Expect::Fd)
+            }
+            GatewayOp::Stat => {
+                (Request::Stat { path: format!("{}/data", self.dir) }, Expect::Stat)
+            }
+            GatewayOp::Readdir => {
+                (Request::Readdir { path: self.dir.clone() }, Expect::Entries)
+            }
+            GatewayOp::Unlink => match self.created.pop() {
+                Some(name) => (Request::Unlink { path: name }, Expect::Unit),
+                // Nothing to unlink yet — stat instead so the op budget
+                // still advances.
+                None => (Request::Stat { path: format!("{}/data", self.dir) }, Expect::Stat),
+            },
+        }
+    }
+}
+
+fn drive_connection(
+    cfg: &LoadgenConfig,
+    index: usize,
+    hist: &Histogram,
+    tallies: &Tallies,
+) -> io::Result<()> {
+    let (mut client, conn_id) = Client::connect(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e37_79b9));
+    let dir = format!("/lgen/c{conn_id}");
+    // Setup burst: parent dir (first winner creates it, the rest see
+    // AlreadyExists — both fine), own dir, working file.
+    let setup: Vec<(Request, Expect)> = vec![
+        (Request::Mkdir { path: "/lgen".into(), mode: FileMode::default() }, Expect::Unit),
+        (Request::Mkdir { path: dir.clone(), mode: FileMode::default() }, Expect::Unit),
+        (
+            Request::Open {
+                path: format!("{dir}/data"),
+                flags: OpenFlags {
+                    read: true,
+                    write: true,
+                    create: true,
+                    excl: false,
+                    truncate: false,
+                    append: false,
+                },
+                mode: FileMode::default(),
+            },
+            Expect::Fd,
+        ),
+    ];
+    client.send_burst(&setup)?;
+    let mut data_fd = None;
+    for (i, (_, expect)) in setup.iter().enumerate() {
+        let body = client.next_frame()?;
+        let resp = Response::decode(&body).map_err(bad_wire)?;
+        if !shape_ok(*expect, &resp) {
+            return Err(bad_wire(format!("setup reply {i} has wrong shape: {resp:?}")));
+        }
+        match resp {
+            Response::Fd(fd) => data_fd = Some(fd),
+            Response::Err(e) if i == 2 => {
+                return Err(bad_wire(format!("cannot open working file: {e}")));
+            }
+            _ => {}
+        }
+    }
+    let data_fd = data_fd.ok_or_else(|| bad_wire("no fd from setup"))?;
+    let mut st = ConnState {
+        dir,
+        data_fd,
+        created: Vec::new(),
+        to_close: Vec::new(),
+        next_name: 0,
+        file_span: 64 * 1024,
+    };
+
+    let mut remaining = cfg.ops_per_conn;
+    let mut retry: Vec<(Request, Expect)> = Vec::new();
+    while remaining > 0 || !retry.is_empty() || !st.to_close.is_empty() {
+        let mut burst: Vec<(Request, Expect)> = Vec::new();
+        for fd in st.to_close.drain(..) {
+            burst.push((Request::Close { fd }, Expect::Unit));
+        }
+        burst.append(&mut retry);
+        while burst.len() < cfg.pipeline && remaining > 0 {
+            let op = cfg.mix.sample(&mut rng);
+            burst.push(st.synthesize(op, cfg.payload, &mut rng));
+            remaining -= 1;
+        }
+        if burst.is_empty() {
+            break;
+        }
+        let sent = Instant::now();
+        client.send_burst(&burst)?;
+        for (req, expect) in burst {
+            let body = client.next_frame()?;
+            let resp = Response::decode(&body).map_err(bad_wire)?;
+            hist.record(sent.elapsed().as_nanos() as u64);
+            if let Response::Busy { .. } = resp {
+                tallies.busy_retries.fetch_add(1, Ordering::Relaxed);
+                retry.push((req, expect));
+                continue;
+            }
+            if !shape_ok(expect, &resp) {
+                return Err(bad_wire(format!("reply shape mismatch for {req:?}: {resp:?}")));
+            }
+            tallies.ops.fetch_add(1, Ordering::Relaxed);
+            match resp {
+                Response::Err(_) => {
+                    tallies.fs_errors.fetch_add(1, Ordering::Relaxed);
+                    // The created-name bookkeeping is best-effort; an
+                    // errored create must not be unlinked later.
+                    if let Request::Create { path, .. } = &req {
+                        st.created.retain(|n| n != path);
+                    }
+                }
+                Response::Fd(fd) => st.to_close.push(fd),
+                _ => {}
+            }
+        }
+    }
+    // Graceful teardown: close the working file.
+    let bye = [(Request::Close { fd: st.data_fd }, Expect::Unit)];
+    client.send_burst(&bye)?;
+    let body = client.next_frame()?;
+    let resp = Response::decode(&body).map_err(bad_wire)?;
+    if !shape_ok(Expect::Unit, &resp) {
+        return Err(bad_wire(format!("close reply has wrong shape: {resp:?}")));
+    }
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Minimal `epoll` FFI, in the same spirit as the `mmap` shim in
+//! `simurgh-pmem`: std already links libc, so the three syscall wrappers
+//! the event loop needs are declared directly instead of pulling in the
+//! `libc` crate. Linux-only, like the region mapping underneath.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable event / interest bit.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable event / interest bit (armed only while a reply is queued).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (half-open detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// One `struct epoll_event`. Packed to match the x86-64 kernel ABI (the
+/// architecture this reproduction targets, like the mmap shim).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready/interest bit set.
+    pub events: u32,
+    /// Caller-chosen token (the connection id here).
+    pub data: u64,
+}
+
+extern "C" {
+    /// libc `epoll_create1`.
+    fn epoll_create1(flags: i32) -> i32;
+    /// libc `epoll_ctl`.
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    /// libc `epoll_wait`.
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    /// libc `close`.
+    fn close(fd: i32) -> i32;
+}
+
+/// A new close-on-exec epoll instance.
+pub fn create() -> io::Result<RawFd> {
+    // SAFETY: no pointers cross the boundary; the kernel returns a fresh
+    // fd or -1.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(fd)
+    }
+}
+
+fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data: token };
+    // SAFETY: `ev` outlives the call; the kernel copies it before
+    // returning. DEL ignores the event pointer on modern kernels but a
+    // valid one is passed anyway for pre-2.6.9 semantics.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+/// Registers `fd` with the given interest set under `token`.
+pub fn add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+/// Changes the interest set of an already-registered `fd`.
+pub fn modify(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+/// Removes `fd` from the interest list.
+pub fn del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Blocks up to `timeout_ms` for ready events, filling `events` and
+/// returning how many are valid. A zero return is a tick (timeout).
+pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `events` is a valid writable buffer of `events.len()`
+    // entries for the duration of the call.
+    let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+    if n < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        Err(e)
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Closes an fd owned by this module (the epoll instance itself).
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: called once per fd returned by `create`; double-close is
+    // excluded by ownership in `Shard`.
+    unsafe {
+        close(fd);
+    }
+}

@@ -1,0 +1,164 @@
+//! Operation mixes for the gateway load generator.
+//!
+//! `loadgen` stresses the wire protocol rather than the media, so its op
+//! mix is a small weighted alphabet over the remote [`FileSystem`]
+//! surface instead of a full workload personality. A mix is written as
+//! `"pwrite=4,pread=4,create=1,stat=1"` on the command line and sampled
+//! per request.
+//!
+//! [`FileSystem`]: simurgh_fsapi::FileSystem
+
+use rand::RngExt;
+
+/// One operation kind the load generator can issue over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayOp {
+    /// `pwrite` a payload at a random offset of a per-connection file.
+    Pwrite,
+    /// `pread` a span back from the same file.
+    Pread,
+    /// `create` + `close` a fresh file in the connection's directory.
+    Create,
+    /// `stat` the connection's working file.
+    Stat,
+    /// `readdir` the connection's directory.
+    Readdir,
+    /// `unlink` a previously created file (no-op error if none is left —
+    /// the generator counts that as a served op, not a failure).
+    Unlink,
+}
+
+impl GatewayOp {
+    /// All kinds, in the spec's canonical order.
+    pub const ALL: [GatewayOp; 6] = [
+        GatewayOp::Pwrite,
+        GatewayOp::Pread,
+        GatewayOp::Create,
+        GatewayOp::Stat,
+        GatewayOp::Readdir,
+        GatewayOp::Unlink,
+    ];
+
+    /// The spelling used in mix specs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GatewayOp::Pwrite => "pwrite",
+            GatewayOp::Pread => "pread",
+            GatewayOp::Create => "create",
+            GatewayOp::Stat => "stat",
+            GatewayOp::Readdir => "readdir",
+            GatewayOp::Unlink => "unlink",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        GatewayOp::ALL.into_iter().find(|op| op.name() == s)
+    }
+}
+
+/// A weighted mix of [`GatewayOp`]s, sampled per wire request.
+#[derive(Debug, Clone)]
+pub struct OpMix {
+    weights: Vec<(GatewayOp, u32)>,
+    total: u32,
+}
+
+impl OpMix {
+    /// The default mix: write-heavy with metadata seasoning —
+    /// `pwrite=4,pread=4,create=1,stat=1`.
+    pub fn default_mix() -> Self {
+        OpMix::parse("pwrite=4,pread=4,create=1,stat=1").expect("default mix parses")
+    }
+
+    /// Parses `"op=weight,op=weight,…"`. Unknown ops, zero weights and
+    /// malformed entries are errors; duplicate ops accumulate.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut weights: Vec<(GatewayOp, u32)> = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, w) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed mix entry {part:?} (want op=weight)"))?;
+            let op = GatewayOp::from_name(name.trim())
+                .ok_or_else(|| format!("unknown op {name:?} in mix"))?;
+            let w: u32 = w
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad weight {w:?} for {name}"))?;
+            if w == 0 {
+                return Err(format!("zero weight for {name} (drop the entry instead)"));
+            }
+            match weights.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, acc)) => *acc += w,
+                None => weights.push((op, w)),
+            }
+        }
+        let total: u32 = weights.iter().map(|(_, w)| w).sum();
+        if total == 0 {
+            return Err("empty op mix".into());
+        }
+        Ok(OpMix { weights, total })
+    }
+
+    /// Draws one op according to the weights.
+    pub fn sample(&self, rng: &mut impl RngExt) -> GatewayOp {
+        let mut ticket = rng.random_range(0..self.total);
+        for &(op, w) in &self.weights {
+            if ticket < w {
+                return op;
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket bounded by total weight")
+    }
+
+    /// The normalized spec string (weights in parse order).
+    pub fn spec(&self) -> String {
+        self.weights
+            .iter()
+            .map(|(op, w)| format!("{}={w}", op.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let mix = OpMix::parse("pwrite=4, pread=4,create=1,stat=1").unwrap();
+        assert_eq!(mix.spec(), "pwrite=4,pread=4,create=1,stat=1");
+        assert_eq!(OpMix::default_mix().spec(), mix.spec());
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mix = OpMix::parse("pread=1,pread=2").unwrap();
+        assert_eq!(mix.spec(), "pread=3");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(OpMix::parse("").is_err());
+        assert!(OpMix::parse("fly=1").is_err());
+        assert!(OpMix::parse("pread").is_err());
+        assert!(OpMix::parse("pread=0").is_err());
+        assert!(OpMix::parse("pread=x").is_err());
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mix = OpMix::parse("pwrite=9,stat=1").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut writes = 0u32;
+        for _ in 0..10_000 {
+            if mix.sample(&mut rng) == GatewayOp::Pwrite {
+                writes += 1;
+            }
+        }
+        assert!((8500..=9500).contains(&writes), "≈90% writes, got {writes}");
+    }
+}

@@ -15,10 +15,13 @@
 //! * [`tar`] — pack/unpack of a tree into/from one archive file;
 //! * [`git`] — a content-addressed object store modelling git add/commit/
 //!   reset;
+//! * [`gateway`] — weighted op mixes for the wire-protocol load
+//!   generator in `simurgh-served`;
 //! * [`runner`] — the multi-"process" measurement harness shared by all.
 
 pub mod filebench;
 pub mod fxmark;
+pub mod gateway;
 pub mod git;
 pub mod minikv;
 pub mod runner;

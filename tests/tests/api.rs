@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use simurgh_fsapi::wire;
 use simurgh_fsapi::{FileMode, FileSystem, FsError, OpenFlags, ProcCtx, SeekFrom};
 use simurgh_pmem::PmemRegion;
 use simurgh_tests::simurgh;
@@ -175,6 +176,75 @@ fn fs_errors_surface_as_real_errno_values() {
     assert_eq!(e.errno(), 17, "EEXIST");
     let e = fs.readdir(&CTX, "/f").unwrap_err();
     assert_eq!(e.errno(), 20, "ENOTDIR");
+}
+
+// ---------------------------------------------------------------------------
+// FsError wire codec: encode → decode → encode is a fixed point
+// ---------------------------------------------------------------------------
+
+/// Detail strings the payload-carrying variants are sampled with.
+const WIRE_DETAILS: [&str; 4] = ["", "bad superblock magic", "torn rename log", "prop-detail"];
+
+/// Index → variant, covering all 14 declared variants and both
+/// payload-carrying ones under each sampled detail string.
+fn fs_error_from_index(i: usize) -> FsError {
+    match i {
+        0 => FsError::NotFound,
+        1 => FsError::Exists,
+        2 => FsError::NotDir,
+        3 => FsError::IsDir,
+        4 => FsError::NotEmpty,
+        5 => FsError::Access,
+        6 => FsError::NoSpace,
+        7 => FsError::BadFd,
+        8 => FsError::NameTooLong,
+        9 => FsError::Invalid,
+        10 => FsError::TooManyLinks,
+        11 => FsError::Unsupported,
+        12..=15 => FsError::Corrupt(WIRE_DETAILS[i - 12]),
+        _ => FsError::Injected(WIRE_DETAILS[(i - 16) % WIRE_DETAILS.len()]),
+    }
+}
+
+#[test]
+fn every_fs_error_variant_survives_the_wire() {
+    for i in 0..20 {
+        let e = fs_error_from_index(i);
+        let back = wire::err_round_trip(&e).expect("decodes");
+        assert_eq!(back, e, "wire round-trip is identity for {e:?}");
+    }
+}
+
+proptest::proptest! {
+    /// Encode → decode → encode is byte-stable and semantics-preserving
+    /// for every declared variant.
+    #[test]
+    fn fs_error_wire_codec_is_stable(i in 0usize..20) {
+        let e = fs_error_from_index(i);
+        let b1 = wire::err_bytes(&e);
+        let d = wire::err_from_bytes(&b1).expect("decodes");
+        let b2 = wire::err_bytes(&d);
+        proptest::prop_assert_eq!(&b1, &b2, "byte-stable for {:?}", e);
+        proptest::prop_assert_eq!(&d, &e, "value-stable for {:?}", e);
+    }
+
+    /// The `#[non_exhaustive]` catch-all: a tag-255 frame from a future
+    /// peer (arbitrary errno + rendering) decodes to a known variant, and
+    /// from there the codec is a fixed point — version skew degrades the
+    /// variant, never the errno.
+    #[test]
+    fn fs_error_catch_all_tag_is_stable(errno in 1u32..200, msg_i in 0usize..4) {
+        let mut body = vec![255u8];
+        body.extend_from_slice(&errno.to_le_bytes());
+        let msg = WIRE_DETAILS[msg_i].as_bytes();
+        body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        body.extend_from_slice(msg);
+        let d1 = wire::err_from_bytes(&body).expect("catch-all decodes");
+        let d2 = wire::err_from_bytes(&wire::err_bytes(&d1)).expect("re-decodes");
+        proptest::prop_assert_eq!(&d2, &d1, "fixed point after first decode");
+        let expect: FsError = std::io::Error::from_raw_os_error(errno as i32).into();
+        proptest::prop_assert_eq!(d1.errno(), expect.errno(), "errno preserved");
+    }
 }
 
 // ---------------------------------------------------------------------------

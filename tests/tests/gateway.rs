@@ -1,0 +1,284 @@
+//! Gateway robustness: the in-process daemon under concurrent clients,
+//! a client killed mid-pipeline, fd-forgery attempts, admission
+//! pushback, and idle reaping. Tier-1 — these run in `cargo test -q`.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simurgh_core::check::check;
+use simurgh_core::SimurghFs;
+use simurgh_fsapi::wire::{self, Hello, HelloOk, Request, Response, PROTOCOL_VERSION};
+use simurgh_fsapi::{Credentials, Fd, FileMode, FsError, OpenFlags};
+use simurgh_served::{Server, ServerConfig, ServerHandle};
+use simurgh_tests::simurgh;
+
+/// A unique abstract-enough socket path per test.
+fn sock_path(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sg-gw-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+fn start(tag: &str, cfg_tune: impl FnOnce(&mut ServerConfig)) -> (Arc<SimurghFs>, ServerHandle) {
+    let fs = Arc::new(simurgh(96 << 20));
+    let mut cfg = ServerConfig::new(sock_path(tag));
+    cfg.shards = 2;
+    cfg_tune(&mut cfg);
+    let handle = Server::start(Arc::clone(&fs), cfg).expect("server starts");
+    (fs, handle)
+}
+
+/// Minimal test client: framed I/O plus the handshake.
+struct Client {
+    stream: UnixStream,
+    rd: Vec<u8>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> (Client, u32) {
+        let stream = UnixStream::connect(handle.socket()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut c = Client { stream, rd: Vec::new() };
+        let hello = Hello { version: PROTOCOL_VERSION, creds: Credentials::ROOT };
+        c.stream.write_all(&wire::frame(&hello.encode())).unwrap();
+        let ok = HelloOk::decode(&c.next_frame()).expect("hello-ok");
+        assert_eq!(ok.version, PROTOCOL_VERSION);
+        (c, ok.conn_id)
+    }
+
+    fn next_frame(&mut self) -> Vec<u8> {
+        let mut tmp = [0u8; 8192];
+        loop {
+            if let Some((used, body)) = wire::split_frame(&self.rd).expect("well-framed") {
+                let body = body.to_vec();
+                self.rd.drain(..used);
+                return body;
+            }
+            let n = self.stream.read(&mut tmp).expect("read");
+            assert!(n > 0, "server closed the connection unexpectedly");
+            self.rd.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// Sends all requests in one write, returns all responses in order.
+    fn round(&mut self, reqs: &[Request]) -> Vec<Response> {
+        let mut out = Vec::new();
+        for r in reqs {
+            out.extend_from_slice(&wire::frame(&r.encode()));
+        }
+        self.stream.write_all(&out).unwrap();
+        reqs.iter()
+            .map(|_| Response::decode(&self.next_frame()).expect("decodes"))
+            .collect()
+    }
+
+    fn expect_fd(&mut self, req: Request) -> Fd {
+        match self.round(&[req]).remove(0) {
+            Response::Fd(fd) => fd,
+            other => panic!("expected fd, got {other:?}"),
+        }
+    }
+}
+
+fn rw() -> OpenFlags {
+    OpenFlags { read: true, write: true, create: true, excl: false, truncate: false, append: false }
+}
+
+/// ISSUE acceptance: ≥8 concurrent connections, one client killed
+/// mid-pipeline; the server must reap its fd table and the region must
+/// fsck clean afterwards.
+#[test]
+fn killed_client_is_reaped_and_region_stays_clean() {
+    let (fs, handle) = start("kill", |_| {});
+    let n_conns = 10usize;
+
+    std::thread::scope(|s| {
+        for i in 0..n_conns {
+            let handle = &handle;
+            s.spawn(move || {
+                let (mut c, id) = Client::connect(handle);
+                let dir = format!("/k{id}");
+                c.round(&[Request::Mkdir { path: dir.clone(), mode: FileMode::dir(0o755) }]);
+                let fd = c.expect_fd(Request::Open {
+                    path: format!("{dir}/data"),
+                    flags: rw(),
+                    mode: FileMode::default(),
+                });
+                if i == 0 {
+                    // The victim: leave the fd open, push half a frame so
+                    // the server is mid-pipeline, then die without Close.
+                    let full = wire::frame(
+                        &Request::Pwrite { fd, data: vec![7u8; 4096], off: 0 }.encode(),
+                    );
+                    c.stream.write_all(&full[..full.len() / 2]).unwrap();
+                    drop(c);
+                    return;
+                }
+                for round in 0..8u64 {
+                    let reqs = vec![
+                        Request::Pwrite { fd, data: vec![i as u8; 1024], off: round * 1024 },
+                        Request::Pread { fd, len: 1024, off: round * 1024 },
+                        Request::Fstat { fd },
+                    ];
+                    for (j, resp) in c.round(&reqs).into_iter().enumerate() {
+                        assert!(
+                            !matches!(resp, Response::Err(_) | Response::Busy { .. }),
+                            "conn {i} round {round} reply {j}: {resp:?}"
+                        );
+                    }
+                }
+                c.round(&[Request::Close { fd }]);
+            });
+        }
+    });
+
+    // The victim's disconnect is detected by the shard loop's next tick;
+    // poll until its descriptor is reaped.
+    let stats = &fs.obs().gateway;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fs.open_count() > 0 {
+        assert!(Instant::now() < deadline, "victim fd never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        stats.fds_reaped.load(Ordering::Relaxed) >= 1,
+        "server closed the victim's abandoned descriptor"
+    );
+    handle.shutdown();
+    let report = check(&fs, true);
+    assert!(report.is_clean(), "region fsck-clean after client kill: {:?}", report.violations);
+}
+
+/// Regression for the identity redesign: descriptors are scoped by the
+/// *server-assigned* connection id, so one connection cannot close (or
+/// use) another's fd, even if it guesses the number.
+#[test]
+fn foreign_fd_is_rejected_across_connections() {
+    let (fs, handle) = start("forge", |_| {});
+    let (mut a, _) = Client::connect(&handle);
+    let (mut b, _) = Client::connect(&handle);
+
+    let fd = a.expect_fd(Request::Open {
+        path: "/victim".into(),
+        flags: rw(),
+        mode: FileMode::default(),
+    });
+    // B forges A's fd: every descriptor op must bounce with BadFd.
+    for req in [
+        Request::Close { fd },
+        Request::Pwrite { fd, data: b"evil".to_vec(), off: 0 },
+        Request::Fstat { fd },
+    ] {
+        match b.round(&[req]).remove(0) {
+            Response::Err(e) => assert_eq!(e.errno(), FsError::BadFd.errno(), "got {e:?}"),
+            other => panic!("foreign fd accepted: {other:?}"),
+        }
+    }
+    // A's descriptor still works after the forgery attempts.
+    let r = a.round(&[Request::Pwrite { fd, data: b"mine".to_vec(), off: 0 }]);
+    assert!(matches!(r[0], Response::Size(4)), "owner unaffected: {:?}", r[0]);
+    a.round(&[Request::Close { fd }]);
+
+    drop((a, b));
+    handle.shutdown();
+    assert_eq!(fs.open_count(), 0, "all descriptors reaped at shutdown");
+}
+
+/// Admission control: with a tiny in-flight budget, an oversized burst
+/// gets typed `Busy` pushback in-order, and retrying drains the backlog.
+#[test]
+fn oversized_burst_gets_ordered_busy_pushback() {
+    let (fs, handle) = start("busy", |cfg| cfg.max_in_flight = 4);
+    let (mut c, _) = Client::connect(&handle);
+    c.round(&[Request::Mkdir { path: "/b".into(), mode: FileMode::dir(0o755) }]);
+
+    let burst: Vec<Request> = (0..32)
+        .map(|i| Request::WriteFile { path: format!("/b/f{i}"), data: vec![1u8; 64] })
+        .collect();
+    let replies = c.round(&burst);
+    assert_eq!(replies.len(), burst.len(), "every request answered, in order");
+    let busy = replies.iter().filter(|r| matches!(r, Response::Busy { .. })).count();
+    let served = replies.iter().filter(|r| matches!(r, Response::Unit)).count();
+    assert!(busy > 0, "a 32-deep burst against a budget of 4 must push back");
+    assert_eq!(busy + served, 32, "only Unit or Busy replies: {replies:?}");
+    // The budget limits each burst, not progress: retry what bounced.
+    let retries: Vec<Request> = replies
+        .iter()
+        .zip(&burst)
+        .filter(|(r, _)| matches!(r, Response::Busy { .. }))
+        .map(|(_, req)| req.clone())
+        .collect();
+    let mut pending = retries;
+    let mut spins = 0;
+    while !pending.is_empty() {
+        spins += 1;
+        assert!(spins < 100, "retries converge");
+        let mut next = Vec::new();
+        for chunk in pending.chunks(4) {
+            for (r, req) in c.round(chunk).into_iter().zip(chunk) {
+                if matches!(r, Response::Busy { .. }) {
+                    next.push(req.clone());
+                }
+            }
+        }
+        pending = next;
+    }
+    let stats = &fs.obs().gateway;
+    assert!(stats.admission_rejections.load(Ordering::Relaxed) >= busy as u64);
+    // All 32 files exist exactly once.
+    let r = c.round(&[Request::Readdir { path: "/b".into() }]);
+    match &r[0] {
+        Response::Entries(es) => assert_eq!(es.len(), 32, "all writes landed"),
+        other => panic!("readdir failed: {other:?}"),
+    }
+    drop(c);
+    handle.shutdown();
+}
+
+/// A connection that handshakes and then goes silent is closed by the
+/// idle sweep (half-open reaper), and its fd table is reclaimed.
+#[test]
+fn idle_connection_is_timed_out_and_reaped() {
+    let (fs, handle) = start("idle", |cfg| cfg.idle_timeout = Duration::from_millis(200));
+    let (mut c, _) = Client::connect(&handle);
+    let fd = c.expect_fd(Request::Open {
+        path: "/sleepy".into(),
+        flags: rw(),
+        mode: FileMode::default(),
+    });
+    let _ = fd;
+    let stats = &fs.obs().gateway;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.idle_timeouts.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "idle sweep never fired");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let fd_deadline = Instant::now() + Duration::from_secs(5);
+    while fs.open_count() > 0 {
+        assert!(Instant::now() < fd_deadline, "idle victim's fd never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+}
+
+/// Garbage on the wire is a protocol error: the server counts it and
+/// drops the connection instead of wedging the shard.
+#[test]
+fn malformed_frame_closes_the_connection() {
+    let (fs, handle) = start("garbage", |_| {});
+    let (mut c, _) = Client::connect(&handle);
+    // A frame with an unknown opcode.
+    c.stream.write_all(&wire::frame(&[0xEE, 1, 2, 3])).unwrap();
+    let mut tmp = [0u8; 64];
+    match c.stream.read(&mut tmp) {
+        Ok(0) | Err(_) => {} // EOF or reset — either way, hung up
+        Ok(n) => panic!("server answered a malformed frame with {n} bytes"),
+    }
+    let stats = &fs.obs().gateway;
+    assert!(stats.protocol_errors.load(Ordering::Relaxed) >= 1);
+    handle.shutdown();
+}
