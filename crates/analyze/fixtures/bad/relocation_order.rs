@@ -1,0 +1,21 @@
+//! BAD fixture: a relocation frees the old extents before the map swap is
+//! sealed by the scope's eager `commit()` — a crash between the free and
+//! the commit leaves the durable (journaled) map pointing at blocks the
+//! allocator already handed back.
+//! Not compiled — scanned by `simurgh-analyze --path crates/analyze/fixtures/bad`.
+
+fn relocate_frees_under_an_open_swap(r: &PmemRegion, env: &FileEnv, ino: Inode) {
+    r.nt_write_from(dst, &buf);
+    r.persist(dst, total);
+    if !journal::arm(r, ino) {
+        return;
+    }
+    let scope = r.fence_scope();
+    ino.set_extent(r, 0, new_extent);
+    ino.set_ext_next(r, PPtr::NULL);
+    // missing: scope.commit() before the frees — the new map is still
+    // staged when the old blocks go back to the allocator.
+    env.blocks.free(old_start, old_blocks);
+    scope.commit();
+    journal::clear(r);
+}

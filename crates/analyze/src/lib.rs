@@ -9,7 +9,7 @@
 //! with a hand-rolled line/token scanner (no `syn`, no dependencies — it
 //! must build in offline containers) over the workspace sources.
 //!
-//! Ten rule families:
+//! Eleven rule families:
 //!
 //! * **persist-order** — in a function that issues raw region stores
 //!   (`write`, `write_from`, `nt_write_from`, `zero`) and later clears a
@@ -64,6 +64,15 @@
 //!   back to a method, and every variant must be handled by an explicit
 //!   arm in a `dispatch` function. A method added without a wire op (or
 //!   an op without a handler) is an API the daemon silently cannot serve.
+//! * **relocation-order** — online compaction swaps a file's extent map
+//!   under the single-slot relocation journal, and the §"Relocation
+//!   ordering invariant" (crates/core/src/compact.rs) only holds in one
+//!   order: bytes persisted before the journal arms, the map-swap stores
+//!   (`set_extent`/`set_ext_next`) inside a fence scope, and an eager
+//!   `commit()` sealing the swap before the journal clears or any old
+//!   extent is `free`d. A `free(` between the new-map stores and the
+//!   `commit()` hands blocks back while the durable truth still points at
+//!   them — a crash there double-allocates file data.
 //!
 //! False positives are suppressed in place with a justified
 //! `// analyze:allow(<rule-id>)` marker on the flagged line or in the
@@ -74,7 +83,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The ten rule families.
+/// The eleven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     PersistOrder,
@@ -87,6 +96,7 @@ pub enum Rule {
     ObsCoverage,
     SharedRegion,
     WireParity,
+    RelocationOrder,
 }
 
 impl Rule {
@@ -103,10 +113,11 @@ impl Rule {
             Rule::ObsCoverage => "obs-coverage",
             Rule::SharedRegion => "shared-region",
             Rule::WireParity => "wire-parity",
+            Rule::RelocationOrder => "relocation-order",
         }
     }
 
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::PersistOrder,
         Rule::FenceScope,
         Rule::LockDiscipline,
@@ -117,6 +128,7 @@ impl Rule {
         Rule::ObsCoverage,
         Rule::SharedRegion,
         Rule::WireParity,
+        Rule::RelocationOrder,
     ];
 }
 
@@ -616,6 +628,116 @@ fn rule_fence_scope(file: &SourceFile, report: &mut Report) {
                 || has_call(&line.code, "fence")
             {
                 staged = Some(ln);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1c: relocation ordering
+// ---------------------------------------------------------------------------
+
+/// The map-swap stores of the relocation protocol: rewriting the inline
+/// extent slots and the overflow-chain head.
+const MAP_SWAP_CALLS: [&str; 2] = ["set_extent", "set_ext_next"];
+
+/// A line arming the *relocation journal* specifically — the `journal`
+/// qualifier keeps the pmem fault tracker's unrelated `arm` out.
+fn arms_reloc_journal(code: &str) -> bool {
+    code.contains("journal") && has_invocation(code, "arm")
+}
+
+fn rule_relocation_order(file: &SourceFile, report: &mut Report) {
+    for &(start, end) in &function_ranges(file) {
+        // Only relocation bodies: functions that arm the journal.
+        if !(start..=end)
+            .any(|ln| !file.lines[ln].skip && arms_reloc_journal(&file.lines[ln].code))
+        {
+            continue;
+        }
+        // Newest raw store (the data copy) not yet covered by a fence.
+        let mut pending_store: Option<usize> = None;
+        let mut armed = false;
+        let mut in_scope = false;
+        // First map-swap store since arming, not yet sealed by `commit()`.
+        let mut swap: Option<usize> = None;
+        for ln in start..=end {
+            let line = &file.lines[ln];
+            if line.skip {
+                continue;
+            }
+            let code = &line.code;
+            if has_invocation(code, "fence_scope") {
+                in_scope = true;
+            }
+            if !armed {
+                if STORE_CALLS.iter().any(|s| has_call(code, s)) {
+                    pending_store = Some(ln);
+                }
+                if FENCE_CALLS.iter().any(|s| has_call(code, s)) {
+                    pending_store = None;
+                }
+                if arms_reloc_journal(code) {
+                    if let Some(st) = pending_store {
+                        if !allowed(file, ln, Rule::RelocationOrder) {
+                            report.findings.push(Finding {
+                                rule: Rule::RelocationOrder,
+                                file: file.label.clone(),
+                                line: ln + 1,
+                                message: format!(
+                                    "journal armed with the copied bytes from line {} \
+                                     not yet persisted",
+                                    st + 1
+                                ),
+                            });
+                        }
+                    }
+                    armed = true;
+                }
+                continue;
+            }
+            if MAP_SWAP_CALLS.iter().any(|s| has_call(code, s)) && swap.is_none() {
+                swap = Some(ln);
+                if !in_scope && !allowed(file, ln, Rule::RelocationOrder) {
+                    report.findings.push(Finding {
+                        rule: Rule::RelocationOrder,
+                        file: file.label.clone(),
+                        line: ln + 1,
+                        message: "relocation map swap outside a fence scope".to_owned(),
+                    });
+                }
+            }
+            if has_call(code, "commit") {
+                swap = None; // the new map is durable; clear/free may follow
+                continue;
+            }
+            if swap.is_some()
+                && (has_invocation(code, "free") || has_invocation(code, "clear"))
+            {
+                if !allowed(file, ln, Rule::RelocationOrder) {
+                    report.findings.push(Finding {
+                        rule: Rule::RelocationOrder,
+                        file: file.label.clone(),
+                        line: ln + 1,
+                        message: format!(
+                            "old extents released before the map swap from line {} \
+                             was sealed by commit()",
+                            swap.unwrap_or(0) + 1
+                        ),
+                    });
+                }
+                swap = None; // one finding per unsealed swap
+            }
+        }
+        if let Some(sw) = swap {
+            if !allowed(file, sw, Rule::RelocationOrder) {
+                report.findings.push(Finding {
+                    rule: Rule::RelocationOrder,
+                    file: file.label.clone(),
+                    line: sw + 1,
+                    message: "relocation map swap is never sealed by an eager commit()"
+                        .to_owned(),
+                });
             }
         }
     }
@@ -1607,6 +1729,7 @@ pub fn scan_files(sources: &[(&str, &str)], manifest: &[String]) -> Report {
     for file in &files {
         rule_persist_order(file, &mut report);
         rule_fence_scope(file, &mut report);
+        rule_relocation_order(file, &mut report);
         rule_lock_discipline(file, &mut report);
         rule_unsafe_audit(file, &mut report);
         rule_data_path_walk(file, &mut report);
@@ -1881,6 +2004,120 @@ mod tests {
             }
         ";
         assert!(findings_of(src, Rule::FenceScope).is_empty());
+    }
+
+    // ----- relocation-order ------------------------------------------------
+
+    #[test]
+    fn relocation_order_good_full_protocol() {
+        // copy → persist → arm → scoped swap → commit → clear → free: clean.
+        let src = "
+            fn relocate(r: &R, env: &E, ino: Inode) {
+                r.nt_write_from(dst, &buf);
+                r.persist(dst, total);
+                if !journal::arm(r, ino) {
+                    env.blocks.free(dst, n);
+                    return;
+                }
+                let scope = r.fence_scope();
+                ino.set_extent(r, 0, new_extent);
+                ino.set_ext_next(r, PPtr::NULL);
+                scope.commit();
+                drop(scope);
+                journal::clear(r);
+                env.blocks.free(old, n);
+            }
+        ";
+        assert!(findings_of(src, Rule::RelocationOrder).is_empty());
+    }
+
+    #[test]
+    fn relocation_order_bad_free_before_commit() {
+        let src = "
+            fn relocate(r: &R, env: &E, ino: Inode) {
+                r.persist(dst, total);
+                journal::arm(r, ino);
+                let scope = r.fence_scope();
+                ino.set_extent(r, 0, new_extent);
+                env.blocks.free(old, n);
+                scope.commit();
+            }
+        ";
+        let f = findings_of(src, Rule::RelocationOrder);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("sealed by commit()"));
+    }
+
+    #[test]
+    fn relocation_order_bad_clear_before_commit() {
+        let src = "
+            fn relocate(r: &R, ino: Inode) {
+                journal::arm(r, ino);
+                let scope = r.fence_scope();
+                ino.set_extent(r, 0, new_extent);
+                journal::clear(r);
+                scope.commit();
+            }
+        ";
+        assert_eq!(findings_of(src, Rule::RelocationOrder).len(), 1);
+    }
+
+    #[test]
+    fn relocation_order_bad_swap_outside_scope_and_never_committed() {
+        let src = "
+            fn relocate(r: &R, ino: Inode) {
+                journal::arm(r, ino);
+                ino.set_extent(r, 0, new_extent);
+            }
+        ";
+        let f = findings_of(src, Rule::RelocationOrder);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("outside a fence scope")));
+        assert!(f.iter().any(|x| x.message.contains("never sealed")));
+    }
+
+    #[test]
+    fn relocation_order_bad_armed_with_unpersisted_copy() {
+        let src = "
+            fn relocate(r: &R, ino: Inode) {
+                r.nt_write_from(dst, &buf);
+                journal::arm(r, ino);
+                let scope = r.fence_scope();
+                ino.set_extent(r, 0, new_extent);
+                scope.commit();
+            }
+        ";
+        let f = findings_of(src, Rule::RelocationOrder);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not yet persisted"));
+    }
+
+    #[test]
+    fn relocation_order_ignores_the_fault_tracker_arm() {
+        // The pmem fault tracker also has an `arm` — without the journal
+        // qualifier the function is not a relocation body.
+        let src = "
+            fn arm_faults(&self, plan: FaultPlan) {
+                self.tracker.arm(plan);
+                ino.set_extent(r, 0, e);
+            }
+        ";
+        assert!(findings_of(src, Rule::RelocationOrder).is_empty());
+    }
+
+    #[test]
+    fn relocation_order_allow_marker_suppresses() {
+        let src = "
+            fn relocate(r: &R, env: &E, ino: Inode) {
+                journal::arm(r, ino);
+                let scope = r.fence_scope();
+                ino.set_extent(r, 0, new_extent);
+                // analyze:allow(relocation-order): staged run, not the old map
+                env.blocks.free(dst, n);
+                scope.commit();
+            }
+        ";
+        assert!(findings_of(src, Rule::RelocationOrder).is_empty());
     }
 
     // ----- lock-discipline -------------------------------------------------

@@ -149,6 +149,15 @@ fn run_experiment(name: &str, scale: &Scale) {
                 println!("(run with --json for the full registry: latency + dir + data + pmem + timers + alloc_faults)");
             }
         }
+        "compact" => {
+            let json = std::env::args().any(|a| a == "--json");
+            if json {
+                println!("{}", experiments::compact_run(scale, true));
+            } else {
+                println!("\n== Aging & compaction: zipfian churn, then online compaction ==");
+                print!("{}", experiments::compact_run(scale, false));
+            }
+        }
         "bench-snapshot" => {
             // Always machine-readable: this is the profile pin a change
             // commits next to its EXPERIMENTS.md table.
@@ -188,11 +197,11 @@ fn main() {
         eprintln!(
             "usage: paper [EXPERIMENT...] [--full] [--threads 1,2,4] [--json]\n\
              experiments: all gem5 table1 table2 fig6 fig7 fig7a..fig7l fig8 fig9 fig10\n\
-                          fig11 fig12 recovery obs bench-snapshot dirstats datastats\n\
-                          ablate-alloc ablate-sec ablate-relaxed\n\
+                          fig11 fig12 recovery obs compact bench-snapshot dirstats\n\
+                          datastats ablate-alloc ablate-sec ablate-relaxed\n\
              --full    run near paper-scale workloads (minutes per figure)\n\
              --threads comma-separated process counts for the sweeps\n\
-             --json    with obs: emit the unified observability registry as JSON"
+             --json    with obs/compact: emit the machine-readable object"
         );
         if args.is_empty() {
             std::process::exit(2);

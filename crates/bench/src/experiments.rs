@@ -517,6 +517,19 @@ pub fn bench_snapshot(scale: &Scale) -> String {
     let fs = Arc::new(SimurghFs::format(region, SimurghConfig::default()).expect("format"));
     let rounds = (scale.meta_files as u64 / 8).clamp(16, 512);
     mixed_metadata_workload(&fs, rounds);
+    // Age the instrumented image with a short zipfian churn (water-mark
+    // compaction armed between batches) so the registry's `frag` section
+    // pins an aged profile, not a freshly formatted one.
+    let churn = simurgh_workloads::aging::AgingSpec::churn(0.25);
+    simurgh_workloads::aging::run_churn(
+        fs.as_ref(),
+        &simurgh_fsapi::ProcCtx::root(1),
+        &churn,
+        |_, _| {
+            fs.maybe_compact();
+        },
+    )
+    .expect("bench-snapshot churn");
     let gw = gateway_burst(&fs, 8, 50);
     let mut latency = Vec::new();
     for op in FsOp::ALL {
@@ -573,6 +586,102 @@ pub fn bench_snapshot(scale: &Scale) -> String {
         latency = latency.join(","),
         gateway = gw.to_json()
     )
+}
+
+// ---------------------------------------------------------------------------
+// Aging & compaction
+// ---------------------------------------------------------------------------
+
+/// One frag-battery sample: the registry's `frag` section for `fs`, as the
+/// same JSON object `paper obs --json` embeds.
+fn frag_sample(fs: &SimurghFs) -> String {
+    let (files, extents) = fs.extent_census();
+    fs.frag_stats().to_json(fs.block_alloc(), files, extents)
+}
+
+fn frag_gauges(fs: &SimurghFs) -> (u64, u64, u64, u64) {
+    let snap = fs.block_alloc().frag_snapshot();
+    let free_runs: u64 = snap.iter().map(|&(r, _)| r).sum();
+    let max_free_run = snap.iter().map(|&(_, m)| m).max().unwrap_or(0);
+    let (files, extents) = fs.extent_census();
+    (free_runs, max_free_run, files, extents)
+}
+
+/// The aging→compaction experiment (`paper compact`): zipfian churn ages a
+/// fresh image with water-mark compaction armed between batches, then one
+/// explicit full pass runs; the frag battery is sampled after the churn and
+/// after the pass. Returns the printed table, or one JSON object with
+/// `--json` (the EXPERIMENTS.md aging-run schema).
+pub fn compact_run(scale: &Scale, json: bool) -> String {
+    use simurgh_workloads::aging::{self, AgingSpec};
+
+    // `--full` ages at GB scale; quick keeps CI interactive.
+    let full = scale.meta_files >= 100_000;
+    let (churn_scale, region_bytes) = if full { (8.0, 2usize << 30) } else { (1.0, 256 << 20) };
+    let spec = AgingSpec::churn(churn_scale);
+    let region = Arc::new(PmemRegion::new(region_bytes));
+    let fs = SimurghFs::format(region, SimurghConfig::default()).expect("format");
+    let ctx = simurgh_fsapi::ProcCtx::root(1);
+
+    let start = Instant::now();
+    let report = aging::run_churn(&fs, &ctx, &spec, |_, _| {
+        fs.maybe_compact();
+    })
+    .expect("aging churn");
+    let churn_secs = start.elapsed().as_secs_f64();
+    let watermark_moved = fs.frag_stats().relocated_files.load(std::sync::atomic::Ordering::Relaxed);
+
+    let aged = frag_sample(&fs);
+    let (runs_b, max_b, files_b, ext_b) = frag_gauges(&fs);
+
+    let start = Instant::now();
+    let (moved, blocks) = fs.compact(usize::MAX);
+    let pass_secs = start.elapsed().as_secs_f64();
+    let compacted = frag_sample(&fs);
+    let (runs_a, max_a, _, ext_a) = frag_gauges(&fs);
+
+    if json {
+        return format!(
+            "{{\"experiment\":\"compact\",\"region_bytes\":{region_bytes},\
+             \"churn\":{{\"files\":{},\"ops\":{},\"appends\":{},\"deletes\":{},\
+             \"truncates\":{},\"bytes_written\":{},\"live_files\":{},\
+             \"seconds\":{churn_secs:.3},\"watermark_relocations\":{watermark_moved}}},\
+             \"aged\":{aged},\
+             \"pass\":{{\"files_moved\":{moved},\"blocks_moved\":{blocks},\
+             \"seconds\":{pass_secs:.3}}},\
+             \"compacted\":{compacted}}}",
+            spec.files, spec.ops, report.appends, report.deletes, report.truncates,
+            report.bytes_written, report.live_files,
+        );
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "churn: {} ops over {} file slots ({} appends, {} deletes, {} truncates, \
+         {:.1} MiB written) in {churn_secs:.2}s\n",
+        spec.ops,
+        spec.files,
+        report.appends,
+        report.deletes,
+        report.truncates,
+        report.bytes_written as f64 / (1 << 20) as f64,
+    ));
+    out.push_str(&format!("water-mark passes relocated {watermark_moved} files during churn\n"));
+    out.push_str(&format!(
+        "{:<12}{:>10}{:>14}{:>14}{:>16}\n",
+        "", "files", "extents", "free runs", "max free run"
+    ));
+    out.push_str(&format!(
+        "{:<12}{files_b:>10}{ext_b:>14}{runs_b:>14}{max_b:>16}\n",
+        "aged"
+    ));
+    out.push_str(&format!(
+        "{:<12}{files_b:>10}{ext_a:>14}{runs_a:>14}{max_a:>16}\n",
+        "compacted"
+    ));
+    out.push_str(&format!(
+        "explicit pass: relocated {moved} files / {blocks} blocks in {pass_secs:.2}s\n"
+    ));
+    out
 }
 
 // ---------------------------------------------------------------------------

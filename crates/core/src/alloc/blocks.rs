@@ -11,9 +11,10 @@
 //! by the mark-and-sweep scan, so block allocation itself never needs
 //! journaling.
 
-use std::cell::{RefCell, UnsafeCell};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
 use std::time::Duration;
 
 use simurgh_pmem::layout::Extent;
@@ -30,25 +31,6 @@ pub const DEFAULT_MAX_HOLD: Duration = Duration::from_millis(500);
 /// many extra blocks so the next appends land without a segment lock trip.
 pub const DEFAULT_TAIL_RESERVE: u64 = 8;
 
-/// Distinguishes allocator instances: per-thread tail reservations are keyed
-/// by instance id, so a reservation taken against a dropped mount can never
-/// be spent against a new allocator that happens to reuse its address.
-static NEXT_BLOCK_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
-
-/// How many per-thread reservation entries to keep before forgetting the
-/// oldest. Entries for dropped allocators cannot be returned (no handle);
-/// their blocks only existed in that instance's volatile view, which the
-/// next mount rebuilds from reachability anyway.
-const RESERVATION_CAP: usize = 8;
-
-thread_local! {
-    /// Per-thread tail reservations: `(allocator id, first block, blocks)`
-    /// runs already carved out of the free lists (and, under a shared
-    /// mount, claimed in the bitmap). Volatile by design — a crash loses the
-    /// cache, and the mark-and-sweep rebuild returns unreferenced blocks to
-    /// the free lists.
-    static TAIL_RESERVED: RefCell<Vec<(u64, u64, u64)>> = const { RefCell::new(Vec::new()) };
-}
 
 struct Segment {
     lock: TsLock,
@@ -119,8 +101,6 @@ impl SharedBits {
 
 /// The segmented block allocator over a data extent.
 pub struct BlockAlloc {
-    /// Instance id keying the per-thread tail reservations.
-    id: u64,
     data_start: u64,
     nblocks: u64,
     blocks_per_seg: u64,
@@ -138,9 +118,23 @@ pub struct BlockAlloc {
     /// (alloc, tail-extension, free). Exported through the `ObsRegistry`
     /// alloc section; the reservation batching asserts this drops per op.
     seg_trips: AtomicU64,
+    /// Fragmentation-pressure events: the opportunistic allocation pass
+    /// came up empty even though `free_blocks()` could have covered the
+    /// request — capacity exists but not as a visible contiguous run. The
+    /// compactor's water-mark trigger watches this counter.
+    frag_pressure: AtomicU64,
     /// Cross-process claim bitmap; unset for exclusive (single-process)
     /// mounts, where the local free lists are already authoritative.
     shared: OnceLock<SharedBits>,
+    /// Parked tail reservations, one per thread: `(thread, first block,
+    /// blocks)` runs already carved out of the free lists (and, under a
+    /// shared mount, claimed in the bitmap). Instance-owned so that
+    /// [`free`](Self::free) can coalesce a freed run across a reservation
+    /// boundary and allocation pressure can reclaim *any* thread's park —
+    /// not just the calling thread's. Volatile by design: a crash loses the
+    /// cache and the mark-and-sweep rebuild returns unreferenced blocks to
+    /// the free lists.
+    reserved: Mutex<Vec<(ThreadId, u64, u64)>>,
 }
 
 impl BlockAlloc {
@@ -184,7 +178,6 @@ impl BlockAlloc {
             });
         }
         BlockAlloc {
-            id: NEXT_BLOCK_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
             data_start,
             nblocks,
             blocks_per_seg,
@@ -193,7 +186,9 @@ impl BlockAlloc {
             tail_reserve: AtomicU64::new(0),
             stall_us: AtomicU64::new(0),
             seg_trips: AtomicU64::new(0),
+            frag_pressure: AtomicU64::new(0),
             shared: OnceLock::new(),
+            reserved: Mutex::new(Vec::new()),
         }
     }
 
@@ -323,6 +318,14 @@ impl BlockAlloc {
                 }
             }
         }
+        // Pass 1 found nothing: allocation pressure. Parked tail
+        // reservations (any thread's) are capacity the free lists cannot
+        // see; reclaim them before the blocking pass so allocation only
+        // fails when space is truly out.
+        if self.free_blocks() + self.reserved_idle_blocks() >= count {
+            self.frag_pressure.fetch_add(1, Ordering::Relaxed);
+        }
+        self.reclaim_reservations();
         // Pass 2: blocking, so allocation only fails when space is truly out.
         // A lost lock here retries the same segment under a fresh acquire.
         for i in 0..n {
@@ -387,47 +390,46 @@ impl BlockAlloc {
     /// A reservation whose run does not continue at `b` (the thread moved
     /// to a different file tail) is returned to the free lists first.
     fn take_reserved(&self, b: u64, want: u64) -> u64 {
-        TAIL_RESERVED.with(|r| {
-            let mut r = r.borrow_mut();
-            let Some(i) = r.iter().position(|&(id, _, _)| id == self.id) else {
+        let tid = std::thread::current().id();
+        let stale = {
+            let mut r = self.reserved.lock().unwrap();
+            let Some(i) = r.iter().position(|&(t, _, _)| t == tid) else {
                 return 0;
             };
             let (_, start, len) = r[i];
             if start != b {
                 r.remove(i);
-                drop(r); // free() below may recurse into this thread-local
-                self.free(self.block_ptr(start), len);
-                return 0;
-            }
-            let take = want.min(len);
-            if take == len {
-                r.remove(i);
+                Some((start, len)) // freed below, outside the lock
             } else {
-                r[i] = (self.id, start + take, len - take);
+                let take = want.min(len);
+                if take == len {
+                    r.remove(i);
+                } else {
+                    r[i] = (tid, start + take, len - take);
+                }
+                return take;
             }
-            take
-        })
+        };
+        if let Some((s, l)) = stale {
+            self.free(self.block_ptr(s), l);
+        }
+        0
     }
 
-    /// Parks `[start, start + len)` as this thread's reservation for this
-    /// allocator, returning any previous run to the free lists.
+    /// Parks `[start, start + len)` as this thread's reservation, returning
+    /// any previous run of the same thread to the free lists.
     fn stash_reserved(&self, start: u64, len: u64) {
-        let evicted = TAIL_RESERVED.with(|r| {
-            let mut r = r.borrow_mut();
+        let tid = std::thread::current().id();
+        let evicted = {
+            let mut r = self.reserved.lock().unwrap();
             let old = r
                 .iter()
-                .position(|&(id, _, _)| id == self.id)
+                .position(|&(t, _, _)| t == tid)
                 .map(|i| r.remove(i))
                 .map(|(_, s, l)| (s, l));
-            r.push((self.id, start, len));
-            if r.len() > RESERVATION_CAP {
-                // Oldest entry belongs to another (likely dropped) allocator
-                // instance; its blocks only existed in that instance's
-                // volatile view, so forgetting them is safe.
-                r.remove(0);
-            }
+            r.push((tid, start, len));
             old
-        });
+        };
         if let Some((s, l)) = evicted {
             self.free(self.block_ptr(s), l);
         }
@@ -436,16 +438,48 @@ impl BlockAlloc {
     /// Returns this thread's parked reservation (if any) to the free lists —
     /// diagnostics and tests that want exact accounting back.
     pub fn release_thread_reservation(&self) {
-        let parked = TAIL_RESERVED.with(|r| {
-            let mut r = r.borrow_mut();
+        let tid = std::thread::current().id();
+        let parked = {
+            let mut r = self.reserved.lock().unwrap();
             r.iter()
-                .position(|&(id, _, _)| id == self.id)
+                .position(|&(t, _, _)| t == tid)
                 .map(|i| r.remove(i))
                 .map(|(_, s, l)| (s, l))
-        });
+        };
         if let Some((s, l)) = parked {
             self.free(self.block_ptr(s), l);
         }
+    }
+
+    /// Returns **every** parked tail reservation — any thread's — to the
+    /// free lists, and reports how many blocks came back. The allocation
+    /// slow path calls this under pressure (opportunistic pass found
+    /// nothing), so a reservation parked by a thread that stopped appending
+    /// can never hold the last free run hostage. Also the quiesce point for
+    /// fragmentation accounting: after it, reserved-but-idle is zero.
+    pub fn reclaim_reservations(&self) -> u64 {
+        let drained: Vec<(u64, u64)> = {
+            let mut r = self.reserved.lock().unwrap();
+            r.drain(..).map(|(_, s, l)| (s, l)).collect()
+        };
+        let mut total = 0;
+        for (s, l) in drained {
+            total += l;
+            self.free(self.block_ptr(s), l);
+        }
+        total
+    }
+
+    /// Blocks currently parked in tail reservations: claimed (bitmap set,
+    /// carved out of the free lists) but not yet referenced by any extent.
+    /// The `FragStats` "reserved-but-idle" gauge.
+    pub fn reserved_idle_blocks(&self) -> u64 {
+        self.reserved.lock().unwrap().iter().map(|&(_, _, l)| l).sum()
+    }
+
+    /// Fragmentation-pressure events so far (see the field doc).
+    pub fn frag_pressure(&self) -> u64 {
+        self.frag_pressure.load(Ordering::Relaxed)
     }
 
     /// The locked tail-extension: one segment-lock round trip, exact-position
@@ -514,16 +548,24 @@ impl BlockAlloc {
     }
 
     /// Frees `count` blocks starting at `p` back to their owning segment,
-    /// coalescing with neighbours.
+    /// coalescing with neighbours — including any parked tail reservation
+    /// physically adjacent to the freed run, which is absorbed into it.
+    /// Without that absorption a reservation boundary splits the free run
+    /// forever (the reservation is invisible to the free list), which under
+    /// churn was the dominant fragmentation source.
     pub fn free(&self, p: PPtr, count: u64) {
         debug_assert!(count > 0);
-        let b = self.ptr_block(p);
-        // Release the cross-process claims first: the bitmap is the arbiter,
-        // so a peer may claim these blocks before our local insert lands —
-        // its claim will simply conflict with our stale "free" run later and
-        // carve it out. Order-insensitive either way.
-        if let Some(bits) = self.shared.get() {
-            bits.clear(b, count);
+        let mut b = self.ptr_block(p);
+        let mut count = count;
+        {
+            let mut r = self.reserved.lock().unwrap();
+            while let Some(i) = r.iter().position(|&(_, s, l)| {
+                (s + l == b || b + count == s) && self.seg_of_block(s) == self.seg_of_block(b)
+            }) {
+                let (_, s, l) = r.remove(i);
+                b = b.min(s);
+                count += l;
+            }
         }
         let seg = &self.segments[self.seg_of_block(b)];
         loop {
@@ -565,6 +607,17 @@ impl BlockAlloc {
                 (false, false) => free.insert(idx, (b, count)),
             }
             seg.free_blocks.fetch_add(count, Ordering::Relaxed);
+            // Release the cross-process claims only *after* the local insert
+            // landed. Clearing first opened a window where a peer claimed
+            // the blocks and our insert then listed them free anyway — the
+            // counter double-counted (`free_blocks()` above
+            // `capacity − used-bitmap popcount`) until some later conflict
+            // carved the run back out. Clear-last keeps the drift direction
+            // safe: a block is never bitmap-free before the freeing
+            // instance's list owns it.
+            if let Some(bits) = self.shared.get() {
+                bits.clear(b, count);
+            }
             drop(guard);
             return;
         }
@@ -663,6 +716,95 @@ impl BlockAlloc {
         let total: u64 = repaired.iter().map(|&(_, l)| l).sum();
         *free = repaired;
         seg.free_blocks.store(total, Ordering::Relaxed);
+    }
+
+    /// Popcount of the claim bitmap over the managed block range (slack
+    /// bits past `nblocks` stay permanently set and are masked out), or
+    /// `None` for an exclusive mount with no bitmap armed.
+    pub fn shared_used_blocks(&self) -> Option<u64> {
+        let bits = self.shared.get()?;
+        let mut used = 0u64;
+        let full_words = self.nblocks / 64;
+        for w in 0..full_words {
+            used += bits.word(w).load(Ordering::Acquire).count_ones() as u64;
+        }
+        let rem = self.nblocks % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            used += (bits.word(full_words).load(Ordering::Acquire) & mask).count_ones() as u64;
+        }
+        Some(used)
+    }
+
+    /// Resynchronizes the local free lists with the shared claim bitmap at
+    /// a quiescent point (fsck, post-recovery): each segment's list is
+    /// rebuilt from the bitmap, dropping runs a peer has claimed out from
+    /// under our stale view and adopting blocks peers freed since our
+    /// attach snapshot. Returns `(dropped, adopted)` block counts. After
+    /// it, `free_blocks() == capacity − used-bitmap popcount` holds — the
+    /// fsck invariant. No-op (0, 0) for exclusive mounts.
+    pub fn reconcile_shared(&self) -> (u64, u64) {
+        let Some(bits) = self.shared.get() else {
+            return (0, 0);
+        };
+        let (mut dropped, mut adopted) = (0u64, 0u64);
+        for (s, seg) in self.segments.iter().enumerate() {
+            let first = s as u64 * self.blocks_per_seg;
+            let last = ((s as u64 + 1) * self.blocks_per_seg).min(self.nblocks);
+            let (guard, how) = seg.lock.acquire(self.max_hold);
+            if how == Acquired::Stolen {
+                self.repair(seg);
+            }
+            let before = seg.free_blocks.load(Ordering::Relaxed);
+            let mut rebuilt = Vec::new();
+            let mut total = 0u64;
+            let mut run_start = None;
+            for b in first..last {
+                if bits.used(b) {
+                    if let Some(rs) = run_start.take() {
+                        rebuilt.push((rs, b - rs));
+                        total += b - rs;
+                    }
+                } else if run_start.is_none() {
+                    run_start = Some(b);
+                }
+            }
+            if let Some(rs) = run_start {
+                rebuilt.push((rs, last - rs));
+                total += last - rs;
+            }
+            // SAFETY: lock held.
+            let free = unsafe { &mut *seg.free.get() };
+            *free = rebuilt;
+            seg.free_blocks.store(total, Ordering::Relaxed);
+            if total < before {
+                dropped += before - total;
+            } else {
+                adopted += total - before;
+            }
+            drop(guard);
+        }
+        (dropped, adopted)
+    }
+
+    /// Per-segment fragmentation snapshot: `(free runs, largest free run)`
+    /// for each segment — the `FragStats` raw material. Takes each segment
+    /// lock briefly; a diagnostics path, not a hot one.
+    pub fn frag_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.iter() {
+            let (guard, how) = seg.lock.acquire(self.max_hold);
+            if how == Acquired::Stolen {
+                self.repair(seg);
+            }
+            // SAFETY: lock held.
+            let free = unsafe { &*seg.free.get() };
+            let runs = free.len() as u64;
+            let largest = free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+            out.push((runs, largest));
+            drop(guard);
+        }
+        out
     }
 }
 
@@ -816,6 +958,55 @@ mod tests {
     }
 
     #[test]
+    fn free_coalesces_across_a_reservation_boundary() {
+        // Regression: a parked tail reservation is invisible to the free
+        // list, so freeing blocks physically adjacent to it used to leave
+        // the run split forever — the dominant fragmentation source under
+        // churn. `free` must absorb the adjacent reservation so the whole
+        // range coalesces back into one run.
+        let a = alloc_with(16 * 4096, 1);
+        a.set_tail_reserve(8);
+        let p = a.alloc(0, 2).unwrap(); // blocks [0, 2)
+        let tail = a.ptr_block(p) + 2;
+        assert_eq!(a.extend_at(tail, 2), 2); // takes [2, 4), parks [4, 12)
+        assert_eq!(a.free_blocks(), 4, "only the tail run [12, 16) is listed free");
+        // Free the file [0, 4): adjacent to the parked [4, 12) — the
+        // reservation must be absorbed, yielding one fully coalesced run.
+        a.free(p, 4);
+        assert_eq!(a.free_blocks(), 16, "freed run absorbed the reservation");
+        assert_eq!(a.reserved_idle_blocks(), 0);
+        assert!(a.alloc(0, 16).is_some(), "entire extent is one contiguous run");
+    }
+
+    #[test]
+    fn pressure_reclaims_any_threads_parked_reservation() {
+        // Regression: a reservation parked by a thread that stopped
+        // appending was never returned until that same thread called
+        // `release_thread_reservation` — allocation could fail with most of
+        // the capacity parked. Pressure (pass 1 finding nothing) must
+        // reclaim every thread's park.
+        let a = std::sync::Arc::new(alloc_with(16 * 4096, 1));
+        a.set_tail_reserve(8);
+        {
+            let a = a.clone();
+            // Park from another thread, which then goes idle forever.
+            std::thread::spawn(move || {
+                let p = a.alloc(0, 1).unwrap(); // [0, 1)
+                let tail = a.ptr_block(p) + 1;
+                assert_eq!(a.extend_at(tail, 1), 1); // takes [1], parks [2, 10)
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(a.free_blocks(), 6, "free list only sees [10, 16)");
+        assert_eq!(a.reserved_idle_blocks(), 8);
+        // 14 contiguous blocks only exist if the park [2, 10) comes back.
+        let p = a.alloc(0, 14).expect("pressure reclaims the idle park");
+        assert_eq!(a.ptr_block(p), 2);
+        assert_eq!(a.reserved_idle_blocks(), 0);
+    }
+
+    #[test]
     fn reservations_are_instance_scoped() {
         // A reservation parked against one allocator must never be spent
         // against another covering the same extent.
@@ -966,6 +1157,31 @@ mod tests {
             got.push(p);
         }
         assert_eq!(got.len(), 12, "A gets exactly the unclaimed remainder");
+    }
+
+    #[test]
+    fn fsck_invariant_free_blocks_matches_bitmap_popcount() {
+        // Regression: an attacher's snapshot view drifts as peers allocate
+        // and free — `free_blocks()` double-counts blocks a peer claimed
+        // out from under the stale list. The fsck invariant is
+        // `free_blocks() == capacity − used-bitmap popcount`, restored at
+        // any quiescent point by `reconcile_shared`.
+        let (_r, a, b) = shared_pair(64 * 4096, 2);
+        let pa = a.alloc(0, 4).unwrap();
+        assert_eq!(a.shared_used_blocks(), Some(4));
+        // A is consistent; B's stale list still counts A's blocks as free.
+        assert_eq!(a.free_blocks(), a.capacity_blocks() - 4);
+        assert_eq!(b.free_blocks(), 64, "B double-counts A's claim");
+        let (dropped, adopted) = b.reconcile_shared();
+        assert_eq!((dropped, adopted), (4, 0));
+        assert_eq!(b.free_blocks(), b.capacity_blocks() - b.shared_used_blocks().unwrap());
+        // The drift also runs the other way: A frees two blocks, which B's
+        // (now exact) view is missing until the next reconcile.
+        a.free(pa, 2);
+        assert_eq!(a.free_blocks(), a.capacity_blocks() - a.shared_used_blocks().unwrap());
+        let (dropped, adopted) = b.reconcile_shared();
+        assert_eq!((dropped, adopted), (0, 2));
+        assert_eq!(b.free_blocks(), b.capacity_blocks() - b.shared_used_blocks().unwrap());
     }
 
     #[test]

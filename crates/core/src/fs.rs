@@ -22,6 +22,7 @@ use simurgh_pmem::{PPtr, PmemRegion, PAGE_SIZE};
 use simurgh_protfn::SecurityMode;
 
 use crate::alloc::{BlockAlloc, MetaAllocator};
+use crate::compact;
 use crate::dindex::DirIndex;
 use crate::dir::{self, DirEnv};
 use crate::file::{self, FileEnv};
@@ -122,6 +123,11 @@ pub struct SimurghFs {
     /// Unified observability registry: per-op latency histograms plus the
     /// single `to_json` export point for every counter battery.
     obs: obs::ObsRegistry,
+    /// Fragmentation/compaction counter battery (`frag` obs section).
+    frag: compact::FragStats,
+    /// Compactor candidate queue + pressure water-mark (volatile; listed
+    /// in [`shared::REBUILDABLE_CACHES`]).
+    compactq: compact::CompactQueue,
     /// This instance joined via [`SimurghFs::mount_shared`]: unmount goes
     /// through the attach-count protocol and only the last process out
     /// writes the clean flag.
@@ -192,8 +198,9 @@ impl SimurghFs {
         if !Superblock::is_valid(&region) {
             return Err(FsError::Corrupt("bad superblock magic"));
         }
-        let (bm_start, bm_words) = shared::bitmap_geometry(&region)
-            .ok_or(FsError::Corrupt("region formatted without a claim bitmap"))?;
+        if shared::bitmap_geometry(&region).is_none() {
+            return Err(FsError::Corrupt("region formatted without a claim bitmap"));
+        }
         match shared::begin_attach(&region)? {
             shared::AttachRole::Recoverer => {
                 let fs = match Self::mount_inner(region.clone(), cfg) {
@@ -203,6 +210,11 @@ impl SimurghFs {
                         return Err(e);
                     }
                 };
+                // Geometry is re-read after the recovery mount: growth
+                // adoption inside `mount_inner` may have relocated the
+                // claim bitmap to the tail of the grown region.
+                let (bm_start, bm_words) = shared::bitmap_geometry(&region)
+                    .ok_or(FsError::Corrupt("claim bitmap geometry lost"))?;
                 fs.blocks.publish_shared(region.clone(), bm_start, bm_words);
                 fs.index.disable_negative_authority();
                 shared::publish_up(&region);
@@ -210,6 +222,8 @@ impl SimurghFs {
             }
             shared::AttachRole::Attacher => {
                 let t_mount = std::time::Instant::now();
+                let (bm_start, bm_words) = shared::bitmap_geometry(&region)
+                    .ok_or(FsError::Corrupt("claim bitmap geometry lost"))?;
                 let data = Superblock::data_extent(&region);
                 let blocks = Arc::new(BlockAlloc::attach(
                     data,
@@ -243,6 +257,7 @@ impl SimurghFs {
         if !Superblock::is_valid(&region) {
             return Err(FsError::Corrupt("bad superblock magic"));
         }
+        Self::adopt_growth(&region);
         let (blocks, meta, mut report) = recovery::recover(&region, cfg.segment_count())?;
         let root = Inode(Superblock::root_inode(&region));
         Superblock::set_clean(&region, false);
@@ -261,6 +276,42 @@ impl SimurghFs {
         fs.obs.record(FsOp::RecoverRebuild, fs.recovery.rebuild_time);
         fs.obs.record(FsOp::Mount, t_mount.elapsed());
         Ok(fs)
+    }
+
+    /// Adopts a backing file that was grown since the recorded geometry
+    /// (aged-image capacity scale-up): lays a fresh, larger claim bitmap at
+    /// the *tail* of the grown region and extends the data extent over the
+    /// new space, keeping it contiguous. The old bitmap pages below the
+    /// data start become dead slack — a one-time, bounded cost per growth.
+    ///
+    /// Runs only under the exclusive-recovery mount, before the allocator
+    /// is rebuilt, so the larger extent and bitmap are what recovery's
+    /// mark-and-sweep (and a subsequent `publish_shared`) observe. The
+    /// whole sequence is idempotent and keyed off `len() > region_len`,
+    /// so a crash mid-adoption simply re-runs it on the next mount.
+    fn adopt_growth(region: &PmemRegion) {
+        let recorded = Superblock::region_len(region);
+        let new_len = region.len() as u64;
+        if new_len <= recorded {
+            return;
+        }
+        let data = Superblock::data_extent(region);
+        let bm_bytes = shared::bitmap_bytes(region.len());
+        // new_len and bm_bytes are page multiples, so the tail bitmap is
+        // page aligned by construction.
+        let bm_start = new_len - bm_bytes;
+        let new_data_len = bm_start.saturating_sub(data.start.off());
+        if new_data_len <= data.len {
+            // Growth too small to pay for the larger bitmap: keep the old
+            // geometry; the mapping stays valid (recorded <= len).
+            return;
+        }
+        region.zero(PPtr::new(bm_start), bm_bytes as usize);
+        shared::record_bitmap_geometry(region, PPtr::new(bm_start), bm_bytes / 8);
+        Superblock::record_growth(
+            region,
+            simurgh_pmem::layout::Extent { start: data.start, len: new_data_len },
+        );
     }
 
     /// Walks the tree and rebuilds the shared-DRAM directory index.
@@ -316,6 +367,8 @@ impl SimurghFs {
             dir_stats: dir::DirStats::default(),
             data_stats: file::DataStats::default(),
             obs: obs::ObsRegistry::default(),
+            frag: compact::FragStats::default(),
+            compactq: compact::CompactQueue::default(),
             shared_mode: false,
         };
         // Trace every sfence boundary. Regions produced by `simulate_crash`
@@ -434,7 +487,127 @@ impl SimurghFs {
             &self.meta,
             &self.blocks,
             crate::alloc::lock_stats(),
+            &self.frag,
+            self.extent_census(),
         )
+    }
+
+    /// The fragmentation/compaction counter battery of this mount.
+    pub fn frag_stats(&self) -> &compact::FragStats {
+        &self.frag
+    }
+
+    /// Census for the `frag` obs section: regular files reachable from the
+    /// root and their total extent-map entries. A full tree walk — the obs
+    /// export and the aging harness are cold paths.
+    pub fn extent_census(&self) -> (u64, u64) {
+        let denv = self.dir_env();
+        let (mut files, mut extents) = (0u64, 0u64);
+        let mut stack = vec![self.root];
+        while let Some(ino) = stack.pop() {
+            let Ok(first) = self.dir_block_of(ino) else {
+                continue;
+            };
+            for (_, ftype, child) in dir::scan(&denv, first) {
+                if child.is_null() {
+                    continue;
+                }
+                match ftype {
+                    FileType::Directory => stack.push(Inode(child)),
+                    FileType::Regular => {
+                        files += 1;
+                        file::for_each_extent(&self.region, Inode(child), |_, _| extents += 1);
+                    }
+                    FileType::Symlink => {}
+                }
+            }
+        }
+        (files, extents)
+    }
+
+    /// One online compaction pass: harvests fragmented regular files from
+    /// a tree walk, then relocates up to `max_files` of them (most
+    /// fragmented first) onto freshly allocated contiguous runs. Safe
+    /// against concurrent use: every file moves under its per-file write
+    /// lock, the map swap is guarded by the relocation journal
+    /// ([`compact::journal`]), and open handles' extent cursors are
+    /// generation-invalidated. Returns `(files_moved, blocks_moved)`.
+    pub fn compact(&self, max_files: usize) -> (u64, u64) {
+        self.harvest_candidates();
+        let (mut nfiles, mut nblocks) = (0u64, 0u64);
+        for _ in 0..max_files {
+            // Ascending fragmentation order, so `pop` yields worst-first.
+            let Some(p) = self.compactq.queue.lock().unwrap().pop() else {
+                break;
+            };
+            let ino = Inode(p);
+            // Revalidate: the file may have been unlinked since harvest.
+            let h = obj::header(&self.region, p);
+            if !obj::is_valid(h) || obj::Tag::from_header(h) != Some(obj::Tag::Inode) {
+                continue;
+            }
+            if ino.mode(&self.region).ftype != FileType::Regular {
+                continue;
+            }
+            let cursor = self.cursor_of(ino);
+            let mut env = self.file_env();
+            if let Some(c) = &cursor {
+                env = env.with_cursor(c);
+            }
+            let _w = file::lock_write(&env, ino);
+            if let Ok(compact::Reloc::Moved(b)) = compact::relocate_file(&env, ino, &self.frag)
+            {
+                nfiles += 1;
+                nblocks += b;
+            }
+        }
+        self.frag.passes.fetch_add(1, Ordering::Relaxed);
+        (nfiles, nblocks)
+    }
+
+    /// Water-mark trigger: runs a bounded compaction pass when the block
+    /// allocator recorded new fragmentation pressure (an opportunistic
+    /// allocation pass that failed with free capacity on hand) since the
+    /// last check. Cheap when idle — two atomic loads.
+    pub fn maybe_compact(&self) -> (u64, u64) {
+        let p = self.blocks.frag_pressure();
+        if p <= self.compactq.seen_pressure.swap(p, Ordering::Relaxed) {
+            return (0, 0);
+        }
+        self.compact(8)
+    }
+
+    /// Tree walk feeding [`compact`](Self::compact): fragmented regular
+    /// files (2+ extents or any overflow chain), sorted ascending by
+    /// extent count so the back of the queue is the worst offender.
+    fn harvest_candidates(&self) {
+        let denv = self.dir_env();
+        let mut found: Vec<(u64, PPtr)> = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(ino) = stack.pop() {
+            let Ok(first) = self.dir_block_of(ino) else {
+                continue;
+            };
+            for (_, ftype, child) in dir::scan(&denv, first) {
+                if child.is_null() {
+                    continue;
+                }
+                match ftype {
+                    FileType::Directory => stack.push(Inode(child)),
+                    FileType::Regular => {
+                        let c = Inode(child);
+                        let mut n = 0u64;
+                        file::for_each_extent(&self.region, c, |_, _| n += 1);
+                        if n >= 2 || !c.ext_next(&self.region).is_null() {
+                            found.push((n, child));
+                        }
+                    }
+                    FileType::Symlink => {}
+                }
+            }
+        }
+        found.sort_by_key(|&(n, _)| n);
+        *self.compactq.queue.lock().unwrap() = found.into_iter().map(|(_, p)| p).collect();
     }
 
     /// Times one `FileSystem` op: latency histogram (`obs`) plus the

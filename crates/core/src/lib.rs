@@ -41,6 +41,7 @@
 
 pub mod alloc;
 pub mod check;
+pub mod compact;
 pub mod dindex;
 pub mod dir;
 pub mod file;

@@ -404,12 +404,15 @@ impl ObsRegistry {
     /// (likewise), pmem traffic, the fsapi `OpTimers` wall-clock breakdown
     /// and the `AllocFaults` injector counters, plus the latency histograms,
     /// the allocator round-trip counters ([`MetaAllocator`] pool trips,
-    /// [`BlockAlloc`] segment trips) and the process-wide [`LockStats`]
-    /// busy-wait battery.
+    /// [`BlockAlloc`] segment trips), the process-wide [`LockStats`]
+    /// busy-wait battery and the [`FragStats`] fragmentation/compaction
+    /// battery (with its live allocator gauges and the `(files, extents)`
+    /// census the mount supplies).
     ///
     /// [`MetaAllocator`]: crate::alloc::MetaAllocator
     /// [`BlockAlloc`]: crate::alloc::BlockAlloc
     /// [`LockStats`]: crate::alloc::LockStats
+    /// [`FragStats`]: crate::compact::FragStats
     // One parameter per absorbed surface: the registry is the single place
     // these meet, and the obs-coverage rule keys on the typed signature.
     #[allow(clippy::too_many_arguments)]
@@ -423,6 +426,8 @@ impl ObsRegistry {
         meta: &crate::alloc::MetaAllocator,
         blocks: &crate::alloc::BlockAlloc,
         lock: &crate::alloc::LockStats,
+        frag: &crate::compact::FragStats,
+        census: (u64, u64),
     ) -> String {
         let alloc = format!(
             "{{\"pool_trips\":{},\"seg_trips\":{}}}",
@@ -431,7 +436,7 @@ impl ObsRegistry {
         );
         format!(
             "{{\"latency\":{},\"dir\":{},\"data\":{},\"pmem\":{},\"timers\":{},\
-             \"alloc_faults\":{},\"alloc\":{},\"lock\":{},\"gateway\":{}}}",
+             \"alloc_faults\":{},\"alloc\":{},\"lock\":{},\"gateway\":{},\"frag\":{}}}",
             self.latency_json(),
             dir.to_json(),
             data.to_json(),
@@ -440,7 +445,8 @@ impl ObsRegistry {
             faults.to_json(),
             alloc,
             lock.to_json(),
-            self.gateway.to_json()
+            self.gateway.to_json(),
+            frag.to_json(blocks, census.0, census.1)
         )
     }
 }

@@ -46,6 +46,9 @@ pub struct RecoveryReport {
     pub symlinks: u64,
     /// Allocated-but-unreachable metadata objects reclaimed by the sweep.
     pub reclaimed_objects: u64,
+    /// Mid-swap compactor relocations rolled back from the relocation
+    /// journal (0 or 1 — the journal has one slot).
+    pub reloc_rollbacks: u64,
     /// Data blocks found in use.
     pub used_blocks: u64,
     /// Wall-clock time of the scan (mark), repair and sweep phases.
@@ -206,13 +209,17 @@ pub fn recover(
     // Release pool-table slots a crashed grower left mid-claim; recovery
     // runs exclusively, so no live claimer can be racing us.
     Superblock::clear_torn_pool_claims(region);
+    // Roll back a relocation that crashed mid map-swap *before* the mark
+    // phase, so the walk sees the restored (old) map and the abandoned new
+    // run stays unreferenced for the sweep.
+    let reloc_rollbacks = crate::compact::journal::recover(region);
     let data = Superblock::data_extent(region);
     let data_start = data.start.align_up(BLOCK_SIZE as u64).off();
     let data_blocks = (data.start.off() + data.len - data_start) / BLOCK_SIZE as u64;
     let root = Superblock::root_inode(region);
     let walker = Walker { region, data_start, data_blocks };
 
-    let mut report = RecoveryReport { was_clean, ..Default::default() };
+    let mut report = RecoveryReport { was_clean, reloc_rollbacks, ..Default::default() };
 
     // Phase 1: mark.
     let t = Instant::now();

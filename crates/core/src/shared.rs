@@ -65,6 +65,13 @@ use crate::BLOCK_SIZE;
 ///   CAS in `alloc` arbitrates races, so a stale stack entry just loses.
 /// * `SimurghFs` — the mount object itself: aggregates the above plus
 ///   counters; reconstructed wholesale by mount/attach.
+/// * `CompactQueue` — the compactor's candidate list and pressure
+///   water-mark. Pure work-queue state: a fresh mount starts empty and the
+///   next compaction pass re-harvests candidates from the tree walk. The
+///   *in-flight* relocation itself is protected by the persistent
+///   relocation journal (`compact::journal`), not by this cache.
+/// * `FragStats` — fragmentation/compaction counters, same contract as the
+///   other `ObsRegistry` batteries: diagnostics reset to zero per process.
 pub const REBUILDABLE_CACHES: &[&str] = &[
     "DirIndex",
     "DirState",
@@ -76,6 +83,8 @@ pub const REBUILDABLE_CACHES: &[&str] = &[
     "BlockAlloc",
     "MetaAllocator",
     "SimurghFs",
+    "CompactQueue",
+    "FragStats",
 ];
 
 // ---------------------------------------------------------------------------

@@ -29,8 +29,15 @@ const O_DATA_LEN: u64 = 48;
 const O_EPOCH: u64 = 56;
 const O_POOLS: u64 = 64; // 3 kinds x 32 segs x (start,count) = 1536 bytes; ends at 1600
 
-// Bytes 1600..2048 reserved. Bytes 2048.. hold the shared-mount coordination
-// words and block-bitmap geometry — see `crate::shared` for their semantics.
+// Bytes 1600..2048 hold the single-slot relocation journal used by the
+// online compactor — see `crate::compact` for the record layout. Bytes
+// 2048.. hold the shared-mount coordination words and block-bitmap
+// geometry — see `crate::shared` for their semantics.
+
+/// Byte offset of the compactor's relocation journal (one slot; the
+/// compactor relocates one file map at a time). Layout and crash
+/// semantics live in [`crate::compact`].
+pub const O_RELOC: u64 = 1600;
 
 /// In-progress marker for a pool table slot being claimed by
 /// [`Superblock::add_pool_seg`] (never a real object count).
@@ -103,13 +110,39 @@ impl Superblock {
 
     /// Whether the region carries a valid Simurgh superblock. Besides the
     /// magic/version identity this checks the recorded region length against
-    /// the actual mapping, so a region file that was truncated or padded
-    /// behind our back is rejected instead of silently mounted.
+    /// the actual mapping: a mapping *shorter* than the recorded length
+    /// means media was truncated behind our back and is rejected. A mapping
+    /// *longer* than the recorded length is a grown backing file whose new
+    /// capacity has not been adopted yet — still mountable; the next
+    /// exclusive mount re-records the geometry ([`record_growth`]
+    /// (Self::record_growth)).
     pub fn is_valid(r: &PmemRegion) -> bool {
-        r.len() >= simurgh_pmem::PAGE_SIZE
-            && r.read::<u64>(PPtr::new(O_MAGIC)) == MAGIC
-            && r.read::<u64>(PPtr::new(O_VERSION)) == VERSION
-            && r.read::<u64>(PPtr::new(O_REGION_LEN)) == r.len() as u64
+        if r.len() < simurgh_pmem::PAGE_SIZE
+            || r.read::<u64>(PPtr::new(O_MAGIC)) != MAGIC
+            || r.read::<u64>(PPtr::new(O_VERSION)) != VERSION
+        {
+            return false;
+        }
+        let recorded = r.read::<u64>(PPtr::new(O_REGION_LEN));
+        recorded >= simurgh_pmem::PAGE_SIZE as u64 && recorded <= r.len() as u64
+    }
+
+    /// Region length recorded at format (or last growth adoption).
+    pub fn region_len(r: &PmemRegion) -> u64 {
+        r.read(PPtr::new(O_REGION_LEN))
+    }
+
+    /// Re-records the geometry after the backing file was grown. The data
+    /// extent is persisted before the region length, so a crash mid-adoption
+    /// leaves either the old geometry intact or a new data extent that the
+    /// next mount's re-run of adoption recomputes identically — adoption is
+    /// idempotent and keyed off `r.len() > region_len(r)`.
+    pub fn record_growth(r: &PmemRegion, data: Extent) {
+        r.write(PPtr::new(O_DATA_START), data.start.off());
+        r.write(PPtr::new(O_DATA_LEN), data.len);
+        r.persist(PPtr::new(O_DATA_START), 16);
+        r.write(PPtr::new(O_REGION_LEN), r.len() as u64);
+        r.persist(PPtr::new(O_REGION_LEN), 8);
     }
 
     pub fn root_inode(r: &PmemRegion) -> PPtr {
@@ -250,6 +283,30 @@ mod tests {
     fn blank_region_is_invalid() {
         let r = PmemRegion::new(1 << 16);
         assert!(!Superblock::is_valid(&r));
+    }
+
+    #[test]
+    fn grown_mapping_stays_valid_truncated_does_not() {
+        let r = formatted();
+        // A recorded length lagging the mapping is a grown-but-unadopted
+        // backing file: still mountable.
+        r.write(PPtr::new(O_REGION_LEN), (1u64 << 20) / 2);
+        assert!(Superblock::is_valid(&r));
+        // A recorded length exceeding the mapping is truncated media: never.
+        r.write(PPtr::new(O_REGION_LEN), (1u64 << 20) * 2);
+        assert!(!Superblock::is_valid(&r));
+    }
+
+    #[test]
+    fn record_growth_updates_data_extent_and_region_len() {
+        let r = formatted();
+        Superblock::record_growth(
+            &r,
+            Extent { start: PPtr::new(65536), len: (1 << 20) - 65536 - 4096 },
+        );
+        assert_eq!(Superblock::region_len(&r), 1 << 20);
+        assert_eq!(Superblock::data_extent(&r).len, (1 << 20) - 65536 - 4096);
+        assert!(Superblock::is_valid(&r));
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::obs::{self, EventKind};
 use crate::shared;
 use crate::testing::{colliding_name, crash_holding_line};
 
-use super::matrix::{scripted_ops, OpSpec};
+use super::matrix::{compact_spec, extent_map_of, scripted_ops, OpSpec};
 
 /// Region-file size: matches the matrix so boundary counts are comparable.
 const REGION_BYTES: usize = 8 << 20;
@@ -57,6 +57,17 @@ const SENT_NAME: &str = "victim";
 
 /// Ops the tier-1 smoke matrix runs (a structural sample of the seven).
 pub const DEFAULT_OPS: &[&str] = &["create", "unlink", "append"];
+
+/// Every op the harness can kill a victim inside: the scripted matrix ops
+/// plus the online-compaction pass. `compact` is deliberately absent from
+/// [`scripted_ops`] (relocation is tree-invisible, so the generic pre≠post
+/// machinery cannot witness it); here the cell adds an extent-map witness
+/// on the relocated file instead.
+fn known_specs() -> Vec<OpSpec> {
+    let mut specs = scripted_ops();
+    specs.push(compact_spec());
+    specs
+}
 
 // Environment protocol between driver and worker processes.
 pub const ENV_ROLE: &str = "SIMURGH_PROCS_ROLE";
@@ -163,7 +174,7 @@ pub fn worker_main() -> ! {
     let kill_fence: u64 = env_req(ENV_KILL_FENCE).parse().expect("numeric kill fence");
     let slot: u32 = env_req(ENV_SLOT).parse().expect("numeric slot");
 
-    let specs = scripted_ops();
+    let specs = known_specs();
     let spec = specs
         .iter()
         .find(|s| s.name == op_name)
@@ -307,9 +318,15 @@ impl ProcsReport {
 }
 
 /// Kill boundaries for an op that crosses `b` fences: start, middle, end,
-/// truncated to `cap` points.
+/// truncated to `cap` points. A `cap` above 3 adds the quartiles — the
+/// compaction cell uses that to land kills *inside* a relocation (between
+/// the data copy and the map-swap), not just at its edges.
 fn kill_points(b: u64, cap: u64) -> Vec<u64> {
     let mut v = vec![0, b / 2, b];
+    if cap > 3 {
+        v.push(b / 4);
+        v.push(3 * b / 4);
+    }
     v.sort_unstable();
     v.dedup();
     v.truncate(cap.max(1) as usize);
@@ -385,6 +402,10 @@ fn parse_report(stdout: &str) -> Option<SurvivorReport> {
     })
 }
 
+/// The fragmented file's pre-kill `(start, len)` extent map and bytes —
+/// the compaction cell's relocation witness.
+type FragWitness = (Vec<(u64, u64)>, Vec<u8>);
+
 /// Runs one cell: populate the region file, spawn the process group, kill
 /// the victim at `kill_fence`, collect survivor reports, then verify
 /// convergence with two exclusive recovery mounts.
@@ -416,6 +437,11 @@ fn run_cell(
     let _ = std::fs::remove_file(&path);
 
     // Populate through a private mapping, then unmap before anyone mounts.
+    // For the compaction op, also capture the relocation witness: the
+    // fragmented file's pre-kill extent map and bytes. After recovery the
+    // map must be exactly this old layout or exactly one merged extent —
+    // never a mixture — and the bytes must be untouched.
+    let mut frag_witness: Option<FragWitness> = None;
     {
         let region = match RegionBuilder::new(REGION_BYTES).file(&path).build() {
             Ok(r) => Arc::new(r),
@@ -433,6 +459,25 @@ fn run_cell(
             }
         };
         populate(&fs, spec, &ctx);
+        if spec.name == "compact" {
+            let w = extent_map_of(&fs, &ctx, "/d/frag").and_then(|map| {
+                let bytes = fs
+                    .read_to_vec(&ctx, "/d/frag")
+                    .map_err(|e| format!("read witness bytes: {e}"))?;
+                Ok((map, bytes))
+            });
+            match w {
+                Ok((map, bytes)) if map.len() >= 2 => frag_witness = Some((map, bytes)),
+                Ok((map, _)) => {
+                    fail(&mut cell, format!("setup failed to fragment /d/frag: {map:?}"));
+                    return cell;
+                }
+                Err(e) => {
+                    fail(&mut cell, format!("capture relocation witness: {e}"));
+                    return cell;
+                }
+            }
+        }
         fs.unmount();
     }
 
@@ -555,6 +600,26 @@ fn run_cell(
         let tree1 = fs
             .snapshot_tree(&ctx, "/")
             .map_err(|e| format!("recovered tree unreadable: {e}"))?;
+        if let Some((old_map, old_bytes)) = &frag_witness {
+            // A committed relocation is by construction one inline extent
+            // covering the whole file; anything else must be the untouched
+            // old layout (the relocation journal rolled back). A mixture
+            // means the map-swap tore across the kill.
+            let got = extent_map_of(&fs, &ctx, "/d/frag")?;
+            let committed = got.len() == 1 && got[0].1 == old_bytes.len() as u64;
+            if &got != old_map && !committed {
+                return Err(format!(
+                    "relocated extent map is a mixture after kill -9: {got:?} \
+                     (old layout {old_map:?})"
+                ));
+            }
+            let now = fs
+                .read_to_vec(&ctx, "/d/frag")
+                .map_err(|e| format!("read relocated file after recovery: {e}"))?;
+            if &now != old_bytes {
+                return Err("relocated file bytes changed across kill -9 + recovery".into());
+            }
+        }
         drop(fs); // no unmount: the file stays unclean for the second pass
 
         let region2 = Arc::new(
@@ -605,7 +670,7 @@ pub fn run_procs(opts: &ProcsOpts, spawn: SpawnFn) -> ProcsReport {
     } else {
         opts.ops.clone()
     };
-    let specs = scripted_ops();
+    let specs = known_specs();
     let mut report = ProcsReport { nprocs: opts.nprocs, cells: Vec::new() };
     for name in &names {
         let Some(spec) = specs.iter().find(|s| s.name == name.as_str()) else {
@@ -699,6 +764,19 @@ mod tests {
         assert_eq!(kill_points(10, 2), vec![0, 5]);
         assert_eq!(kill_points(1, 3), vec![0, 1]);
         assert_eq!(kill_points(0, 3), vec![0]);
+        // Above three points the quartiles join in — interior kills.
+        assert_eq!(kill_points(12, 5), vec![0, 3, 6, 9, 12]);
+        assert_eq!(kill_points(12, 4), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn compact_is_a_known_op_with_boundaries() {
+        let specs = known_specs();
+        let spec = specs.iter().find(|s| s.name == "compact").expect("compact spec wired in");
+        assert!(
+            measure_boundaries(spec) > 1,
+            "a relocation pass crosses several persistence boundaries"
+        );
     }
 
     #[test]

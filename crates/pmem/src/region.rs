@@ -190,9 +190,12 @@ impl RegionBuilder {
     /// file share the bytes).
     ///
     /// * With [`new`](Self::new): the file is created at the requested size
-    ///   if missing; an existing file must already be exactly that size
-    ///   ([`PmemError::SizeMismatch`] otherwise — never truncated/extended).
-    ///   Existing contents are preserved, which is the shared-attach path.
+    ///   if missing; an existing *smaller* file is grown to the requested
+    ///   size (existing contents preserved — this is how an aged image is
+    ///   adopted at a larger capacity; the filesystem layer is responsible
+    ///   for re-recording its geometry). Shrinking is never performed:
+    ///   an existing file *larger* than the request is
+    ///   [`PmemError::SizeMismatch`].
     /// * With [`from_image`](Self::from_image): materializes the image at
     ///   `path`; the file must be new or empty (same mismatch rule).
     pub fn file(mut self, path: impl Into<PathBuf>) -> Self {
@@ -288,10 +291,12 @@ impl RegionBuilder {
             }
             file_len
         } else {
-            // An existing file of a different size is never resized: with an
-            // image that would silently truncate media, without one it would
-            // change the device geometry under a peer that already mapped it.
-            if file_len != 0 && file_len != requested {
+            // An existing file is never *shrunk*: with an image that would
+            // silently truncate media, without one it would tear pages out
+            // from under a peer that already mapped them. Growing is safe —
+            // peers keep their old-length mappings and the filesystem layer
+            // adopts the new geometry on its next exclusive mount.
+            if file_len > requested {
                 return Err(PmemError::SizeMismatch { file_len, requested });
             }
             let _ = has_image; // same rule either way; kept for clarity
@@ -1233,6 +1238,24 @@ mod tests {
             RegionBuilder::new(0).from_image(vec![0u8; 4096]).file(&path.0).build().unwrap_err();
         assert_eq!(err, PmemError::SizeMismatch { file_len: 8192, requested: 4096 });
         assert_eq!(std::fs::metadata(&path.0).unwrap().len(), 8192, "file untouched");
+    }
+
+    #[test]
+    fn adopting_a_smaller_file_grows_it_in_place() {
+        // Aged-image adoption: reopening an existing region file at a larger
+        // size grows the file, preserves the old bytes, and zero-fills the
+        // new tail. Shrinking (covered above) stays a typed error.
+        let path = TempFile(temp_path("grow"));
+        {
+            let r = RegionBuilder::new(8192).file(&path.0).build().unwrap();
+            r.write(PPtr::new(64), 0xabad_cafe_u32);
+            r.persist(PPtr::new(64), 4);
+        }
+        let r = RegionBuilder::new(4 * 8192).file(&path.0).build().unwrap();
+        assert_eq!(r.len(), 4 * 8192);
+        assert_eq!(std::fs::metadata(&path.0).unwrap().len(), 4 * 8192);
+        assert_eq!(r.read::<u32>(PPtr::new(64)), 0xabad_cafe, "old bytes kept");
+        assert_eq!(r.read::<u64>(PPtr::new(3 * 8192)), 0, "new tail zeroed");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Aging churn workload (the "Aging & compaction" experiment).
+//!
+//! A long-lived file system fragments: files are created, appended to in
+//! interleaved bursts, truncated and deleted, and the free space decays
+//! from a few huge runs into confetti. This generator reproduces that decay
+//! deterministically so the compactor and the fragmentation battery have
+//! something real to measure:
+//!
+//! * a population of files spread over a directory fan-out,
+//! * churn ops (append / create / delete / truncate) whose *victims* are
+//!   chosen by a scrambled zipfian — a hot minority of files absorbs most
+//!   of the churn, exactly the reuse skew that interleaves their extents,
+//! * a batch hook so the driver can interleave maintenance (the water-mark
+//!   compaction check, a stats sample) every `batch` operations without
+//!   this crate depending on any concrete file system.
+//!
+//! Like every other generator here it drives the plain
+//! [`simurgh_fsapi::FileSystem`] trait, so the same churn ages Simurgh and
+//! every baseline identically.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simurgh_fsapi::{FileMode, FileSystem, FsResult, OpenFlags, ProcCtx};
+
+use crate::zipf::Zipfian;
+
+/// Shape of one aging run.
+#[derive(Debug, Clone, Copy)]
+pub struct AgingSpec {
+    /// File population (slots; a slot may be live or deleted at any time).
+    pub files: usize,
+    /// Directories the population is spread over.
+    pub dirs: usize,
+    /// Total churn operations.
+    pub ops: u64,
+    /// Batch hook cadence (ops between calls; 0 disables the hook).
+    pub batch: u64,
+    /// Largest single append, in bytes.
+    pub append_max: usize,
+    /// Zipf skew for victim choice ([`Zipfian::DEFAULT_THETA`] = YCSB).
+    pub theta: f64,
+    pub seed: u64,
+}
+
+impl AgingSpec {
+    /// A churn mix scaled by `scale` (1.0 ≈ 2k files, 20k ops — enough to
+    /// fragment a small region; GB-scale runs pass 10–100).
+    pub fn churn(scale: f64) -> AgingSpec {
+        AgingSpec {
+            files: ((2000.0 * scale) as usize).max(16),
+            dirs: ((50.0 * scale) as usize).clamp(2, 512),
+            ops: ((20_000.0 * scale) as u64).max(200),
+            batch: 500,
+            append_max: 16 * 1024,
+            theta: Zipfian::DEFAULT_THETA,
+            seed: 0xa9e_d00d,
+        }
+    }
+}
+
+/// What one churn run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgingReport {
+    pub creates: u64,
+    pub appends: u64,
+    pub truncates: u64,
+    pub deletes: u64,
+    /// Ops that degenerated to no-ops (delete of a dead slot, …).
+    pub skipped: u64,
+    pub bytes_written: u64,
+    /// Slots live when the run finished.
+    pub live_files: u64,
+}
+
+fn slot_path(spec: &AgingSpec, idx: usize) -> String {
+    format!("/age/d{}/f{idx}", idx % spec.dirs)
+}
+
+/// Deterministic fill byte for slot `idx` (verifiable after churn).
+pub fn fill_byte(idx: usize) -> u8 {
+    (idx as u8) ^ 0xc4
+}
+
+/// Creates `/age` and its fan-out directories (untimed setup). Idempotent.
+pub fn setup_dirs(fs: &dyn FileSystem, ctx: &ProcCtx, spec: &AgingSpec) -> FsResult<()> {
+    for d in std::iter::once("/age".to_owned())
+        .chain((0..spec.dirs).map(|d| format!("/age/d{d}")))
+    {
+        match fs.mkdir(ctx, &d, FileMode::dir(0o755)) {
+            Ok(()) | Err(simurgh_fsapi::FsError::Exists) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Runs the churn. `between` fires every [`AgingSpec::batch`] ops with the
+/// operation count so far and the running report — the driver's slot for
+/// water-mark compaction and stats sampling.
+pub fn run_churn(
+    fs: &dyn FileSystem,
+    ctx: &ProcCtx,
+    spec: &AgingSpec,
+    mut between: impl FnMut(u64, &AgingReport),
+) -> FsResult<AgingReport> {
+    setup_dirs(fs, ctx, spec)?;
+    let zipf = Zipfian::new(spec.files as u64, spec.theta);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut report = AgingReport::default();
+    // Local size mirror: `None` = slot deleted. Churn is single-threaded,
+    // so this never drifts from the file system.
+    let mut sizes: Vec<Option<u64>> = vec![None; spec.files];
+    // `O_CREAT | O_WRONLY` *without* `O_TRUNC`: an append must extend the
+    // file, not clobber it ([`OpenFlags::CREATE`] carries `O_TRUNC`).
+    const APPEND_OPEN: OpenFlags = OpenFlags {
+        read: false,
+        write: true,
+        create: true,
+        excl: false,
+        truncate: false,
+        append: false,
+    };
+
+    for done in 1..=spec.ops {
+        let idx = zipf.next_scrambled(&mut rng) as usize;
+        let path = slot_path(spec, idx);
+        let roll: u32 = rng.random_range(0..100);
+        match roll {
+            // Append: the fragmenter. Zipf-hot slots interleave their
+            // tails, so their extents end up shuffled together.
+            0..=44 => {
+                let len = 1 + rng.random_range(0..spec.append_max as u64);
+                let off = sizes[idx].unwrap_or(0);
+                let fd = fs.open(ctx, &path, APPEND_OPEN, FileMode::file(0o644))?;
+                let chunk = vec![fill_byte(idx); len as usize];
+                fs.pwrite(ctx, fd, &chunk, off)?;
+                fs.close(ctx, fd)?;
+                if sizes[idx].is_none() {
+                    report.creates += 1;
+                }
+                sizes[idx] = Some(off + len);
+                report.appends += 1;
+                report.bytes_written += len;
+            }
+            // Create / reset: small fresh file in a reused slot.
+            45..=64 => {
+                let len = 1 + rng.random_range(0..4096u64);
+                // CREATE carries O_TRUNC — exactly right for a reset.
+                let fd = fs.open(ctx, &path, OpenFlags::CREATE, FileMode::file(0o644))?;
+                fs.pwrite(ctx, fd, &vec![fill_byte(idx); len as usize], 0)?;
+                fs.close(ctx, fd)?;
+                if sizes[idx].is_none() {
+                    report.creates += 1;
+                }
+                sizes[idx] = Some(len);
+                report.bytes_written += len;
+            }
+            // Delete: punches the holes appends later land in.
+            65..=84 => {
+                if sizes[idx].take().is_some() {
+                    fs.unlink(ctx, &path)?;
+                    report.deletes += 1;
+                } else {
+                    report.skipped += 1;
+                }
+            }
+            // Truncate: shears tails, stranding half-used runs.
+            _ => match sizes[idx] {
+                Some(sz) if sz > 1 => {
+                    let fd = fs.open(ctx, &path, OpenFlags::WRONLY, FileMode::file(0o644))?;
+                    fs.ftruncate(ctx, fd, sz / 2)?;
+                    fs.close(ctx, fd)?;
+                    sizes[idx] = Some(sz / 2);
+                    report.truncates += 1;
+                }
+                _ => report.skipped += 1,
+            },
+        }
+        if spec.batch > 0 && done % spec.batch == 0 {
+            between(done, &report);
+        }
+    }
+    report.live_files = sizes.iter().filter(|s| s.is_some()).count() as u64;
+    Ok(report)
+}
+
+/// Spot-checks the churned population against the local mirror: every live
+/// slot must exist with the recorded size and the deterministic fill byte
+/// in its first page. Returns the number of live files verified.
+pub fn verify_sample(
+    fs: &dyn FileSystem,
+    ctx: &ProcCtx,
+    spec: &AgingSpec,
+    sample_every: usize,
+) -> FsResult<u64> {
+    let mut checked = 0;
+    for idx in (0..spec.files).step_by(sample_every.max(1)) {
+        let path = slot_path(spec, idx);
+        let Ok(st) = fs.stat(ctx, &path) else { continue };
+        let data = fs.read_to_vec(ctx, &path)?;
+        assert_eq!(data.len() as u64, st.size, "{path}: stat/read size agree");
+        if let Some(&b) = data.first() {
+            assert_eq!(b, fill_byte(idx), "{path}: fill byte intact");
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simurgh_core::{SimurghConfig, SimurghFs};
+    use simurgh_pmem::PmemRegion;
+    use std::sync::Arc;
+
+    const CTX: ProcCtx = ProcCtx::root(1);
+
+    fn small_spec() -> AgingSpec {
+        AgingSpec {
+            files: 64,
+            dirs: 4,
+            ops: 1500,
+            batch: 250,
+            append_max: 8 * 1024,
+            theta: Zipfian::DEFAULT_THETA,
+            seed: 7,
+        }
+    }
+
+    fn mounted() -> SimurghFs {
+        SimurghFs::format(Arc::new(PmemRegion::new(64 << 20)), SimurghConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn churn_runs_and_is_deterministic() {
+        let fs = mounted();
+        let mut batches = 0;
+        let r1 = run_churn(&fs, &CTX, &small_spec(), |_, _| batches += 1).unwrap();
+        assert_eq!(batches, 1500 / 250);
+        assert!(r1.appends > 0 && r1.deletes > 0 && r1.truncates > 0);
+        assert!(r1.live_files > 0);
+        assert!(verify_sample(&fs, &CTX, &small_spec(), 1).unwrap() >= r1.live_files / 2);
+
+        // Same seed on a fresh region: identical op trace.
+        let r2 = run_churn(&mounted(), &CTX, &small_spec(), |_, _| {}).unwrap();
+        assert_eq!(r1, r2, "churn is deterministic per seed");
+    }
+
+    #[test]
+    fn churn_fragments_and_compaction_recovers() {
+        let fs = mounted();
+        run_churn(&fs, &CTX, &small_spec(), |_, _| {
+            fs.maybe_compact();
+        })
+        .unwrap();
+        // The hot slots saw interleaved appends: some survivor must be
+        // multi-extent, and an explicit full pass must find work or the
+        // water-mark passes already merged everything.
+        let (census_files, census_extents) = fs.extent_census();
+        assert!(census_files > 0);
+        let (moved, blocks) = fs.compact(usize::MAX);
+        let (_, extents_after) = fs.extent_census();
+        assert!(
+            moved > 0 || census_extents == census_files,
+            "either the pass relocated something or the image was already compact"
+        );
+        if moved > 0 {
+            assert!(blocks > 0);
+            assert!(extents_after < census_extents, "merging shrank the extent count");
+        }
+        // Bytes survive relocation.
+        assert!(verify_sample(&fs, &CTX, &small_spec(), 3).unwrap() > 0);
+    }
+}

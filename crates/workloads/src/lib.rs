@@ -17,8 +17,11 @@
 //!   reset;
 //! * [`gateway`] — weighted op mixes for the wire-protocol load
 //!   generator in `simurgh-served`;
+//! * [`aging`] — create/append/truncate/delete churn with zipfian file
+//!   reuse, the fragmentation driver for the compaction experiments;
 //! * [`runner`] — the multi-"process" measurement harness shared by all.
 
+pub mod aging;
 pub mod filebench;
 pub mod fxmark;
 pub mod gateway;

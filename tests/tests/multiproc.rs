@@ -74,17 +74,25 @@ fn same_file_remount_round_trip() {
 }
 
 #[test]
-fn mismatched_file_length_is_a_typed_error() {
+fn shrinking_a_region_file_is_a_typed_error() {
+    // Growing an existing smaller file is aged-image adoption and succeeds
+    // (see the aging tests); *shrinking* would truncate media and stays a
+    // hard typed error.
     let path = tmp("badlen");
-    std::fs::write(&path, vec![0u8; 4096]).unwrap();
+    std::fs::write(&path, vec![0u8; 2 * REGION_BYTES]).unwrap();
     match RegionBuilder::new(REGION_BYTES).file(&path).build() {
         Err(PmemError::SizeMismatch { file_len, requested }) => {
-            assert_eq!(file_len, 4096);
+            assert_eq!(file_len, 2 * REGION_BYTES);
             assert_eq!(requested, REGION_BYTES);
         }
         Err(e) => panic!("expected SizeMismatch, got {e}"),
-        Ok(_) => panic!("mapping an existing file of the wrong size must fail"),
+        Ok(_) => panic!("mapping an existing larger file must fail, not shrink it"),
     }
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        2 * REGION_BYTES as u64,
+        "file untouched by the rejected open"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -167,6 +175,34 @@ fn assert_kill9_matrix(nprocs: u32) {
 #[test]
 fn kill9_matrix_two_procs() {
     assert_kill9_matrix(2);
+}
+
+/// Kill -9 *during compaction*: the victim dies mid-relocation (cap 5 adds
+/// quartile kill points, landing between the data copy and the map-swap),
+/// survivors keep operating, and the exclusive recovery resolves the
+/// relocated file to exactly its old or its new extent map — never a
+/// mixture — with zero leaked blocks (second recovery reclaims nothing).
+#[test]
+fn kill9_during_compaction_converges() {
+    let opts = ProcsOpts {
+        ops: vec!["compact".into()],
+        nprocs: 2,
+        cap: 5,
+        ..ProcsOpts::default()
+    };
+    let report = procs::run_procs(&opts, &libtest_spawner);
+    assert!(
+        report.is_clean(),
+        "kill-9 during compaction failed:\n{:#?}",
+        report.cells.iter().flat_map(|c| &c.failures).collect::<Vec<_>>()
+    );
+    assert!(report.cells.len() >= 4, "anchor + quartile kill points all ran");
+    for c in &report.cells {
+        assert!(c.victim_killed, "victim must die by SIGKILL at fence {}", c.kill_fence);
+        assert_eq!(c.reclaimed_second, 0, "recovery must converge at fence {}", c.kill_fence);
+        let steals: u64 = c.survivors.iter().map(|s| s.lock_steals).sum();
+        assert!(steals >= 1, "a survivor must trace the lock steal");
+    }
 }
 
 #[test]
